@@ -1,0 +1,14 @@
+package distcolor
+
+// baselineBE11 bridges the integration tests to the internal baseline
+// package without widening the public API surface.
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/star"
+)
+
+func baselineBE11(g *graph.Graph, x int) (*star.Result, error) {
+	return baseline.BE11EdgeColor(g, x, star.Options{})
+}

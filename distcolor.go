@@ -1,0 +1,266 @@
+// Package distcolor is a deterministic distributed graph-coloring library:
+// a from-scratch Go reproduction of Barenboim, Elkin and Maimon,
+// "Deterministic Distributed (Δ+o(Δ))-Edge-Coloring, and Vertex-Coloring of
+// Graphs with Bounded Diversity" (PODC 2017).
+//
+// Every algorithm runs as genuine node programs on a synchronous
+// message-passing simulator of the LOCAL model; reported Stats carry the
+// executed communication rounds and message counts. The headline entry
+// points are
+//
+//   - EdgeColorStar: (2^{x+1}Δ)-edge-coloring via star partitions (§4,
+//     Theorem 4.1) — 4Δ colors at x=1, 8Δ at x=2, …
+//   - EdgeColorSparse: (Δ+o(Δ))-edge-coloring for graphs whose arboricity
+//     is bounded away from Δ (§5, Theorems 5.2–5.4, Corollary 5.5).
+//   - VertexColorCD: (D^{x+1}·S)-vertex-coloring of bounded-diversity
+//     graphs via clique decomposition (§§2–3, Algorithm 1, Theorem 3.3).
+//   - VertexColor: the classical deterministic (Δ+1)-coloring used as the
+//     black box (Linial + Kuhn–Wattenhofer).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package distcolor
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arbor"
+	"repro/internal/cd"
+	"repro/internal/cliques"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/star"
+	"repro/internal/vc"
+	"repro/internal/verify"
+)
+
+// Re-exported core types, so downstream users can build graphs and covers
+// without reaching into internal packages.
+type (
+	// Graph is an immutable simple undirected graph with stable edge IDs.
+	Graph = graph.Graph
+	// Builder accumulates edges for a Graph.
+	Builder = graph.Builder
+	// Hypergraph is a c-uniform hypergraph (diversity-c instances).
+	Hypergraph = graph.Hypergraph
+	// CliqueCover is a consistent clique identification (§2, footnote 3).
+	CliqueCover = cliques.Cover
+	// Stats reports executed rounds and messages of a distributed run.
+	Stats = sim.Stats
+	// Plan names an adaptive parameterization choice (Corollary 5.5).
+	Plan = arbor.Plan
+)
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// ReadEdgeList parses a whitespace edge-list (see internal/graph).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g in the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Options selects execution parameters shared by all entry points.
+type Options struct {
+	// Parallel runs node programs on the goroutine-sharded engine instead
+	// of the sequential one. Results are identical; wall-clock differs.
+	Parallel bool
+	// Q is the Section 5 threshold multiplier (default 3; clamped ≥ 2.05).
+	Q float64
+}
+
+func (o Options) engine() sim.Engine {
+	if o.Parallel {
+		return sim.Parallel
+	}
+	return sim.Sequential
+}
+
+func (o Options) vc() vc.Options { return vc.Options{Exec: o.engine()} }
+
+// EdgeColoring is the result of a distributed edge-coloring run.
+type EdgeColoring struct {
+	// Colors is indexed by the graph's edge identifiers.
+	Colors []int64
+	// Palette is the guaranteed bound: all colors are < Palette.
+	Palette int64
+	// Stats reports the executed rounds and messages.
+	Stats Stats
+	// Algorithm names the procedure that produced the coloring.
+	Algorithm string
+}
+
+// VertexColoring is the result of a distributed vertex-coloring run.
+type VertexColoring struct {
+	Colors    []int64
+	Palette   int64
+	Stats     Stats
+	Algorithm string
+}
+
+// EdgeColorGreedy computes the classical distributed (2Δ−1)-edge-coloring
+// (the folklore baseline the paper improves on).
+func EdgeColorGreedy(g *Graph, opt Options) (*EdgeColoring, error) {
+	res, err := vc.EdgeColor(g, nil, vc.EdgeIDBound(g), opt.vc())
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: "2Δ−1"}, nil
+}
+
+// EdgeColorStar computes the (2^{x+1}Δ)-edge-coloring of Theorem 4.1 with
+// x ≥ 1 star-partition levels (x=1: 4Δ colors). Requires Δ ≥ 2^{x+1}.
+func EdgeColorStar(g *Graph, x int, opt Options) (*EdgeColoring, error) {
+	t, err := star.ChooseT(g.MaxDegree(), x)
+	if err != nil {
+		return nil, err
+	}
+	res, err := star.EdgeColor(g, t, x, star.Options{Exec: opt.engine(), VC: opt.vc()})
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeColoring{
+		Colors: res.Colors, Palette: res.Palette, Stats: res.Stats,
+		Algorithm: fmt.Sprintf("star-partition/x=%d", x),
+	}, nil
+}
+
+// EdgeColorSparse computes a (Δ+o(Δ))-edge-coloring for a graph with
+// arboricity at most a (Corollary 5.5): it selects the Section 5
+// parameterization with the smallest palette for this (Δ, a) and runs it.
+// The chosen plan is reported in the Algorithm field.
+func EdgeColorSparse(g *Graph, a int, opt Options) (*EdgeColoring, error) {
+	res, plan, err := arbor.ColorAdaptive(g, a, arbor.Options{Exec: opt.engine(), VC: opt.vc(), Q: opt.Q})
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: plan.Name}, nil
+}
+
+// SparseAlgorithm selects a fixed Section 5 procedure for
+// EdgeColorSparseWith.
+type SparseAlgorithm int
+
+const (
+	// SparseHPartition is Theorem 5.2: Δ+O(a) colors, O(a·log n) rounds.
+	SparseHPartition SparseAlgorithm = iota
+	// SparseSqrt is Theorem 5.3: Δ+O(√(Δa))+O(a) colors, O(√a·log n) rounds.
+	SparseSqrt
+	// SparseRecursive2 and SparseRecursive3 are Theorem 5.4 with x=2, 3.
+	SparseRecursive2
+	SparseRecursive3
+)
+
+// EdgeColorSparseWith runs a specific Section 5 algorithm.
+func EdgeColorSparseWith(g *Graph, a int, alg SparseAlgorithm, opt Options) (*EdgeColoring, error) {
+	aOpt := arbor.Options{Exec: opt.engine(), VC: opt.vc(), Q: opt.Q}
+	var (
+		res  *arbor.Result
+		name string
+		err  error
+	)
+	switch alg {
+	case SparseHPartition:
+		res, err = arbor.ColorHPartition(g, a, aOpt)
+		name = "thm5.2"
+	case SparseSqrt:
+		res, err = arbor.ColorSqrt(g, a, aOpt)
+		name = "thm5.3"
+	case SparseRecursive2:
+		res, err = arbor.ColorRecursive(g, a, 2, aOpt)
+		name = "thm5.4/x=2"
+	case SparseRecursive3:
+		res, err = arbor.ColorRecursive(g, a, 3, aOpt)
+		name = "thm5.4/x=3"
+	default:
+		return nil, fmt.Errorf("distcolor: unknown sparse algorithm %d", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: name}, nil
+}
+
+// VertexColor computes the classical deterministic (Δ+1)-vertex-coloring
+// (the paper's black box, in our Linial+KW realization).
+func VertexColor(g *Graph, opt Options) (*VertexColoring, error) {
+	res, err := vc.Delta1(sim.NewTopology(g), int64(g.N()), opt.vc())
+	if err != nil {
+		return nil, err
+	}
+	return &VertexColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: "Δ+1"}, nil
+}
+
+// VertexColorCD computes the (D^{x+1}·S)-vertex-coloring of Theorem 3.3(i)
+// for a graph with the given clique cover (D = cover diversity, S = max
+// clique size), using x ≥ 1 clique-decomposition levels and the parameter
+// choice t = ⌊S^{1/(x+1)}⌋.
+func VertexColorCD(g *Graph, cover *CliqueCover, x int, opt Options) (*VertexColoring, error) {
+	t := cd.ChooseT(cover.MaxCliqueSize(), x)
+	res, err := cd.Color(g, cover, t, x, cd.Options{Exec: opt.engine(), VC: opt.vc()})
+	if err != nil {
+		return nil, err
+	}
+	return &VertexColoring{
+		Colors: res.Colors, Palette: res.Palette, Stats: res.Stats,
+		Algorithm: fmt.Sprintf("cd-coloring/x=%d", x),
+	}, nil
+}
+
+// LineCover builds the line graph of g together with its canonical
+// diversity-2 clique cover and the map from line-graph vertices to g's
+// edge identifiers. Vertex-coloring the result edge-colors g.
+func LineCover(g *Graph) (*Graph, *CliqueCover, []int32, error) {
+	lg := graph.LineGraph(g)
+	cov, err := cliques.FromLineGraph(lg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return lg.L, cov, lg.EdgeOf, nil
+}
+
+// NewHypergraph validates a c-uniform hypergraph.
+func NewHypergraph(nVert, rank int, edges [][]int) (*Hypergraph, error) {
+	return graph.NewHypergraph(nVert, rank, edges)
+}
+
+// HypergraphLineCover builds the line graph of a c-uniform hypergraph with
+// its canonical diversity-c cover.
+func HypergraphLineCover(h *Hypergraph) (*Graph, *CliqueCover, error) {
+	lg := h.LineGraph()
+	var lists [][]int32
+	for _, cl := range lg.Cliques {
+		if len(cl) >= 2 {
+			lists = append(lists, cl)
+		}
+	}
+	cov, err := cliques.NewCover(lg.L, lists)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lg.L, cov, nil
+}
+
+// NewCliqueCover validates a clique cover for g.
+func NewCliqueCover(g *Graph, cliqueLists [][]int32) (*CliqueCover, error) {
+	return cliques.NewCover(g, cliqueLists)
+}
+
+// CheckEdgeColoring verifies a proper edge coloring within a palette.
+func CheckEdgeColoring(g *Graph, colors []int64, palette int64) error {
+	return verify.EdgeColoring(g, colors, palette)
+}
+
+// CheckVertexColoring verifies a proper vertex coloring within a palette.
+func CheckVertexColoring(g *Graph, colors []int64, palette int64) error {
+	return verify.VertexColoring(g, colors, palette)
+}
+
+// ArboricityUpperBound estimates a(G) from the degeneracy (within 2× of the
+// truth) for callers who do not know their graph's arboricity.
+func ArboricityUpperBound(g *Graph) int { return graph.ArboricityUpperBound(g) }
+
+// SparsePlans lists the candidate Section 5 parameterizations for (Δ, a)
+// with their declared palettes, as considered by EdgeColorSparse.
+func SparsePlans(delta, a int) []Plan { return arbor.Plans(delta, a) }

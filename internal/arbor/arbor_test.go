@@ -1,0 +1,394 @@
+package arbor
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// bounded returns a graph with arboricity ≤ a+1 and Δ ≈ hub, plus the
+// arboricity bound to use.
+func bounded(t *testing.T, n, a, hub int, seed int64) (*graph.Graph, int) {
+	t.Helper()
+	g, err := gen.ForestUnionHub(n, a, hub, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a + 1
+}
+
+func TestHPartition(t *testing.T) {
+	g, a := bounded(t, 400, 3, 150, 7)
+	theta := Threshold(a, 3)
+	hp, err := HPartition(sim.Sequential, g, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.HPartition(g, hp.Part, hp.NumParts, theta); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.AcyclicOrientation(hp.Orient, theta); err != nil {
+		t.Fatal(err)
+	}
+	// O(log n) parts for q=3: generous bound 4·log₂n.
+	logn := 1
+	for v := g.N(); v > 1; v >>= 1 {
+		logn++
+	}
+	if hp.NumParts > 4*logn {
+		t.Fatalf("%d parts for n=%d (expected O(log n))", hp.NumParts, g.N())
+	}
+	if hp.Stats.Rounds != hp.NumParts+1 {
+		t.Fatalf("peeling rounds %d, want parts+1 = %d", hp.Stats.Rounds, hp.NumParts+1)
+	}
+}
+
+func TestHPartitionTooSmallThresholdErrors(t *testing.T) {
+	// K10 has arboricity 5; threshold 1 cannot peel anything after the
+	// first phase check.
+	_, err := HPartition(sim.Sequential, graph.Complete(10), 1)
+	if !errors.Is(err, sim.ErrRoundLimit) {
+		t.Fatalf("want round-limit error, got %v", err)
+	}
+}
+
+func TestHPartitionValidation(t *testing.T) {
+	if _, err := HPartition(sim.Sequential, graph.Path(3), 0); err == nil {
+		t.Fatal("expected threshold error")
+	}
+}
+
+func TestMergeBipartite(t *testing.T) {
+	// Complete bipartite K_{4,6}: A side degree 6... use A = small side with
+	// D=6, B side; no precolored edges; palette Δ(B)+D−1 = 4+6−1 = 9.
+	g := graph.CompleteBipartite(4, 6)
+	roleA := make([]bool, 10)
+	roleB := make([]bool, 10)
+	for v := 0; v < 4; v++ {
+		roleA[v] = true
+	}
+	for v := 4; v < 10; v++ {
+		roleB[v] = true
+	}
+	colors := make([]int64, g.M())
+	for e := range colors {
+		colors[e] = -1
+	}
+	res, err := Merge(sim.Sequential, MergeSpec{
+		G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: 6, Palette: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assigned != g.M() {
+		t.Fatalf("assigned %d of %d edges", res.Assigned, g.M())
+	}
+	if err := verify.EdgeColoring(g, colors, 9); err != nil {
+		t.Fatal(err)
+	}
+	// 2D+2 round schedule.
+	if res.Stats.Rounds > 2*6+2 {
+		t.Fatalf("merge took %d rounds, bound %d", res.Stats.Rounds, 2*6+2)
+	}
+}
+
+func TestMergeRespectsPrecoloredEdges(t *testing.T) {
+	// Path A-B with an A-internal precolored edge: 0-1 (A,A) colored 0;
+	// 1-2 crossing; 2 in B.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	colors := []int64{0, -1}
+	roleA := []bool{true, true, false}
+	roleB := []bool{false, false, true}
+	_, err := Merge(sim.Sequential, MergeSpec{
+		G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: 1, Palette: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colors[1] == 0 {
+		t.Fatal("crossing edge reused the A-internal color at the shared vertex")
+	}
+	if colors[1] < 0 || colors[1] >= 4 {
+		t.Fatalf("crossing color %d out of palette", colors[1])
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	g := graph.Path(3)
+	col := []int64{-1, -1}
+	both := []bool{true, true, true}
+	if _, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: both, RoleB: both, EdgeColors: col, D: 1, Palette: 3}); err == nil {
+		t.Fatal("expected both-roles error")
+	}
+	if _, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: []bool{true}, RoleB: both, EdgeColors: col, D: 1, Palette: 3}); err == nil {
+		t.Fatal("expected role length error")
+	}
+	if _, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: make([]bool, 3), RoleB: make([]bool, 3), EdgeColors: []int64{0}, D: 1, Palette: 3}); err == nil {
+		t.Fatal("expected edge color length error")
+	}
+}
+
+func TestMergeDegreeBoundViolation(t *testing.T) {
+	// A-vertex with 3 crossing edges but D=2 must error cleanly.
+	g := graph.Star(4)
+	roleA := []bool{true, false, false, false}
+	roleB := []bool{false, true, true, true}
+	colors := []int64{-1, -1, -1}
+	_, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: 2, Palette: 10})
+	if err == nil {
+		t.Fatal("expected crossing-degree error")
+	}
+}
+
+func TestColorHPartition(t *testing.T) {
+	g, a := bounded(t, 500, 3, 200, 3)
+	res, err := ColorHPartition(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.EdgeColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 5.2: Δ + O(a) colors — exactly Δ + 3θ − 2 with θ = ⌈q·a⌉.
+	want := Palette52(g.MaxDegree(), a, 3)
+	if res.Palette != want {
+		t.Fatalf("palette %d, want %d", res.Palette, want)
+	}
+	// Sanity: far below the greedy 2Δ−1 when a ≪ Δ.
+	if res.Palette >= int64(2*g.MaxDegree()-1) {
+		t.Fatalf("palette %d not better than 2Δ−1 = %d", res.Palette, 2*g.MaxDegree()-1)
+	}
+}
+
+func TestColorHPartitionOnConstantArboricity(t *testing.T) {
+	for name, tc := range map[string]struct {
+		g *graph.Graph
+		a int
+	}{
+		"grid": {gen.Grid(20, 25), 2},
+		"tree": {gen.Tree(300, 5), 1},
+	} {
+		res, err := ColorHPartition(tc.g, tc.a, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := verify.EdgeColoring(tc.g, res.Colors, res.Palette); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestColorSqrt(t *testing.T) {
+	g, a := bounded(t, 600, 2, 250, 11)
+	res, err := ColorSqrt(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.EdgeColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	if want := Palette53(g.MaxDegree(), a, 3); res.Palette != want {
+		t.Fatalf("palette %d, want declared %d", res.Palette, want)
+	}
+}
+
+func TestColorSqrtBeatsGreedyAtScale(t *testing.T) {
+	// The Δ+O(√(Δa)) bound only dominates 2Δ−1 once the additive O(√(Δa))
+	// term is genuinely sublinear: use a single tree plus a large hub
+	// (arboricity bound 2, Δ ≈ 4000) and the paper's lean q = 2+ε.
+	g, a := bounded(t, 4500, 1, 4000, 11)
+	res, err := ColorSqrt(g, a, Options{Q: 2.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.EdgeColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	delta := int64(g.MaxDegree())
+	if res.Palette >= 2*delta-1 {
+		t.Fatalf("palette %d not sublinear vs 2Δ−1=%d", res.Palette, 2*delta-1)
+	}
+}
+
+func TestColorRecursive(t *testing.T) {
+	g, a := bounded(t, 500, 2, 180, 13)
+	for _, x := range []int{1, 2, 3} {
+		res, err := ColorRecursive(g, a, x, Options{})
+		if err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		if err := verify.EdgeColoring(g, res.Colors, res.Palette); err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		if want := Palette54(g.MaxDegree(), a, 3, x); res.Palette > want {
+			t.Fatalf("x=%d: palette %d exceeds declared %d", x, res.Palette, want)
+		}
+	}
+}
+
+func TestColorRecursiveValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ColorRecursive(g, 1, 0, Options{}); err == nil {
+		t.Fatal("expected x<1 error")
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	g := graph.NewBuilder(5).MustBuild()
+	if res, err := ColorHPartition(g, 1, Options{}); err != nil || res.Palette != 1 {
+		t.Fatal("empty 5.2 failed")
+	}
+	if res, err := ColorSqrt(g, 1, Options{}); err != nil || res.Palette != 1 {
+		t.Fatal("empty 5.3 failed")
+	}
+	if res, err := ColorRecursive(g, 1, 2, Options{}); err != nil || res.Palette != 1 {
+		t.Fatal("empty 5.4 failed")
+	}
+}
+
+func TestDeclaredDeltaValidation(t *testing.T) {
+	g := graph.Complete(6)
+	if _, err := ColorHPartition(g, 3, Options{DeclaredDelta: 2}); err == nil {
+		t.Fatal("expected declared<actual error")
+	}
+}
+
+func TestAdaptivePicksSmallPalette(t *testing.T) {
+	g, a := bounded(t, 600, 2, 250, 17)
+	res, plan, err := ColorAdaptive(g, a, Options{})
+	if err != nil {
+		t.Fatalf("plan %s: %v", plan.Name, err)
+	}
+	if err := verify.EdgeColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	// The adaptive choice must be at least as good as both fixed choices.
+	if res.Palette > Palette52(g.MaxDegree(), a, 3) || res.Palette > Palette53(g.MaxDegree(), a, 3) {
+		t.Fatalf("adaptive palette %d worse than fixed plans", res.Palette)
+	}
+	// Corollary 5.5 regime: comfortably below 2Δ−1 and within 2Δ of Δ.
+	delta := int64(g.MaxDegree())
+	if res.Palette >= 2*delta-1 {
+		t.Fatalf("adaptive palette %d has no advantage (Δ=%d)", res.Palette, delta)
+	}
+}
+
+func TestPlansEnumerate(t *testing.T) {
+	plans := Plans(1000, 2)
+	if len(plans) < 3 {
+		t.Fatalf("expected several plans, got %d", len(plans))
+	}
+	seen := map[string]bool{}
+	for _, p := range plans {
+		if seen[p.Name] {
+			t.Fatalf("duplicate plan %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Palette < 1 {
+			t.Fatalf("plan %s has invalid palette %d", p.Name, p.Palette)
+		}
+	}
+	if !seen["thm5.2"] || !seen["thm5.3"] {
+		t.Fatal("fixed plans missing")
+	}
+}
+
+func TestPalette53BeatsNaiveForBigGap(t *testing.T) {
+	// For a ≪ Δ the 5.3 palette must be Δ + o(Δ): check the additive term
+	// shrinks relative to Δ as Δ grows with a fixed.
+	a := 2
+	prevRatio := 10.0
+	for _, delta := range []int{100, 1000, 10000, 100000} {
+		p := Palette53(delta, a, 3)
+		ratio := float64(p-int64(delta)) / float64(delta)
+		if ratio >= prevRatio {
+			t.Fatalf("Δ=%d: o(Δ) term ratio %.3f did not shrink (prev %.3f)", delta, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio > 0.2 {
+		t.Fatalf("at Δ=100000, a=2 the extra colors are %.1f%% of Δ — not o(Δ)", prevRatio*100)
+	}
+}
+
+func TestMergeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.GNP(24, 0.3, seed)
+		// Random bipartition: A = even, B = odd vertices; crossing edges
+		// uncolored; D = max crossing degree of A side.
+		roleA := make([]bool, g.N())
+		roleB := make([]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			if v%2 == 0 {
+				roleA[v] = true
+			} else {
+				roleB[v] = true
+			}
+		}
+		colors := make([]int64, g.M())
+		crossing := 0
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(e)
+			if roleA[u] != roleA[v] {
+				colors[e] = -1
+				crossing++
+			} else {
+				colors[e] = int64(100 + e) // pre-colored, distinct, out of palette
+			}
+		}
+		d := 0
+		for v := 0; v < g.N(); v++ {
+			if !roleA[v] {
+				continue
+			}
+			cnt := 0
+			for _, a := range g.Adj(v) {
+				if colors[a.Edge] < 0 {
+					cnt++
+				}
+			}
+			if cnt > d {
+				d = cnt
+			}
+		}
+		palette := int64(g.MaxDegree() + d + 1)
+		res, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: d, Palette: palette})
+		if err != nil {
+			return false
+		}
+		if res.Assigned != crossing {
+			return false
+		}
+		// Properness among crossing + precolored: crossing colors are
+		// < palette and distinct per vertex from everything.
+		return verify.EdgeColoring(g, colors, 100+int64(g.M())) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnginesAgreeOnThm52(t *testing.T) {
+	g, a := bounded(t, 200, 2, 80, 23)
+	r1, err := ColorHPartition(g, a, Options{Exec: sim.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ColorHPartition(g, a, Options{Exec: sim.Parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range r1.Colors {
+		if r1.Colors[e] != r2.Colors[e] {
+			t.Fatal("engines disagree")
+		}
+	}
+}

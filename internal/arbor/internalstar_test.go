@@ -1,0 +1,48 @@
+package arbor
+
+import (
+	"testing"
+
+	"repro/internal/verify"
+)
+
+func TestInternalStarOption(t *testing.T) {
+	g, a := bounded(t, 500, 3, 200, 31)
+	plain, err := ColorHPartition(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ColorHPartition(g, a, Options{InternalStar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.EdgeColoring(g, fast.Colors, fast.Palette); err != nil {
+		t.Fatal(err)
+	}
+	// Palette grows exactly as declared: internal block 4θ vs 2θ−1.
+	if fast.Palette != Palette52Star(g.MaxDegree(), a, 3) {
+		t.Fatalf("star-internal palette %d, want %d", fast.Palette, Palette52Star(g.MaxDegree(), a, 3))
+	}
+	if fast.Palette <= plain.Palette {
+		t.Fatalf("star-internal palette %d should exceed plain %d", fast.Palette, plain.Palette)
+	}
+	// The paper's claim is a speedup in the internal stage; with θ this
+	// small the effect is modest, so only sanity-check the runs completed
+	// and both are proper.
+	if err := verify.EdgeColoring(g, plain.Colors, plain.Palette); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternalStarFallbackOnTinyTheta(t *testing.T) {
+	// θ small enough that the star partition degenerates: the option must
+	// silently fall back to the black box and still succeed.
+	g, a := bounded(t, 200, 1, 80, 5)
+	res, err := ColorHPartition(g, a, Options{InternalStar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.EdgeColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package arbor
+
+import (
+	"fmt"
+
+	"repro/internal/connector"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/util"
+)
+
+// ceilRoot returns the smallest r ≥ 1 with r^k ≥ n.
+func ceilRoot(n, k int) int {
+	if n <= 1 {
+		return 1
+	}
+	r := util.IRoot(n, k)
+	if util.IPow(r, k) < n {
+		r++
+	}
+	return r
+}
+
+// Groups54 returns the Theorem 5.4 group sizes ⌈Δ^{1/x}⌉+1 and ⌈θ^{1/x}⌉+1.
+func Groups54(delta, theta, x int) (inGroup, outGroup int) {
+	return ceilRoot(delta, x) + 1, ceilRoot(theta, x) + 1
+}
+
+// Palette54 is the declared palette of ColorRecursive: the product of the
+// per-level bipartite-connector palettes (inGroup+outGroup−1 each) and the
+// Theorem 5.2 palette of the final classes.
+func Palette54(delta, a int, q float64, x int) int64 {
+	theta := Threshold(a, q)
+	inG, outG := Groups54(delta, theta, x)
+	return palette54Rec(delta, theta, inG, outG, x, q)
+}
+
+func palette54Rec(dDelta, dTheta, inG, outG, lvl int, q float64) int64 {
+	if lvl <= 1 {
+		return Palette52(dDelta, util.Max(1, dTheta), q)
+	}
+	next := int64(inG + outG - 1)
+	return next * palette54Rec(nextDelta(dDelta, dTheta, inG, outG), util.CeilDiv(dTheta, outG), inG, outG, lvl-1, q)
+}
+
+func nextDelta(dDelta, dTheta, inG, outG int) int {
+	return util.CeilDiv(dDelta, inG) + util.CeilDiv(dTheta, outG)
+}
+
+// ColorRecursive implements Theorem 5.4: x−1 levels of bipartite
+// orientation connectors — each colored with the Lemma 5.1 procedure in
+// O(θ^{1/x}) rounds — followed by Theorem 5.2 on the final classes, for a
+// total of ≈ (Δ^{1/x} + (q·a)^{1/x} + 3)^x colors.
+func ColorRecursive(g *graph.Graph, a, x int, opt Options) (*Result, error) {
+	if x < 1 {
+		return nil, fmt.Errorf("arbor: recursion depth x=%d < 1", x)
+	}
+	if g.M() == 0 {
+		return &Result{Colors: make([]int64, 0), Palette: 1}, nil
+	}
+	if x == 1 {
+		return ColorHPartition(g, a, opt)
+	}
+	q := opt.q()
+	theta := Threshold(a, q)
+	delta := g.MaxDegree()
+	if opt.DeclaredDelta > 0 {
+		if opt.DeclaredDelta < delta {
+			return nil, fmt.Errorf("arbor: declared Δ=%d below actual %d", opt.DeclaredDelta, delta)
+		}
+		delta = opt.DeclaredDelta
+	}
+	hp, err := HPartition(opt.Exec, g, theta)
+	if err != nil {
+		return nil, err
+	}
+	inG, outG := Groups54(delta, theta, x)
+	colors, stats, err := rec54(g, hp.Orient, delta, theta, inG, outG, x, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Colors:    colors,
+		Palette:   palette54Rec(delta, theta, inG, outG, x, q),
+		Stats:     hp.Stats.Seq(stats),
+		Parts:     hp.NumParts,
+		Threshold: theta,
+	}, nil
+}
+
+// rec54 colors the current level's subgraph. dDelta and dTheta are the
+// declared degree and out-degree bounds (actuals never exceed them).
+func rec54(g *graph.Graph, orient *graph.Orientation, dDelta, dTheta, inG, outG, lvl int, opt Options) ([]int64, sim.Stats, error) {
+	q := opt.q()
+	if g.M() == 0 {
+		return make([]int64, 0), sim.Stats{}, nil
+	}
+	if lvl == 1 {
+		res, err := ColorHPartition(g, util.Max(1, dTheta), Options{
+			Exec: opt.Exec, VC: opt.VC, Q: opt.Q, DeclaredDelta: dDelta,
+		})
+		if err != nil {
+			return nil, sim.Stats{}, fmt.Errorf("arbor: final classes: %w", err)
+		}
+		return res.Colors, res.Stats, nil
+	}
+
+	vg, err := connector.BipartiteOrientation(orient, inG, outG)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	stats := vg.Stats
+	// Color the bipartite connector with the Lemma 5.1 procedure: A = the
+	// out-virtual side (degree ≤ outG), B = the in-virtual side (degree ≤
+	// inG); palette inG+outG−1 always suffices.
+	roleA := make([]bool, vg.G.N())
+	roleB := make([]bool, vg.G.N())
+	for v := 0; v < vg.G.N(); v++ {
+		if vg.InSide[v] {
+			roleB[v] = true
+		} else {
+			roleA[v] = true
+		}
+	}
+	connColors := make([]int64, vg.G.M())
+	for e := range connColors {
+		connColors[e] = -1
+	}
+	connPal := int64(inG + outG - 1)
+	mr, err := Merge(opt.Exec, MergeSpec{
+		G:          vg.G,
+		RoleA:      roleA,
+		RoleB:      roleB,
+		EdgeColors: connColors,
+		D:          outG,
+		Palette:    connPal,
+	})
+	if err != nil {
+		return nil, sim.Stats{}, fmt.Errorf("arbor: level %d connector: %w", lvl, err)
+	}
+	stats = stats.Seq(mr.Stats)
+	phi := make([]int64, g.M())
+	for ce := 0; ce < vg.G.M(); ce++ {
+		phi[vg.EOrig[ce]] = connColors[ce]
+	}
+
+	// Split into classes and recurse.
+	dDeltaNext := nextDelta(dDelta, dTheta, inG, outG)
+	dThetaNext := util.CeilDiv(dTheta, outG)
+	subPal := palette54Rec(dDeltaNext, dThetaNext, inG, outG, lvl-1, q)
+	colors := make([]int64, g.M())
+	var classStats []sim.Stats
+	for c := int64(0); c < connPal; c++ {
+		sub, err := graph.SpanningSubgraph(g, func(e int) bool { return phi[e] == c })
+		if err != nil {
+			return nil, sim.Stats{}, err
+		}
+		if sub.G.M() == 0 {
+			continue
+		}
+		if sub.G.MaxDegree() > dDeltaNext {
+			return nil, sim.Stats{}, fmt.Errorf("arbor: internal: level-%d class degree %d exceeds declared %d", lvl, sub.G.MaxDegree(), dDeltaNext)
+		}
+		subOrient, err := RestrictOrientation(orient, sub)
+		if err != nil {
+			return nil, sim.Stats{}, err
+		}
+		psi, st, err := rec54(sub.G, subOrient, dDeltaNext, dThetaNext, inG, outG, lvl-1, opt)
+		if err != nil {
+			return nil, sim.Stats{}, err
+		}
+		classStats = append(classStats, st)
+		for e := 0; e < sub.G.M(); e++ {
+			orig := sub.OrigEdge(e)
+			colors[orig] = phi[orig]*subPal + psi[e]
+		}
+	}
+	return colors, stats.Seq(sim.ParAll(classStats)), nil
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/vc"
+	"repro/internal/verify"
+)
+
+func TestBE08EdgeColor(t *testing.T) {
+	g, err := gen.ForestUnionHub(400, 2, 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BE08EdgeColor(g, 3, vc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Palette != int64(2*g.MaxDegree()-1) {
+		t.Fatalf("palette %d, want 2Δ−1 = %d", res.Palette, 2*g.MaxDegree()-1)
+	}
+	if err := verify.EdgeColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts < 2 {
+		t.Fatalf("expected multiple H-parts, got %d", res.Parts)
+	}
+}
+
+func TestBE08OnConstantArboricity(t *testing.T) {
+	for name, tc := range map[string]struct {
+		g *graph.Graph
+		a int
+	}{
+		"grid": {gen.Grid(15, 20), 2},
+		"tree": {gen.Tree(250, 3), 1},
+	} {
+		res, err := BE08EdgeColor(tc.g, tc.a, vc.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := verify.EdgeColoring(tc.g, res.Colors, res.Palette); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBE08FasterThanLineGraphBaselineOnSparse(t *testing.T) {
+	// The point of [4]: on sparse graphs the rounds should be far below the
+	// Θ(Δ log Δ) of the classical line-graph pipeline.
+	g, err := gen.ForestUnionHub(600, 2, 250, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be08, err := BE08EdgeColor(g, 3, vc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := TwoDeltaMinusOne(g, vc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be08.Stats.Rounds >= classic.Stats.Rounds {
+		t.Fatalf("BE08 rounds %d not below classic %d on a sparse graph", be08.Stats.Rounds, classic.Stats.Rounds)
+	}
+	if be08.Palette != classic.Palette {
+		t.Fatalf("both should use 2Δ−1: %d vs %d", be08.Palette, classic.Palette)
+	}
+}
+
+func TestBE08Empty(t *testing.T) {
+	g := graph.NewBuilder(3).MustBuild()
+	res, err := BE08EdgeColor(g, 1, vc.Options{})
+	if err != nil || res.Palette != 1 {
+		t.Fatal("empty graph failed")
+	}
+}

@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"repro/internal/arbor"
+	"repro/internal/graph"
+)
+
+// Thin indirections keep the arbor dependency in one place and give the
+// harness a uniform signature set.
+
+func arborColorHPartition(g *graph.Graph, a int) (*arbor.Result, error) {
+	return arbor.ColorHPartition(g, a, arbor.Options{})
+}
+
+func arborColorSqrt(g *graph.Graph, a int) (*arbor.Result, error) {
+	return arbor.ColorSqrt(g, a, arbor.Options{})
+}
+
+func arborColorRecursive(g *graph.Graph, a, x int) (*arbor.Result, error) {
+	return arbor.ColorRecursive(g, a, x, arbor.Options{})
+}
+
+func arborColorAdaptive(g *graph.Graph, a int) (*arbor.Result, arbor.Plan, error) {
+	res, plan, err := arbor.ColorAdaptive(g, a, arbor.Options{})
+	return res, plan, err
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Row(t *testing.T) {
+	row, err := RunTable1Row(256, 16, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Color relationships of Table 1: ours ≤ 4Δ < baseline bound; both use
+	// more colors than the classical 2Δ−1 but fewer rounds asymptotically.
+	if row.Ours.Colors > int64(4*row.Delta) {
+		t.Fatalf("ours colors %d > 4Δ", row.Ours.Colors)
+	}
+	if row.Ours.Rounds <= 0 || row.Previous.Rounds <= 0 {
+		t.Fatal("missing rounds")
+	}
+	if row.Greedy.Rounds != 0 {
+		t.Fatal("greedy must report zero rounds")
+	}
+	if row.Greedy.Used > 2*row.Delta-1 {
+		t.Fatal("greedy used too many colors")
+	}
+}
+
+func TestRunTable2Row(t *testing.T) {
+	row, err := RunTable2Row(50, 3, 90, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.D > 3 {
+		t.Fatalf("diversity %d > rank", row.D)
+	}
+	bound := int64(row.D) * int64(row.D) * int64(row.S)
+	if row.Ours.Colors > bound {
+		t.Fatalf("cd colors %d > D²S = %d", row.Ours.Colors, bound)
+	}
+}
+
+func TestRunSparseRow(t *testing.T) {
+	row, err := RunSparseRow(400, 2, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Rows) != 6 {
+		t.Fatalf("expected 6 measurements (incl. both 2Δ−1 baselines), got %d", len(row.Rows))
+	}
+	var thm52, twoDelta *Measurement
+	for i := range row.Rows {
+		switch row.Rows[i].Algorithm {
+		case "thm5.2":
+			thm52 = &row.Rows[i]
+		case "2Δ−1/line":
+			twoDelta = &row.Rows[i]
+		}
+	}
+	if thm52 == nil || twoDelta == nil {
+		t.Fatal("expected thm5.2 and 2Δ−1/line rows")
+	}
+	// Theorem 5.2's whole point: fewer colors than 2Δ−1 when a ≪ Δ.
+	if thm52.Colors >= twoDelta.Colors {
+		t.Fatalf("thm5.2 palette %d not below 2Δ−1 %d", thm52.Colors, twoDelta.Colors)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	// y = x² exactly.
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{4, 16, 64, 256}
+	if s := FitSlope(xs, ys); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("slope %f, want 2", s)
+	}
+	if !math.IsNaN(FitSlope([]float64{1}, []float64{1})) {
+		t.Fatal("short input should give NaN")
+	}
+	if !math.IsNaN(FitSlope([]float64{1, 1}, []float64{2, 3})) {
+		t.Fatal("degenerate x should give NaN")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderTable(&buf, "Demo", []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "a", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	g, err := Workload(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > 16 || g.N() != 128 {
+		t.Fatalf("workload shape wrong: n=%d Δ=%d", g.N(), g.MaxDegree())
+	}
+}

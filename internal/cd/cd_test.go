@@ -1,0 +1,274 @@
+package cd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cliques"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/util"
+	"repro/internal/verify"
+)
+
+// lineInstance builds the canonical diversity-2 instance: a line graph of a
+// random graph with its star cover.
+func lineInstance(t *testing.T, seed int64, n int, p float64) (*graph.Graph, *cliques.Cover) {
+	t.Helper()
+	g := gen.GNP(n, p, seed)
+	lg := graph.LineGraph(g)
+	cov, err := cliques.FromLineGraph(lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg.L, cov
+}
+
+// hyperInstance builds a diversity-c instance from a c-uniform hypergraph.
+func hyperInstance(t *testing.T, seed int64, nv, rank, ne int) (*graph.Graph, *cliques.Cover) {
+	t.Helper()
+	h, err := gen.UniformHypergraph(nv, rank, ne, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := h.LineGraph()
+	var lists [][]int32
+	for _, cl := range lg.Cliques {
+		if len(cl) >= 2 {
+			lists = append(lists, cl)
+		}
+	}
+	cov, err := cliques.NewCover(lg.L, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg.L, cov
+}
+
+func TestColorLineGraphX1(t *testing.T) {
+	g, cov := lineInstance(t, 3, 30, 0.25)
+	d, s := cov.Diversity(), cov.MaxCliqueSize()
+	res, err := Color(g, cov, ChooseT(s, 1), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 3.2: palette ≤ D²·S.
+	bound := int64(d) * int64(d) * int64(s)
+	if res.Palette > bound {
+		t.Fatalf("palette %d exceeds D²S = %d", res.Palette, bound)
+	}
+	if res.Stats.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestColorDepths(t *testing.T) {
+	g, cov := lineInstance(t, 7, 40, 0.2)
+	d, s := cov.Diversity(), cov.MaxCliqueSize()
+	for x := 0; x <= 3; x++ {
+		res, err := Color(g, cov, ChooseT(s, x), x, Options{})
+		if err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		bound := int64(s)
+		for i := 0; i <= x; i++ {
+			bound *= int64(d)
+		}
+		if res.Palette > bound {
+			t.Fatalf("x=%d: palette %d exceeds D^%d·S = %d", x, res.Palette, x+1, bound)
+		}
+	}
+}
+
+func TestColorHypergraphDiversity3(t *testing.T) {
+	g, cov := hyperInstance(t, 11, 60, 3, 90)
+	d, s := cov.Diversity(), cov.MaxCliqueSize()
+	if d > 3 {
+		t.Fatalf("hypergraph line cover diversity %d > rank 3", d)
+	}
+	for x := 1; x <= 2; x++ {
+		res, err := Color(g, cov, ChooseT(s, x), x, Options{})
+		if err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		bound := int64(s)
+		for i := 0; i <= x; i++ {
+			bound *= int64(d)
+		}
+		if res.Palette > bound {
+			t.Fatalf("x=%d: palette %d exceeds bound %d", x, res.Palette, bound)
+		}
+	}
+}
+
+func TestColorGeneralCoverGraph(t *testing.T) {
+	g, lists, err := gen.BoundedDiversityCliqueGraph(120, 50, 8, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := cliques.NewCover(g, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Color(g, cov, ChooseT(cov.MaxCliqueSize(), 1), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorWithExternalSeed(t *testing.T) {
+	g, cov := lineInstance(t, 5, 30, 0.3)
+	// Precompute a seed as the façade would and pass it down: same palette
+	// guarantee, fewer rounds than recomputing per level.
+	pre, err := Color(g, cov, 2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Color(g, cov, 2, 1, Options{Seed: pre.Colors, SeedPalette: pre.Palette})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorSeedLengthValidated(t *testing.T) {
+	g, cov := lineInstance(t, 5, 20, 0.3)
+	if _, err := Color(g, cov, 2, 1, Options{Seed: []int64{0}, SeedPalette: 5}); err == nil {
+		t.Fatal("expected seed length error")
+	}
+}
+
+func TestColorParameterValidation(t *testing.T) {
+	g, cov := lineInstance(t, 5, 20, 0.3)
+	if _, err := Color(g, cov, 1, 1, Options{}); err == nil {
+		t.Fatal("expected t<2 error")
+	}
+	if _, err := Color(g, cov, 2, -1, Options{}); err == nil {
+		t.Fatal("expected x<0 error")
+	}
+}
+
+func TestColorEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(7).MustBuild()
+	cov, err := cliques.NewCover(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Color(g, cov, 2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Palette != 1 {
+		t.Fatalf("edgeless palette %d", res.Palette)
+	}
+}
+
+func TestChooseT(t *testing.T) {
+	if ChooseT(100, 1) != 10 {
+		t.Fatalf("ChooseT(100,1) = %d, want 10", ChooseT(100, 1))
+	}
+	if ChooseT(100, 2) != util.Max(2, util.IRoot(100, 3)) {
+		t.Fatal("ChooseT(100,2) wrong")
+	}
+	if ChooseT(3, 5) != 2 {
+		t.Fatal("ChooseT must clamp to 2")
+	}
+	if ChooseT(1, 1) != 2 {
+		t.Fatal("ChooseT must clamp degenerate S")
+	}
+}
+
+func TestDeclaredPalette(t *testing.T) {
+	// x=0: direct formula.
+	if DeclaredPalette(2, 10, 3, 0) != 19 {
+		t.Fatalf("got %d", DeclaredPalette(2, 10, 3, 0))
+	}
+	// x=1: γ=2(3−1)+1=5 times P(⌈10/3⌉=4, 0) = 2·3+1 = 7 → 35.
+	if DeclaredPalette(2, 10, 3, 1) != 35 {
+		t.Fatalf("got %d", DeclaredPalette(2, 10, 3, 1))
+	}
+}
+
+func TestTrimAblation(t *testing.T) {
+	g, cov := lineInstance(t, 13, 35, 0.3)
+	s := cov.MaxCliqueSize()
+	// Pick parameters that force declared > bound so the trim matters:
+	// large t at x=1 gives declared ≈ (D(t−1)+1)(D(⌈s/t⌉−1)+1).
+	tt := util.Max(2, s-1)
+	with, err := Color(g, cov, tt, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Color(g, cov, tt, 1, Options{SkipTrim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, without.Colors, without.Declared); err != nil {
+		t.Fatal(err)
+	}
+	if with.Palette > with.Bound {
+		t.Fatalf("trimmed palette %d above bound %d", with.Palette, with.Bound)
+	}
+	if without.Declared > without.Bound && without.Palette <= without.Bound {
+		t.Fatal("SkipTrim should leave the declared palette")
+	}
+}
+
+func TestColorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.GNP(18, 0.3, seed)
+		lg := graph.LineGraph(g)
+		cov, err := cliques.FromLineGraph(lg)
+		if err != nil {
+			return false
+		}
+		if cov.MaxCliqueSize() < 2 {
+			return true
+		}
+		res, err := Color(lg.L, cov, 2, 1, Options{})
+		if err != nil {
+			return false
+		}
+		d, s := cov.Diversity(), cov.MaxCliqueSize()
+		bound := int64(d) * int64(d) * int64(s)
+		return verify.VertexColoring(lg.L, res.Colors, res.Palette) == nil && res.Palette <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnginesAgreeOnCD(t *testing.T) {
+	g, cov := lineInstance(t, 21, 25, 0.3)
+	r1, err := Color(g, cov, 2, 1, Options{Exec: sim.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Color(g, cov, 2, 1, Options{Exec: sim.Parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Colors {
+		if r1.Colors[v] != r2.Colors[v] {
+			t.Fatal("engines disagree")
+		}
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatal("stats disagree")
+	}
+}

@@ -1,0 +1,159 @@
+package cd
+
+import (
+	"fmt"
+
+	"repro/internal/cliques"
+	"repro/internal/connector"
+	"repro/internal/graph"
+	"repro/internal/linial"
+	"repro/internal/sim"
+	"repro/internal/util"
+	"repro/internal/vc"
+)
+
+// Decomposition is a (p, q)-clique-decomposition per §2: a partition of the
+// vertex set into Parts classes such that every clique of the cover,
+// restricted to one class, has at most CliqueBound vertices.
+type Decomposition struct {
+	// Class assigns each vertex its class index in [0, Parts).
+	Class []int64
+	// Parts is p ≤ (t·D)^x.
+	Parts int64
+	// CliqueBound is the guaranteed q ≤ S/tˣ + 2 (Theorem 2.4).
+	CliqueBound int
+	Stats       sim.Stats
+}
+
+// Decompose computes the ((t·D)^x, S/tˣ+2)-clique-decomposition of
+// Theorem 2.4 by running x levels of clique connectors (the first x levels
+// of Algorithm 1, without the final coloring stage).
+func Decompose(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Decomposition, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("cd: parameter t=%d < 2", t)
+	}
+	if x < 1 {
+		return nil, fmt.Errorf("cd: depth x=%d < 1", x)
+	}
+	d := cover.Diversity()
+	s := cover.MaxCliqueSize()
+	if d == 0 || s < 2 {
+		if g.M() > 0 {
+			return nil, fmt.Errorf("cd: cover has no cliques but graph has %d edges", g.M())
+		}
+		return &Decomposition{Class: make([]int64, g.N()), Parts: 1, CliqueBound: 1}, nil
+	}
+	var stats sim.Stats
+	seed, seedPalette := opt.Seed, opt.SeedPalette
+	if seed == nil {
+		lin, err := linial.Reduce(opt.Exec, sim.NewTopology(g), int64(g.N()))
+		if err != nil {
+			return nil, fmt.Errorf("cd: decompose seed: %w", err)
+		}
+		seed, seedPalette = lin.Colors, lin.Palette
+		stats = stats.Seq(lin.Stats)
+	}
+	ids := make([]int64, g.N())
+	for v := range ids {
+		ids[v] = int64(v)
+	}
+	class, parts, recStats, err := decomposeRec(g, ids, seed, seedPalette, cover, d, s, t, x, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Theorem 2.4's clique bound: the declared shrinkage chain.
+	bound := s
+	for i := 0; i < x; i++ {
+		bound = util.CeilDiv(bound, t)
+	}
+	return &Decomposition{
+		Class:       class,
+		Parts:       parts,
+		CliqueBound: bound,
+		Stats:       stats.Seq(recStats),
+	}, nil
+}
+
+// decomposeRec returns per-vertex class indices in [0, parts).
+func decomposeRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliques.Cover, d, s, t, x int, opt Options) ([]int64, int64, sim.Stats, error) {
+	gamma := int64(d*(t-1) + 1)
+	if g.M() == 0 {
+		// All classes collapse to 0; parts bookkeeping still multiplies so
+		// sibling subgraphs agree on the class space.
+		parts := int64(1)
+		for i := 0; i < x; i++ {
+			parts *= gamma
+		}
+		return make([]int64, g.N()), parts, sim.Stats{}, nil
+	}
+	cc, err := connector.Clique(g, cover, t)
+	if err != nil {
+		return nil, 0, sim.Stats{}, err
+	}
+	stats := cc.Stats
+	connTopo := &sim.Topology{G: cc.Sub.G, IDs: ids, Labels: seed}
+	phi, err := vc.Target(connTopo, seedPalette, gamma, opt.VC)
+	if err != nil {
+		return nil, 0, sim.Stats{}, fmt.Errorf("cd: decompose connector: %w", err)
+	}
+	stats = stats.Seq(phi.Stats)
+	if x == 1 {
+		return phi.Colors, gamma, stats, nil
+	}
+
+	k := util.CeilDiv(s, t)
+	classes := make([][]int, gamma)
+	for v := 0; v < g.N(); v++ {
+		classes[phi.Colors[v]] = append(classes[phi.Colors[v]], v)
+	}
+	out := make([]int64, g.N())
+	var subParts int64
+	var classStats []sim.Stats
+	for _, members := range classes {
+		if len(members) == 0 {
+			continue
+		}
+		sub, err := graph.InducedSubgraph(g, members)
+		if err != nil {
+			return nil, 0, sim.Stats{}, err
+		}
+		subIDs := make([]int64, len(members))
+		subSeed := make([]int64, len(members))
+		for w := range members {
+			subIDs[w] = ids[sub.OrigVertex(w)]
+			subSeed[w] = seed[sub.OrigVertex(w)]
+		}
+		subClass, sp, st, err := decomposeRec(sub.G, subIDs, subSeed, seedPalette, cover.Restrict(sub), d, k, t, x-1, opt)
+		if err != nil {
+			return nil, 0, sim.Stats{}, err
+		}
+		subParts = sp
+		classStats = append(classStats, st)
+		for w, v := range members {
+			out[v] = phi.Colors[v]*sp + subClass[w]
+		}
+	}
+	return out, gamma * subParts, stats.Seq(sim.ParAll(classStats)), nil
+}
+
+// VerifyDecomposition checks the defining property against the cover: each
+// cover clique restricted to any one class has at most bound vertices.
+func VerifyDecomposition(cover *cliques.Cover, dec *Decomposition) error {
+	for qi, cl := range cover.Cliques {
+		counts := make(map[int64]int)
+		for _, v := range cl {
+			counts[dec.Class[v]]++
+		}
+		for class, cnt := range counts {
+			if cnt > dec.CliqueBound {
+				return fmt.Errorf("cd: clique %d has %d vertices in class %d, bound %d", qi, cnt, class, dec.CliqueBound)
+			}
+		}
+	}
+	for _, c := range dec.Class {
+		if c < 0 || c >= dec.Parts {
+			return fmt.Errorf("cd: class %d outside [0,%d)", c, dec.Parts)
+		}
+	}
+	return nil
+}

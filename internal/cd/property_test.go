@@ -1,0 +1,75 @@
+package cd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cliques"
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// TestColorArbitraryCoversQuick drives CD-Coloring over randomly drawn
+// covers (not just line graphs): random clique unions with random diversity
+// and clique-size targets, random t and x. The Theorem 3.2/3.3 bound must
+// hold for every draw.
+func TestColorArbitraryCoversQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(60)
+		nc := 10 + rng.Intn(30)
+		cs := 3 + rng.Intn(6) // clique size target
+		dv := 2 + rng.Intn(3) // diversity target
+		g, lists, err := gen.BoundedDiversityCliqueGraph(n, nc, cs, dv, seed)
+		if err != nil || len(lists) == 0 {
+			return err == nil
+		}
+		cov, err := cliques.NewCover(g, lists)
+		if err != nil {
+			return false
+		}
+		d, s := cov.Diversity(), cov.MaxCliqueSize()
+		if d == 0 || s < 2 {
+			return true
+		}
+		x := 1 + rng.Intn(2)
+		tt := 2 + rng.Intn(3)
+		res, err := Color(g, cov, tt, x, Options{})
+		if err != nil {
+			return false
+		}
+		bound := int64(s)
+		for i := 0; i <= x; i++ {
+			bound *= int64(d)
+		}
+		return verify.VertexColoring(g, res.Colors, res.Palette) == nil && res.Palette <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColorSchedulingIndependence proves CD-Coloring's engine-order
+// independence (its recursion shares no cross-machine state, but the proof
+// is cheap and binding).
+func TestColorSchedulingIndependence(t *testing.T) {
+	g, cov := lineInstance(t, 29, 30, 0.3)
+	fwd, err := Color(g, cov, 3, 2, Options{Exec: sim.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Color(g, cov, 3, 2, Options{Exec: sim.ReverseSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range fwd.Colors {
+		if fwd.Colors[v] != rev.Colors[v] {
+			t.Fatalf("vertex %d differs under reverse scheduling", v)
+		}
+	}
+	if fwd.Stats != rev.Stats {
+		t.Fatal("stats differ under reverse scheduling")
+	}
+}

@@ -1,0 +1,212 @@
+// Package connector implements the paper's central device: structures that
+// "connect vertices or edges in a certain way that reduces clique size"
+// (§1.3). Three kinds are provided, matching Figures 1–3:
+//
+//   - Clique connectors (§2, Figure 1): every identified clique partitions
+//     its vertices into groups of t; the connector keeps only within-group
+//     edges, so its maximum degree drops to D·(t−1) (Lemma 2.1).
+//   - Edge connectors (§4, Figure 2): every vertex splits into ⌈deg/t⌉
+//     virtual vertices, each owning at most t incident edges; the connector
+//     has the same edge set but maximum degree t.
+//   - Orientation connectors (§5, Figure 3) and their bipartite variant
+//     (Theorem 5.4): given an acyclic orientation, virtual vertices split
+//     in-edges and out-edges into bounded groups, preserving acyclicity
+//     while capping both the degree and the out-degree (hence arboricity).
+//
+// Distributed-cost model: each connector is constructed with O(1) rounds of
+// communication (cliques have diameter 1, so a master — the highest-ID
+// clique member — can collect and announce a partition in 2 rounds; virtual
+// vertices are defined locally and announced to neighbors in 1 round). Each
+// construction function reports this cost. Virtual vertices are simulated by
+// their owner, and every connector edge is carried by a base edge (or is
+// internal to one owner), so one simulated round on a connector costs one
+// round on the base network; see DESIGN.md §3's accounting convention.
+package connector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cliques"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/util"
+)
+
+// CliqueConstructRounds is the communication cost of building a clique
+// connector: the master collects clique membership and announces groups.
+const CliqueConstructRounds = 2
+
+// VirtualConstructRounds is the communication cost of building an edge or
+// orientation connector: each vertex announces, per incident edge, the
+// virtual vertex it assigned that edge to.
+const VirtualConstructRounds = 1
+
+// CliqueConnector is the §2 structure: a spanning subgraph of G whose edges
+// connect vertices in the same group of the same clique.
+type CliqueConnector struct {
+	// Sub embeds the connector as a spanning subgraph of the original graph.
+	Sub *graph.Sub
+	// Groups[q] lists the groups of clique q, each a sorted vertex list of
+	// size ≤ t (the last group of a clique may be smaller).
+	Groups [][][]int32
+	// T is the group-size parameter.
+	T int
+	// Stats is the construction cost.
+	Stats sim.Stats
+}
+
+// Clique builds the clique connector of g for the given cover with group
+// parameter t ≥ 2. Group assignment is deterministic: each clique master
+// sorts the members by vertex index and cuts consecutive runs of t
+// (matching the paper's "each clique Q partitions its vertex set into
+// subsets of size t each").
+func Clique(g *graph.Graph, cover *cliques.Cover, t int) (*CliqueConnector, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("connector: clique parameter t=%d < 2", t)
+	}
+	groups := make([][][]int32, len(cover.Cliques))
+	keep := make(map[int64]bool)
+	for q, cl := range cover.Cliques {
+		// Cover cliques are stored sorted; cut into runs of t.
+		for lo := 0; lo < len(cl); lo += t {
+			hi := lo + t
+			if hi > len(cl) {
+				hi = len(cl)
+			}
+			grp := cl[lo:hi:hi]
+			groups[q] = append(groups[q], grp)
+			for i := 0; i < len(grp); i++ {
+				for j := i + 1; j < len(grp); j++ {
+					u, v := grp[i], grp[j]
+					if u > v {
+						u, v = v, u
+					}
+					keep[int64(u)<<32|int64(v)] = true
+				}
+			}
+		}
+	}
+	sub, err := graph.SpanningSubgraph(g, func(e int) bool {
+		u, v := g.Endpoints(e)
+		return keep[int64(u)<<32|int64(v)]
+	})
+	if err != nil {
+		return nil, fmt.Errorf("connector: clique: %w", err)
+	}
+	return &CliqueConnector{
+		Sub:    sub,
+		Groups: groups,
+		T:      t,
+		Stats:  sim.Stats{Rounds: CliqueConstructRounds, Messages: 2 * int64(g.M())},
+	}, nil
+}
+
+// MaxDegreeBound returns the Lemma 2.1 bound D·(t−1) for a cover of
+// diversity d.
+func (c *CliqueConnector) MaxDegreeBound(d int) int { return d * (c.T - 1) }
+
+// VirtualGraph is a graph on virtual vertices, each owned by an original
+// vertex, whose edges correspond 1:1 to (a subset of) the original edges.
+type VirtualGraph struct {
+	G *graph.Graph
+	// Owner maps each virtual vertex to the original vertex simulating it.
+	Owner []int32
+	// Index is the per-owner ordinal of each virtual vertex.
+	Index []int32
+	// EOrig maps each connector edge to the original edge identifier.
+	EOrig []int32
+	// Stats is the construction cost.
+	Stats sim.Stats
+}
+
+// IDs derives distinct identifiers for the virtual vertices from the owner
+// identifiers: id(virtual) = ownerID · stride + index. Callers supply the
+// owner IDs of the base topology (nil for the 0..n−1 default).
+func (vg *VirtualGraph) IDs(ownerIDs []int64, stride int64) []int64 {
+	ids := make([]int64, vg.G.N())
+	for v := range ids {
+		owner := int64(vg.Owner[v])
+		if ownerIDs != nil {
+			owner = ownerIDs[vg.Owner[v]]
+		}
+		ids[v] = owner*stride + int64(vg.Index[v])
+	}
+	return ids
+}
+
+// Edge builds the §4 edge connector with group parameter t ≥ 1: vertex v
+// becomes ⌈deg(v)/t⌉ virtual vertices, its incident edges assigned to them
+// in runs of t following port order; edge {u,v} joins u's and v's virtual
+// vertices owning it. The connector's maximum degree is at most t.
+func Edge(g *graph.Graph, t int) (*VirtualGraph, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("connector: edge parameter t=%d < 1", t)
+	}
+	n := g.N()
+	// First virtual index of each vertex.
+	base := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		base[v+1] = base[v] + int32(util.CeilDiv(g.Degree(v), t))
+	}
+	nv := int(base[n])
+	owner := make([]int32, nv)
+	index := make([]int32, nv)
+	for v := 0; v < n; v++ {
+		for i := base[v]; i < base[v+1]; i++ {
+			owner[i] = int32(v)
+			index[i] = i - base[v]
+		}
+	}
+	// Virtual endpoint of edge e at endpoint v: base[v] + port(v,e)/t.
+	b := graph.NewBuilder(nv)
+	eorig := make([]int32, 0, g.M())
+	virtAt := func(v int, port int) int { return int(base[v]) + port/t }
+	for v := 0; v < n; v++ {
+		for p, a := range g.Adj(v) {
+			if int(a.To) < v {
+				continue // add each edge once from its lower endpoint
+			}
+			// Find the port of this edge at the other endpoint.
+			b.AddEdge(virtAt(v, p), virtAt(int(a.To), portOf(g, int(a.To), a.Edge)))
+			eorig = append(eorig, a.Edge)
+		}
+	}
+	cg, perm, err := buildOrdered(b)
+	if err != nil {
+		return nil, fmt.Errorf("connector: edge: %w", err)
+	}
+	return &VirtualGraph{
+		G:     cg,
+		Owner: owner,
+		Index: index,
+		EOrig: applyPerm(eorig, perm),
+		Stats: sim.Stats{Rounds: VirtualConstructRounds, Messages: 2 * int64(g.M())},
+	}, nil
+}
+
+// portOf returns the port index of edge e at vertex v.
+func portOf(g *graph.Graph, v int, e int32) int {
+	adj := g.Adj(v)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i].To >= int32(g.Other(int(e), v)) })
+	for ; i < len(adj); i++ {
+		if adj[i].Edge == e {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("connector: edge %d not incident on vertex %d", e, v))
+}
+
+// buildOrdered mirrors graph.SpanningSubgraph's trick: build the graph and
+// recover the mapping from insertion order to final edge identifiers.
+func buildOrdered(b *graph.Builder) (*graph.Graph, []int32, error) {
+	return graph.BuildWithEdgeOrder(b)
+}
+
+func applyPerm(eorig []int32, perm []int32) []int32 {
+	out := make([]int32, len(eorig))
+	for ins, orig := range eorig {
+		out[perm[ins]] = orig
+	}
+	return out
+}

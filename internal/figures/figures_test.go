@@ -1,0 +1,89 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Golden(t *testing.T) {
+	res, err := Figure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`graph "figure1_clique_connector"`,
+		`label="v Q1+R1"`, // the shared vertex leads a group in each clique
+		"0 -- 1",
+	} {
+		if !strings.Contains(res.DOT, want) {
+			t.Errorf("figure 1 DOT missing %q", want)
+		}
+	}
+	// Each 7-clique splits into groups of 4+3, keeping C(4,2)+C(3,2) = 9
+	// edges; the shared vertex leads both first groups, so its connector
+	// degree meets the Lemma 2.1 bound D(t−1) = 6 with equality.
+	for _, want := range []string{"t=4", "degree 6 ≤ D(t−1)=6", "edges kept 18 of 42"} {
+		if !strings.Contains(res.Summary, want) {
+			t.Errorf("figure 1 summary missing %q in %q", want, res.Summary)
+		}
+	}
+}
+
+func TestFigure2Golden(t *testing.T) {
+	res, err := Figure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.DOT, `graph "figure2_edge_connector"`) {
+		t.Error("figure 2 DOT header missing")
+	}
+	// The center's three virtuals appear as labels.
+	for _, want := range []string{`"v0_1"`, `"v0_2"`, `"v0_3"`} {
+		if !strings.Contains(res.DOT, want) {
+			t.Errorf("figure 2 DOT missing virtual %q", want)
+		}
+	}
+	if !strings.Contains(res.Summary, "edges preserved 7=7") {
+		t.Errorf("figure 2 summary wrong: %q", res.Summary)
+	}
+}
+
+func TestFigure3Golden(t *testing.T) {
+	res, err := Figure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.DOT, `digraph "figure3_orientation_connector"`) {
+		t.Error("figure 3 must be a digraph (orientation)")
+	}
+	if !strings.Contains(res.DOT, "->") {
+		t.Error("figure 3 DOT has no directed edges")
+	}
+	for _, want := range []string{"3 virtuals", "acyclic: true", "max out-degree 2 ≤ 2"} {
+		if !strings.Contains(res.Summary, want) {
+			t.Errorf("figure 3 summary missing %q in %q", want, res.Summary)
+		}
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := Figure(4); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestFiguresAreDeterministic(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		a, err := Figure(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.DOT != b.DOT || a.Summary != b.Summary {
+			t.Fatalf("figure %d not deterministic", n)
+		}
+	}
+}

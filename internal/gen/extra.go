@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: vertices
+// arrive one at a time and attach m edges to earlier vertices sampled
+// proportionally to their current degree. The result has a heavy-tailed
+// degree distribution with Δ ≫ m while the arboricity stays ≤ m (each
+// vertex contributes m edges to earlier vertices: orienting new→old gives
+// out-degree ≤ m, i.e. degeneracy ≤ m) — a natural "realistic" family for
+// the Section 5 regime a ≪ Δ.
+func PreferentialAttachment(n, m int, seed int64) (*graph.Graph, error) {
+	if m < 1 || n <= m {
+		return nil, fmt.Errorf("gen: preferential attachment needs 1 ≤ m < n, got m=%d n=%d", m, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := newEdgeSet(n)
+	// Repeated-endpoint list: sampling a uniform element is sampling
+	// proportionally to degree.
+	targets := make([]int, 0, 2*n*m)
+	// Seed clique on the first m+1 vertices.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			s.add(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		added := 0
+		for attempts := 0; added < m && attempts < 50*m; attempts++ {
+			u := targets[rng.Intn(len(targets))]
+			if s.add(u, v) {
+				targets = append(targets, u, v)
+				added++
+			}
+		}
+		// Degenerate fallback (tiny graphs): attach to arbitrary earlier
+		// vertices to keep the degree invariant.
+		for u := 0; added < m && u < v; u++ {
+			if s.add(u, v) {
+				targets = append(targets, u, v)
+				added++
+			}
+		}
+	}
+	return s.build(), nil
+}
+
+// RegularBipartite returns a d-regular bipartite graph on two sides of size
+// n (union of d random perfect matchings, deduplicated — so "near regular"
+// for d close to n). König's theorem makes these the canonical instances
+// where the optimal edge coloring equals Δ exactly.
+func RegularBipartite(n, d int, seed int64) (*graph.Graph, error) {
+	if d < 1 || d > n {
+		return nil, fmt.Errorf("gen: regular bipartite needs 1 ≤ d ≤ n, got d=%d n=%d", d, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := newEdgeSet(2 * n)
+	for layer := 0; layer < d; layer++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			s.add(i, n+perm[i])
+		}
+	}
+	return s.build(), nil
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs pendant vertices attached to each spine vertex. Δ = legs+2 while the
+// arboricity is 1 — the extreme of the a ≪ Δ regime.
+func Caterpillar(spine, legs int) *graph.Graph {
+	n := spine + spine*legs
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < spine; i++ {
+		b.AddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(i, next)
+			next++
+		}
+	}
+	return b.MustBuild()
+}

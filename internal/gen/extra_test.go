@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := PreferentialAttachment(500, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Every vertex after the seed clique has degree ≥ m.
+	for v := 4; v < g.N(); v++ {
+		if g.Degree(v) < 3 {
+			t.Fatalf("vertex %d degree %d < m", v, g.Degree(v))
+		}
+	}
+	// Heavy tail: Δ well above m.
+	if g.MaxDegree() < 3*3 {
+		t.Fatalf("max degree %d suspiciously small", g.MaxDegree())
+	}
+	// Arboricity bounded by m (orient new→old).
+	if a := graph.ArboricityUpperBound(g); a > 3 {
+		t.Fatalf("degeneracy %d exceeds m", a)
+	}
+	// Deterministic.
+	g2, err := PreferentialAttachment(500, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalEdges(g, g2) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestPreferentialAttachmentErrors(t *testing.T) {
+	if _, err := PreferentialAttachment(3, 3, 1); err == nil {
+		t.Fatal("expected n>m error")
+	}
+	if _, err := PreferentialAttachment(10, 0, 1); err == nil {
+		t.Fatal("expected m≥1 error")
+	}
+}
+
+func TestRegularBipartite(t *testing.T) {
+	g, err := RegularBipartite(50, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.MaxDegree() > 5 {
+		t.Fatalf("degree %d exceeds d", g.MaxDegree())
+	}
+	// Bipartite: no edge within a side.
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if (u < 50) == (v < 50) {
+			t.Fatalf("edge {%d,%d} within one side", u, v)
+		}
+	}
+	if _, err := RegularBipartite(5, 6, 1); err == nil {
+		t.Fatal("expected d≤n error")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(10, 7)
+	if g.N() != 10+70 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() != 9+70 {
+		t.Fatalf("m=%d", g.M())
+	}
+	if g.MaxDegree() != 9 { // interior spine vertex: 2 spine + 7 legs
+		t.Fatalf("Δ=%d, want 9", g.MaxDegree())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("caterpillar must be connected")
+	}
+	if a := graph.ArboricityUpperBound(g); a != 1 {
+		t.Fatalf("tree degeneracy %d", a)
+	}
+}

@@ -1,0 +1,259 @@
+// Package gen provides the deterministic synthetic workload generators used
+// by the experiments. Each generator takes an explicit seed; the same seed
+// always yields the same graph, so every benchmark in this repository is
+// reproducible bit-for-bit.
+//
+// The families are chosen to hit the hypotheses of the paper's theorems:
+//
+//   - GNP / NearRegular: general graphs for Table 1 (edge-coloring sweeps).
+//   - ForestUnion(+hub): arboricity ≤ a by construction with Δ ≫ a, the
+//     regime of Section 5 (a = o(Δ)).
+//   - Grid / Tree: constant-arboricity graphs (planar family stand-ins).
+//   - Geometric: unit-disk-style sensor network topologies (the link
+//     scheduling motivation of §1.2).
+//   - UniformHypergraph: line graphs of c-uniform hypergraphs are the
+//     canonical diversity-c family for Table 2.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// edgeSet deduplicates undirected edges during generation.
+type edgeSet struct {
+	b    *graph.Builder
+	seen map[int64]bool
+	n    int
+	m    int
+}
+
+func newEdgeSet(n int) *edgeSet {
+	return &edgeSet{b: graph.NewBuilder(n), seen: make(map[int64]bool), n: n}
+}
+
+// add inserts {u,v} if new, reporting whether it was inserted.
+func (s *edgeSet) add(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := int64(u)<<32 | int64(v)
+	if s.seen[key] {
+		return false
+	}
+	s.seen[key] = true
+	s.b.AddEdge(u, v)
+	s.m++
+	return true
+}
+
+func (s *edgeSet) build() *graph.Graph { return s.b.MustBuild() }
+
+// GNP returns an Erdős–Rényi G(n, p) sample.
+func GNP(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	s := newEdgeSet(n)
+	if p >= 1 {
+		return graph.Complete(n)
+	}
+	if p > 0 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					s.add(u, v)
+				}
+			}
+		}
+	}
+	return s.build()
+}
+
+// NearRegular returns a graph on n vertices in which every vertex has degree
+// close to d (within d of it, typically equal). It is the union of ⌊d/2⌋
+// random Hamiltonian cycles plus, for odd d, one random perfect matching.
+// Duplicate edges between layers are dropped, which is why the result is
+// "near" regular rather than exactly regular; for n ≫ d the deficit is tiny.
+func NearRegular(n, d int, seed int64) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: NearRegular needs 0 ≤ d < n, got d=%d n=%d", d, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := newEdgeSet(n)
+	for layer := 0; layer < d/2; layer++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			s.add(perm[i], perm[(i+1)%n])
+		}
+	}
+	if d%2 == 1 {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			s.add(perm[i], perm[i+1])
+		}
+	}
+	return s.build(), nil
+}
+
+// ForestUnion returns a graph that is the union of a random recursive trees
+// on n vertices, so its arboricity is at most a by construction. Duplicate
+// edges across trees are dropped. Typical max degree is Θ(a log n).
+func ForestUnion(n, a int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	s := newEdgeSet(n)
+	addRandomTrees(s, rng, n, a)
+	return s.build()
+}
+
+// ForestUnionHub returns a union of a random trees plus one hub vertex
+// (vertex 0) connected to hubDeg distinct vertices. The arboricity is at
+// most a+1 (the hub's star is a forest), while Δ ≈ hubDeg, giving the
+// a = o(Δ) regime of Section 5 with a controllable gap.
+func ForestUnionHub(n, a, hubDeg int, seed int64) (*graph.Graph, error) {
+	if hubDeg >= n {
+		return nil, fmt.Errorf("gen: hub degree %d must be < n=%d", hubDeg, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := newEdgeSet(n)
+	addRandomTrees(s, rng, n, a)
+	// Connect the hub to a random sample of distinct vertices. An edge that
+	// already exists from a tree still makes that vertex a hub neighbor, so
+	// every sampled vertex counts toward the hub degree.
+	perm := rng.Perm(n - 1)
+	for i := 0; i < hubDeg; i++ {
+		s.add(0, perm[i]+1)
+	}
+	return s.build(), nil
+}
+
+func addRandomTrees(s *edgeSet, rng *rand.Rand, n, a int) {
+	for t := 0; t < a; t++ {
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			// Random recursive tree over the shuffled order.
+			s.add(perm[i], perm[rng.Intn(i)])
+		}
+	}
+}
+
+// Tree returns a single random recursive tree (arboricity 1).
+func Tree(n int, seed int64) *graph.Graph { return ForestUnion(n, 1, seed) }
+
+// Grid returns the rows×cols grid graph (arboricity ≤ 2, planar).
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Geometric returns a random geometric graph: n points uniform in the unit
+// square, an edge between points at distance < radius. Built with cell
+// hashing in O(n + m) expected time. This models the wireless-network
+// topologies motivating edge coloring for link scheduling (§1.2, [19]).
+func Geometric(n int, radius float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	cells := make(map[[2]int][]int)
+	cellOf := func(i int) [2]int {
+		return [2]int{int(xs[i] / radius), int(ys[i] / radius)}
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		cells[c] = append(cells[c], i)
+	}
+	s := newEdgeSet(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range cells[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy < r2 {
+						s.add(i, j)
+					}
+				}
+			}
+		}
+	}
+	return s.build()
+}
+
+// UniformHypergraph returns a random c-uniform hypergraph with nv vertices
+// and ne hyperedges, each a uniformly random c-subset (repeats between
+// hyperedges allowed: multi-hyperedges are kept, matching random hypergraph
+// models; the line graph construction handles them).
+func UniformHypergraph(nv, rank, ne int, seed int64) (*graph.Hypergraph, error) {
+	if rank > nv {
+		return nil, fmt.Errorf("gen: rank %d exceeds vertex count %d", rank, nv)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][]int, 0, ne)
+	for len(edges) < ne {
+		edges = append(edges, rng.Perm(nv)[:rank])
+	}
+	return graph.NewHypergraph(nv, rank, edges)
+}
+
+// BoundedDiversityCliqueGraph builds a graph as a union of nc cliques of
+// size cliqueSize over n vertices, where each vertex joins at most maxPerV
+// cliques. It returns the graph together with its clique cover. This gives
+// direct control of diversity D (= maxPerV) and clique size S for Table 2
+// experiments beyond line graphs.
+func BoundedDiversityCliqueGraph(n, nc, cliqueSize, maxPerV int, seed int64) (*graph.Graph, [][]int32, error) {
+	if cliqueSize > n {
+		return nil, nil, fmt.Errorf("gen: clique size %d exceeds n=%d", cliqueSize, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	load := make([]int, n)
+	s := newEdgeSet(n)
+	cliques := make([][]int32, 0, nc)
+	for c := 0; c < nc; c++ {
+		// Sample cliqueSize vertices with remaining capacity.
+		var pool []int
+		for v := 0; v < n; v++ {
+			if load[v] < maxPerV {
+				pool = append(pool, v)
+			}
+		}
+		if len(pool) < cliqueSize {
+			break // capacity exhausted; return what we have
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		members := pool[:cliqueSize]
+		cl := make([]int32, cliqueSize)
+		for i, v := range members {
+			load[v]++
+			cl[i] = int32(v)
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				s.add(members[i], members[j])
+			}
+		}
+		cliques = append(cliques, cl)
+	}
+	return s.build(), cliques, nil
+}

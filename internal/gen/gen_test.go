@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestGNPDeterministic(t *testing.T) {
+	g1 := GNP(50, 0.2, 42)
+	g2 := GNP(50, 0.2, 42)
+	if g1.M() != g2.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	g3 := GNP(50, 0.2, 43)
+	if g1.M() == g3.M() && equalEdges(g1, g3) {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func equalEdges(a, b *graph.Graph) bool {
+	if a.M() != b.M() {
+		return false
+	}
+	for e := 0; e < a.M(); e++ {
+		au, av := a.Endpoints(e)
+		bu, bv := b.Endpoints(e)
+		if au != bu || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGNPExtremes(t *testing.T) {
+	if g := GNP(10, 0, 1); g.M() != 0 {
+		t.Fatal("p=0 should have no edges")
+	}
+	if g := GNP(10, 1, 1); g.M() != 45 {
+		t.Fatal("p=1 should be complete")
+	}
+}
+
+func TestGNPDensity(t *testing.T) {
+	n := 200
+	g := GNP(n, 0.1, 7)
+	want := 0.1 * float64(n*(n-1)/2)
+	if f := float64(g.M()); f < want*0.8 || f > want*1.2 {
+		t.Fatalf("G(200,0.1) has %d edges, expected around %.0f", g.M(), want)
+	}
+}
+
+func TestNearRegular(t *testing.T) {
+	for _, d := range []int{2, 3, 8, 15} {
+		g, err := NearRegular(400, d, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.MaxDegree() > d {
+			t.Fatalf("d=%d: max degree %d exceeds target", d, g.MaxDegree())
+		}
+		// Near-regular: average degree within 15% of d.
+		avg := 2 * float64(g.M()) / float64(g.N())
+		if avg < float64(d)*0.85 {
+			t.Fatalf("d=%d: average degree %.2f too far below target", d, avg)
+		}
+	}
+}
+
+func TestNearRegularErrors(t *testing.T) {
+	if _, err := NearRegular(5, 5, 1); err == nil {
+		t.Fatal("expected d<n error")
+	}
+	if _, err := NearRegular(5, -1, 1); err == nil {
+		t.Fatal("expected d>=0 error")
+	}
+}
+
+func TestForestUnionArboricity(t *testing.T) {
+	for _, a := range []int{1, 2, 5} {
+		g := ForestUnion(300, a, 3)
+		if bound := graph.ArboricityUpperBound(g); bound > 2*a {
+			t.Fatalf("a=%d: degeneracy bound %d exceeds 2a", a, bound)
+		}
+		if g.M() > a*(g.N()-1) {
+			t.Fatalf("a=%d: too many edges %d for a forests", a, g.M())
+		}
+	}
+}
+
+func TestForestUnionHub(t *testing.T) {
+	g, err := ForestUnionHub(500, 3, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) < 200 {
+		t.Fatalf("hub degree %d < requested 200", g.Degree(0))
+	}
+	if bound := graph.ArboricityUpperBound(g); bound > 2*(3+1) {
+		t.Fatalf("arboricity bound %d too large", bound)
+	}
+	if _, err := ForestUnionHub(10, 1, 10, 1); err == nil {
+		t.Fatal("expected hubDeg<n error")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("grid n=%d", g.N())
+	}
+	if g.M() != 4*4+3*5 {
+		t.Fatalf("grid m=%d, want %d", g.M(), 4*4+3*5)
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatalf("grid maxdeg=%d", g.MaxDegree())
+	}
+	if a := graph.ArboricityUpperBound(g); a > 2 {
+		t.Fatalf("grid degeneracy %d > 2", a)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	g := Geometric(300, 0.1, 9)
+	// Verify symmetric construction against a brute-force pass is implicit
+	// in the builder; check basic sanity and determinism here.
+	g2 := Geometric(300, 0.1, 9)
+	if !equalEdges(g, g2) {
+		t.Fatal("geometric not deterministic")
+	}
+	if g.M() == 0 {
+		t.Fatal("geometric graph unexpectedly empty")
+	}
+}
+
+func TestGeometricMatchesBruteForce(t *testing.T) {
+	// Rebuild with a tiny n and compare against O(n²) distance checks done
+	// through the public API: every edge must be < radius apart implies the
+	// cell hashing missed nothing if edge counts match brute force. We can't
+	// access coordinates, so instead verify structural soundness: max degree
+	// under the union bound and determinism across runs were covered above;
+	// here check radius monotonicity: larger radius never removes edges.
+	small := Geometric(150, 0.08, 4)
+	big := Geometric(150, 0.16, 4)
+	if small.M() > big.M() {
+		t.Fatalf("radius monotonicity violated: %d > %d", small.M(), big.M())
+	}
+	for e := 0; e < small.M(); e++ {
+		u, v := small.Endpoints(e)
+		if !big.HasEdge(u, v) {
+			t.Fatal("edge present at small radius missing at large radius")
+		}
+	}
+}
+
+func TestTree(t *testing.T) {
+	g := Tree(100, 8)
+	if g.M() != 99 {
+		t.Fatalf("tree edges %d", g.M())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("tree should be connected")
+	}
+}
+
+func TestUniformHypergraph(t *testing.T) {
+	h, err := UniformHypergraph(50, 3, 80, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Edges) != 80 || h.Rank != 3 {
+		t.Fatal("hypergraph size wrong")
+	}
+	if _, err := UniformHypergraph(2, 3, 5, 1); err == nil {
+		t.Fatal("expected rank>nv error")
+	}
+}
+
+func TestBoundedDiversityCliqueGraph(t *testing.T) {
+	g, cliques, err := BoundedDiversityCliqueGraph(100, 30, 6, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diversity bound: no vertex in more than maxPerV cliques.
+	count := make([]int, g.N())
+	for _, c := range cliques {
+		if len(c) != 6 {
+			t.Fatalf("clique size %d, want 6", len(c))
+		}
+		for _, v := range c {
+			count[v]++
+		}
+		// Clique edges present.
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !g.HasEdge(int(c[i]), int(c[j])) {
+					t.Fatal("clique edge missing")
+				}
+			}
+		}
+	}
+	for v, cnt := range count {
+		if cnt > 3 {
+			t.Fatalf("vertex %d in %d cliques, max 3", v, cnt)
+		}
+	}
+	if _, _, err := BoundedDiversityCliqueGraph(4, 1, 6, 1, 1); err == nil {
+		t.Fatal("expected cliqueSize>n error")
+	}
+}
+
+func TestSeedStabilityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		a := ForestUnion(60, 2, seed)
+		b := ForestUnion(60, 2, seed)
+		return equalEdges(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package graph provides the static graph representation used throughout
+// distcolor: immutable adjacency lists with stable edge identifiers, induced
+// and spanning subgraphs that remember their embedding into the parent graph,
+// line graphs (of graphs and of uniform hypergraphs), and edge orientations.
+//
+// Vertices of a Graph are the integers 0..N()-1. Every undirected edge has a
+// stable identifier 0..M()-1; adjacency lists expose, for each incident edge,
+// both the neighbor and that edge identifier, which is what lets the
+// edge-coloring algorithms of the paper run without re-discovering edges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arc is one directed half of an undirected edge as seen from a vertex's
+// adjacency list.
+type Arc struct {
+	To   int32 // neighbor vertex
+	Edge int32 // identifier of the undirected edge
+}
+
+// Edge records the endpoints of an undirected edge with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// Graph is an immutable simple undirected graph.
+type Graph struct {
+	adj    [][]Arc
+	edges  []Edge
+	maxDeg int
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are rejected at Build time with an error, because every
+// algorithm in this repository assumes a simple graph.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph on n vertices (n ≥ 0).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Order of u and v is irrelevant.
+func (b *Builder) AddEdge(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{int32(u), int32(v)})
+}
+
+// Build validates the accumulated edges and returns the immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	for _, e := range b.edges {
+		if e.U < 0 || int(e.V) >= b.n {
+			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", e.U, e.V, b.n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", e.U)
+		}
+	}
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for i := 1; i < len(edges); i++ {
+		if edges[i] == edges[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", edges[i].U, edges[i].V)
+		}
+	}
+	g := &Graph{
+		adj:   make([][]Arc, b.n),
+		edges: edges,
+	}
+	deg := make([]int, b.n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]Arc, 0, deg[v])
+		if deg[v] > g.maxDeg {
+			g.maxDeg = deg[v]
+		}
+	}
+	for id, e := range edges {
+		g.adj[e.U] = append(g.adj[e.U], Arc{To: e.V, Edge: int32(id)})
+		g.adj[e.V] = append(g.adj[e.V], Arc{To: e.U, Edge: int32(id)})
+	}
+	return g, nil
+}
+
+// MustBuild is Build for static graphs known to be valid; it panics on error.
+// Intended for tests and generators that construct edges programmatically.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ(G).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// Adj returns the adjacency list of v. The returned slice must not be
+// modified; it is shared with the graph.
+func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+
+// Endpoints returns the endpoints (u < v) of edge e.
+func (g *Graph) Endpoints(e int) (int, int) {
+	ed := g.edges[e]
+	return int(ed.U), int(ed.V)
+}
+
+// Edges returns the edge list. The returned slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Other returns the endpoint of edge e different from v.
+func (g *Graph) Other(e, v int) int {
+	ed := g.edges[e]
+	if int(ed.U) == v {
+		return int(ed.V)
+	}
+	if int(ed.V) == v {
+		return int(ed.U)
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %d", v, e))
+}
+
+// HasEdge reports whether {u,v} is an edge, in O(log deg) time.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		u, v = v, u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i].To >= int32(v) })
+	return i < len(a) && a[i].To == int32(v)
+}
+
+// EdgeID returns the identifier of edge {u,v} and whether it exists.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	if u == v {
+		return 0, false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		u, v = v, u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i].To >= int32(v) })
+	if i < len(a) && a[i].To == int32(v) {
+		return int(a[i].Edge), true
+	}
+	return 0, false
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path graph on n vertices.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle graph on n ≥ 3 vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph.Cycle: need n >= 3")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.MustBuild()
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side,
+// a..a+b-1 on the other.
+func CompleteBipartite(a, b int) *Graph {
+	bl := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bl.AddEdge(u, a+v)
+		}
+	}
+	return bl.MustBuild()
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the simple whitespace edge-list format:
+//
+//	# comment
+//	n <numVertices>
+//	<u> <v>
+//	...
+//
+// The "n" header is optional; without it the vertex count is one more than
+// the largest endpoint mentioned.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := -1
+	var pairs [][2]int
+	maxV := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed n header", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want two endpoints, got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		pairs = append(pairs, [2]int{u, v})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	if n < 0 {
+		n = maxV + 1
+	}
+	b := NewBuilder(n)
+	for _, p := range pairs {
+		b.AddEdge(p[0], p[1])
+	}
+	return b.Build()
+}
+
+// WriteEdgeList writes g in the format understood by ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDOT writes g in Graphviz DOT format. labels may be nil; when present
+// it supplies a display label per vertex.
+func WriteDOT(w io.Writer, g *Graph, name string, labels []string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		label := strconv.Itoa(v)
+		if labels != nil && v < len(labels) && labels[v] != "" {
+			label = labels[v]
+		}
+		if _, err := fmt.Fprintf(bw, "  %d [label=%q];\n", v, label); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(t, 20, 0.3, 99)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: %d,%d vs %d,%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge {%d,%d} lost in round trip", u, v)
+		}
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n# comment\n\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{
+		"0\n",        // one field
+		"0 x\n",      // non-numeric
+		"n\n",        // malformed header
+		"n 2\n0 5\n", // out of range via header
+		"0 0\n",      // self loop
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q: expected error", bad)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, Path(3), "p3", []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "p3"`, `0 [label="a"]`, "0 -- 1", "1 -- 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

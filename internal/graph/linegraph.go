@@ -1,0 +1,135 @@
+package graph
+
+import "fmt"
+
+// LineGraphResult bundles the line graph L(G) of a graph G with the natural
+// structures the paper uses on it: the map from L(G)-vertices back to
+// G-edges, and the canonical clique cover in which each G-vertex of degree
+// ≥ 1 contributes the clique of its incident edges. With this cover every
+// L(G)-vertex lies in exactly two cliques, i.e. diversity D(L(G)) ≤ 2 (§1.2).
+type LineGraphResult struct {
+	L *Graph
+	// EdgeOf maps an L-vertex to the G-edge it represents (the identity,
+	// kept explicit for symmetry with hypergraph line graphs).
+	EdgeOf []int32
+	// Cliques is the canonical cover: Cliques[i] lists the L-vertices whose
+	// G-edges are incident on G-vertex i. Entries for isolated G-vertices
+	// are empty.
+	Cliques [][]int32
+}
+
+// LineGraph constructs L(G): one vertex per edge of g, with two vertices
+// adjacent iff the corresponding edges share an endpoint.
+func LineGraph(g *Graph) *LineGraphResult {
+	m := g.M()
+	b := NewBuilder(m)
+	// Every pair of edges incident on the same vertex is adjacent in L(G).
+	for v := 0; v < g.N(); v++ {
+		adj := g.Adj(v)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				e1, e2 := int(adj[i].Edge), int(adj[j].Edge)
+				// Edges sharing two vertices are impossible in a simple
+				// graph, but edges of a triangle meet pairwise at distinct
+				// vertices, so the same L-edge is generated only once: the
+				// shared endpoint of two edges is unique.
+				b.AddEdge(e1, e2)
+			}
+		}
+	}
+	lg := b.MustBuild()
+	edgeOf := make([]int32, m)
+	cliques := make([][]int32, g.N())
+	for e := 0; e < m; e++ {
+		edgeOf[e] = int32(e)
+	}
+	for v := 0; v < g.N(); v++ {
+		adj := g.Adj(v)
+		c := make([]int32, len(adj))
+		for i, a := range adj {
+			c[i] = a.Edge
+		}
+		cliques[v] = c
+	}
+	return &LineGraphResult{L: lg, EdgeOf: edgeOf, Cliques: cliques}
+}
+
+// Hypergraph is a c-uniform hypergraph: every hyperedge has exactly Rank
+// vertices. The paper uses line graphs of c-uniform hypergraphs as the
+// canonical family of diversity-c graphs (§1.2).
+type Hypergraph struct {
+	NVert int
+	Rank  int
+	Edges [][]int32 // each of length Rank, sorted, distinct vertices
+}
+
+// NewHypergraph validates and constructs a c-uniform hypergraph.
+func NewHypergraph(nVert, rank int, edges [][]int) (*Hypergraph, error) {
+	if rank < 2 {
+		return nil, fmt.Errorf("graph: hypergraph rank %d < 2", rank)
+	}
+	h := &Hypergraph{NVert: nVert, Rank: rank}
+	for _, e := range edges {
+		if len(e) != rank {
+			return nil, fmt.Errorf("graph: hyperedge %v has %d vertices, want %d", e, len(e), rank)
+		}
+		sortedCopy := make([]int32, rank)
+		seen := make(map[int]bool, rank)
+		for i, v := range e {
+			if v < 0 || v >= nVert {
+				return nil, fmt.Errorf("graph: hyperedge vertex %d out of range", v)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("graph: repeated vertex %d in hyperedge %v", v, e)
+			}
+			seen[v] = true
+			sortedCopy[i] = int32(v)
+		}
+		for i := 1; i < rank; i++ {
+			for j := i; j > 0 && sortedCopy[j] < sortedCopy[j-1]; j-- {
+				sortedCopy[j], sortedCopy[j-1] = sortedCopy[j-1], sortedCopy[j]
+			}
+		}
+		h.Edges = append(h.Edges, sortedCopy)
+	}
+	return h, nil
+}
+
+// LineGraph constructs the line graph of h: one vertex per hyperedge, two
+// adjacent iff the hyperedges intersect. The returned clique cover has one
+// clique per hypergraph vertex (the hyperedges containing it), so every
+// line-graph vertex lies in at most Rank cliques: diversity ≤ Rank.
+func (h *Hypergraph) LineGraph() *LineGraphResult {
+	m := len(h.Edges)
+	byVertex := make([][]int32, h.NVert)
+	for id, e := range h.Edges {
+		for _, v := range e {
+			byVertex[v] = append(byVertex[v], int32(id))
+		}
+	}
+	b := NewBuilder(m)
+	// Two hyperedges may share several vertices; dedupe pairs.
+	seen := make(map[int64]bool)
+	for _, group := range byVertex {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, c := group[i], group[j]
+				if a > c {
+					a, c = c, a
+				}
+				key := int64(a)<<32 | int64(c)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				b.AddEdge(int(a), int(c))
+			}
+		}
+	}
+	lg := b.MustBuild()
+	edgeOf := make([]int32, m)
+	for e := 0; e < m; e++ {
+		edgeOf[e] = int32(e)
+	}
+	return &LineGraphResult{L: lg, EdgeOf: edgeOf, Cliques: byVertex}
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLineGraphOfPath(t *testing.T) {
+	// L(P4) = P3.
+	lg := LineGraph(Path(4))
+	if lg.L.N() != 3 || lg.L.M() != 2 {
+		t.Fatalf("L(P4): n=%d m=%d, want 3,2", lg.L.N(), lg.L.M())
+	}
+}
+
+func TestLineGraphOfStar(t *testing.T) {
+	// L(K_{1,k}) = K_k.
+	lg := LineGraph(Star(6))
+	if lg.L.N() != 5 || lg.L.M() != 10 {
+		t.Fatalf("L(star): n=%d m=%d, want 5,10", lg.L.N(), lg.L.M())
+	}
+}
+
+func TestLineGraphOfTriangle(t *testing.T) {
+	// L(K3) = K3; edges meet pairwise at distinct vertices, so no duplicate
+	// L-edges may be generated.
+	lg := LineGraph(Cycle(3))
+	if lg.L.N() != 3 || lg.L.M() != 3 {
+		t.Fatalf("L(K3): n=%d m=%d, want 3,3", lg.L.N(), lg.L.M())
+	}
+}
+
+func TestLineGraphAdjacencyDefinition(t *testing.T) {
+	g := randomGraph(t, 25, 0.25, 11)
+	lg := LineGraph(g)
+	if lg.L.N() != g.M() {
+		t.Fatalf("L-vertices %d != edges %d", lg.L.N(), g.M())
+	}
+	// Two L-vertices adjacent iff underlying edges share an endpoint.
+	for e1 := 0; e1 < g.M(); e1++ {
+		for e2 := e1 + 1; e2 < g.M(); e2++ {
+			u1, v1 := g.Endpoints(e1)
+			u2, v2 := g.Endpoints(e2)
+			share := u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2
+			if lg.L.HasEdge(e1, e2) != share {
+				t.Fatalf("L adjacency wrong for edges %d,%d", e1, e2)
+			}
+		}
+	}
+}
+
+func TestLineGraphCliqueCoverIsDiversity2(t *testing.T) {
+	g := randomGraph(t, 30, 0.2, 3)
+	lg := LineGraph(g)
+	// Each L-vertex (edge of g) appears in exactly the two cliques of its
+	// endpoints.
+	count := make([]int, lg.L.N())
+	for _, c := range lg.Cliques {
+		for _, x := range c {
+			count[x]++
+		}
+	}
+	for e, cnt := range count {
+		if cnt != 2 {
+			t.Fatalf("edge %d appears in %d cliques, want 2", e, cnt)
+		}
+	}
+	// Each clique is indeed a clique in L(g).
+	for v, c := range lg.Cliques {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !lg.L.HasEdge(int(c[i]), int(c[j])) {
+					t.Fatalf("clique of vertex %d not complete in L(G)", v)
+				}
+			}
+		}
+	}
+	// Cover property: every L-edge lies inside some clique.
+	covered := make([]bool, lg.L.M())
+	for _, c := range lg.Cliques {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if id, ok := lg.L.EdgeID(int(c[i]), int(c[j])); ok {
+					covered[id] = true
+				}
+			}
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			t.Fatalf("L-edge %d not covered by any clique", e)
+		}
+	}
+}
+
+func TestHypergraphValidation(t *testing.T) {
+	if _, err := NewHypergraph(5, 3, [][]int{{0, 1}}); err == nil {
+		t.Fatal("expected rank mismatch error")
+	}
+	if _, err := NewHypergraph(5, 3, [][]int{{0, 1, 1}}); err == nil {
+		t.Fatal("expected repeated-vertex error")
+	}
+	if _, err := NewHypergraph(5, 3, [][]int{{0, 1, 7}}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := NewHypergraph(5, 1, nil); err == nil {
+		t.Fatal("expected rank error")
+	}
+	h, err := NewHypergraph(5, 3, [][]int{{4, 2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Edges[0][0] != 0 || h.Edges[0][2] != 4 {
+		t.Fatal("hyperedge not sorted")
+	}
+}
+
+func TestHypergraphLineGraphDiversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nv, rank, ne := 40, 3, 60
+	var edges [][]int
+	for len(edges) < ne {
+		perm := rng.Perm(nv)[:rank]
+		edges = append(edges, perm)
+	}
+	h, err := NewHypergraph(nv, rank, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := h.LineGraph()
+	if lg.L.N() != ne {
+		t.Fatalf("line graph has %d vertices, want %d", lg.L.N(), ne)
+	}
+	// Diversity bound: every L-vertex is in at most rank cliques.
+	count := make([]int, ne)
+	for _, c := range lg.Cliques {
+		for _, x := range c {
+			count[x]++
+		}
+	}
+	for id, cnt := range count {
+		if cnt != rank {
+			t.Fatalf("hyperedge %d in %d cliques, want %d (one per vertex)", id, cnt, rank)
+		}
+	}
+	// Adjacency: two hyperedges adjacent iff they intersect.
+	for i := 0; i < ne; i++ {
+		for j := i + 1; j < ne; j++ {
+			intersect := false
+			for _, a := range h.Edges[i] {
+				for _, b := range h.Edges[j] {
+					if a == b {
+						intersect = true
+					}
+				}
+			}
+			if lg.L.HasEdge(i, j) != intersect {
+				t.Fatalf("hypergraph line adjacency wrong for %d,%d", i, j)
+			}
+		}
+	}
+}

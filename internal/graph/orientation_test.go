@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientByOrderIsAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphRNG(rng, 40, 0.15)
+		rank := rng.Perm(g.N())
+		o := OrientByOrder(g, rank)
+		return o.IsAcyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientationDegrees(t *testing.T) {
+	g := Complete(5)
+	rank := []int{0, 1, 2, 3, 4}
+	o := OrientByOrder(g, rank)
+	// With distinct ranks on K5, orientation is the total order: vertex i
+	// has out-degree 4-i.
+	for v := 0; v < 5; v++ {
+		if got := o.OutDegree(v); got != 4-v {
+			t.Fatalf("out-degree of %d = %d, want %d", v, got, 4-v)
+		}
+		if len(o.InEdges(v))+len(o.OutEdges(v)) != g.Degree(v) {
+			t.Fatal("in+out != degree")
+		}
+	}
+	if o.MaxOutDegree() != 4 {
+		t.Fatalf("max out-degree %d", o.MaxOutDegree())
+	}
+}
+
+func TestOrientationHeadTail(t *testing.T) {
+	g := Path(3)
+	o := OrientByOrder(g, []int{0, 1, 2})
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if o.Head(e) != v || o.Tail(e) != u {
+			t.Fatalf("edge %d: head=%d tail=%d, want %d,%d", e, o.Head(e), o.Tail(e), v, u)
+		}
+	}
+}
+
+func TestNewOrientationValidates(t *testing.T) {
+	g := Path(3)
+	if _, err := NewOrientation(g, []int32{0}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := NewOrientation(g, []int32{2, 0}); err == nil {
+		t.Fatal("expected endpoint error (vertex 2 not on edge 0)")
+	}
+	o, err := NewOrientation(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0<-1->... wait: edge 0 = {0,1} head 0, edge 1 = {1,2} head 1: both
+	// point into the middle-left; graph is 0 <- 1 <- 2? No: edge1={1,2},
+	// head=1 means 2 -> 1. So directed edges are 1->0 and 2->1: acyclic.
+	if !o.IsAcyclic() {
+		t.Fatal("expected acyclic")
+	}
+}
+
+func TestCycleOrientationDetection(t *testing.T) {
+	g := Cycle(3)
+	// Orient each edge u->v cyclically: edges are {0,1},{0,2},{1,2}.
+	// 0->1, 1->2, 2->0 gives heads: edge{0,1}:1, edge{0,2}:0, edge{1,2}:2.
+	o, err := NewOrientation(g, []int32{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.IsAcyclic() {
+		t.Fatal("directed triangle should be cyclic")
+	}
+}
+
+func TestDegeneracyOrder(t *testing.T) {
+	// A tree has degeneracy 1.
+	if _, d := DegeneracyOrder(Path(10)); d != 1 {
+		t.Fatalf("path degeneracy %d, want 1", d)
+	}
+	// K_n has degeneracy n-1.
+	if _, d := DegeneracyOrder(Complete(6)); d != 5 {
+		t.Fatalf("K6 degeneracy %d, want 5", d)
+	}
+	// Cycle has degeneracy 2.
+	if _, d := DegeneracyOrder(Cycle(8)); d != 2 {
+		t.Fatalf("cycle degeneracy %d, want 2", d)
+	}
+	// Empty graph.
+	if _, d := DegeneracyOrder(NewBuilder(5).MustBuild()); d != 0 {
+		t.Fatalf("empty degeneracy %d, want 0", d)
+	}
+}
+
+func TestDegeneracyOrderIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphRNG(rng, 50, 0.1)
+		order, d := DegeneracyOrder(g)
+		if len(order) != g.N() {
+			return false
+		}
+		pos := make([]int, g.N())
+		seen := make([]bool, g.N())
+		for i, v := range order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			pos[v] = i
+		}
+		// Defining property: each vertex has ≤ d neighbors later in order.
+		for v := 0; v < g.N(); v++ {
+			later := 0
+			for _, a := range g.Adj(v) {
+				if pos[a.To] > pos[v] {
+					later++
+				}
+			}
+			if later > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArboricityUpperBound(t *testing.T) {
+	if a := ArboricityUpperBound(Path(10)); a != 1 {
+		t.Fatalf("path arboricity bound %d", a)
+	}
+	if a := ArboricityUpperBound(NewBuilder(3).MustBuild()); a != 0 {
+		t.Fatalf("empty arboricity bound %d", a)
+	}
+	// Bound must be ≥ m/(n-1) (Nash-Williams lower bound).
+	g := Complete(10)
+	if a := ArboricityUpperBound(g); a < 5 {
+		t.Fatalf("K10 arboricity bound %d too small", a)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(Path(5)) || !IsConnected(NewBuilder(0).MustBuild()) {
+		t.Fatal("connected graphs misreported")
+	}
+	if IsConnected(NewBuilder(2).MustBuild()) {
+		t.Fatal("two isolated vertices are not connected")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(Star(5))
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("star histogram wrong: %v", h)
+	}
+}

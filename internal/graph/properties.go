@@ -1,0 +1,115 @@
+package graph
+
+// DegeneracyOrder computes a degeneracy ordering of g by repeatedly removing
+// a minimum-degree vertex (bucket queue, O(n+m)). It returns the order
+// (first-removed first) and the degeneracy d: the largest degree seen at
+// removal time.
+//
+// Degeneracy bounds arboricity: a(G) ≤ d(G) ≤ 2a(G) − 1, so d is the
+// arboricity estimate we hand to Section 5 when the caller does not know a
+// exactly. Orienting each edge from earlier to later in the order gives an
+// acyclic orientation with out-degree ≤ d.
+func DegeneracyOrder(g *Graph) (order []int, degeneracy int) {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// buckets[d] holds vertices of current degree d.
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		// The minimum current degree can drop by at most 1 per removal, so a
+		// moving pointer with a single step back keeps this linear overall.
+		if cur > 0 {
+			cur--
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		// Pop a vertex with the (lazily maintained) minimum degree.
+		var v int
+		for {
+			b := buckets[cur]
+			v = b[len(b)-1]
+			buckets[cur] = b[:len(b)-1]
+			if !removed[v] && deg[v] == cur {
+				break
+			}
+			// Stale entry; find the next candidate, advancing buckets as
+			// they drain.
+			for cur <= maxDeg && len(buckets[cur]) == 0 {
+				cur++
+			}
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, a := range g.Adj(v) {
+			u := int(a.To)
+			if !removed[u] {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// ArboricityUpperBound returns an upper bound on the arboricity of g derived
+// from its degeneracy (a ≤ degeneracy always, and degeneracy ≤ 2a−1, so the
+// bound is within a factor 2 of the truth).
+func ArboricityUpperBound(g *Graph) int {
+	if g.M() == 0 {
+		return 0
+	}
+	_, d := DegeneracyOrder(g)
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// IsConnected reports whether g is connected (the empty graph is connected).
+func IsConnected(g *Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.Adj(v) {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, int(a.To))
+			}
+		}
+	}
+	return count == n
+}
+
+// DegreeHistogram returns hist where hist[d] counts vertices of degree d.
+func DegreeHistogram(g *Graph) []int {
+	hist := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		hist[g.Degree(v)]++
+	}
+	return hist
+}

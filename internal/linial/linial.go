@@ -1,0 +1,244 @@
+// Package linial implements Linial's deterministic color reduction [30]: a
+// proper m₀-coloring (initially, the identifiers) is reduced to an
+// O(Δ² log² Δ)-coloring within O(log* m₀) communication rounds.
+//
+// One reduction step works over a prime field F_q. A color c < q^(d+1) is
+// read as the coefficient vector of a polynomial p_c of degree ≤ d over F_q.
+// Distinct colors give distinct polynomials, which agree on at most d
+// points; with q ≥ dΔ+1, a vertex can always find an evaluation point x such
+// that its polynomial differs from every neighbor's polynomial at x. The
+// pair (x, p_c(x)) — encoded as x·q + p_c(x) < q² — becomes the new color.
+// Iterating until the palette stops shrinking lands at q = O(Δ log Δ), i.e.
+// a palette of O(Δ² log² Δ). This is the standard implementable form of
+// Linial's bound; the remaining gap to O(Δ²) is absorbed by the reductions
+// in package reduce (see DESIGN.md §5, deviation 3).
+//
+// The paper's §3 trick — computing this coloring once and reusing it as the
+// identifier space of every recursive subproblem so that log* n is paid only
+// once — is supported through the topology's seed labels: when a seed
+// coloring with palette m₀ ≪ n is supplied, the schedule shortens to
+// O(log* m₀) steps.
+package linial
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/util"
+)
+
+// Step is one reduction round: colors in [m] are mapped into [q²] using
+// degree-≤ d polynomials over F_q.
+type Step struct {
+	D int64 // polynomial degree bound
+	Q int64 // field size (prime, ≥ dΔ+1, with q^(d+1) ≥ m)
+	M int64 // resulting palette size q²
+}
+
+// maxQ guards 64-bit overflow: q² and x·q+val must stay within int64.
+const maxQ = 3_000_000_000
+
+// BuildSchedule computes the deterministic reduction schedule from an
+// initial palette m0 and maximum degree delta. Every vertex derives this
+// same schedule locally from global knowledge (m₀ and Δ), so no coordination
+// is needed. The schedule is empty when no step shrinks the palette.
+func BuildSchedule(m0 int64, delta int) []Step {
+	if delta < 1 {
+		delta = 1
+	}
+	var steps []Step
+	m := m0
+	for {
+		best, ok := bestStep(m, delta)
+		if !ok || best.M >= m {
+			return steps
+		}
+		steps = append(steps, best)
+		m = best.M
+	}
+}
+
+// bestStep finds the degree d minimizing the resulting palette q².
+func bestStep(m int64, delta int) (Step, bool) {
+	var best Step
+	found := false
+	for d := int64(1); d <= 62; d++ {
+		lo := d*int64(delta) + 1
+		root := ceilRoot(m, d+1)
+		if root > lo {
+			lo = root
+		}
+		if lo > maxQ {
+			continue
+		}
+		q := int64(util.NextPrime(int(lo)))
+		if q > maxQ {
+			continue
+		}
+		mp := q * q
+		if !found || mp < best.M {
+			best = Step{D: d, Q: q, M: mp}
+			found = true
+		}
+		// Larger d can no longer help once the field size is dominated by
+		// the dΔ term rather than the root term.
+		if root <= d*int64(delta)+1 {
+			break
+		}
+	}
+	return best, found
+}
+
+// ceilRoot returns the smallest r ≥ 1 with r^k ≥ m.
+func ceilRoot(m int64, k int64) int64 {
+	if m <= 1 {
+		return 1
+	}
+	r := int64(util.IRoot(int(m), int(k)))
+	if !powAtLeast(r, k, m) {
+		r++
+	}
+	return r
+}
+
+// powAtLeast reports whether r^k ≥ m without overflowing.
+func powAtLeast(r, k, m int64) bool {
+	acc := int64(1)
+	for i := int64(0); i < k; i++ {
+		if r != 0 && acc > m/r+1 {
+			return true
+		}
+		acc *= r
+		if acc >= m {
+			return true
+		}
+	}
+	return acc >= m
+}
+
+// Result is the outcome of a Linial reduction run.
+type Result struct {
+	Colors  []int64 // proper coloring, one entry per vertex
+	Palette int64   // all colors are < Palette
+	Stats   sim.Stats
+}
+
+// Reduce runs the schedule on topology t. The starting coloring is the
+// topology's seed labels when present (they must form a proper coloring
+// with palette m0), otherwise the identifiers (with m0 > every ID).
+func Reduce(eng sim.Engine, t *sim.Topology, m0 int64) (*Result, error) {
+	if m0 < 1 {
+		return nil, fmt.Errorf("linial: palette bound %d < 1", m0)
+	}
+	delta := t.G.MaxDegree()
+	schedule := BuildSchedule(m0, delta)
+	colors := make([]int64, t.G.N())
+	factory := func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		return newMachine(info, schedule, &colors[info.V])
+	}
+	stats, err := eng.Run(t, factory, len(schedule)+2)
+	if err != nil {
+		return nil, fmt.Errorf("linial: %w", err)
+	}
+	palette := m0
+	if len(schedule) > 0 {
+		palette = schedule[len(schedule)-1].M
+	}
+	return &Result{Colors: colors, Palette: palette, Stats: stats}, nil
+}
+
+// FinalPalette returns the palette produced by a schedule starting at m0.
+func FinalPalette(m0 int64, delta int) int64 {
+	s := BuildSchedule(m0, delta)
+	if len(s) == 0 {
+		return m0
+	}
+	return s[len(s)-1].M
+}
+
+type machine struct {
+	schedule []Step
+	color    int64
+	sink     *int64
+}
+
+func newMachine(info sim.NodeInfo, schedule []Step, sink *int64) *machine {
+	start := info.ID
+	if info.Label >= 0 {
+		start = info.Label
+	}
+	return &machine{schedule: schedule, color: start, sink: sink}
+}
+
+// Step implements sim.Machine. Round 0 broadcasts the starting color; round
+// r ≥ 1 applies schedule[r-1] to the colors received in round r-1 and
+// broadcasts the result, halting after the last step.
+func (mc *machine) Step(round int, in []sim.Message, out []sim.Message) bool {
+	if round == 0 {
+		if len(mc.schedule) == 0 {
+			*mc.sink = mc.color
+			return true
+		}
+		sim.SendAll(out, mc.color)
+		return false
+	}
+	st := mc.schedule[round-1]
+	mc.color = applyStep(mc.color, sim.Int64s(in, -1), st)
+	if round == len(mc.schedule) {
+		*mc.sink = mc.color
+		return true
+	}
+	sim.SendAll(out, mc.color)
+	return false
+}
+
+// applyStep performs one polynomial reduction at a single vertex.
+func applyStep(c int64, nbrColors []int64, st Step) int64 {
+	d, q := st.D, st.Q
+	mine := decompose(c, q, d+1)
+	// Decompose each distinct neighbor color once.
+	var nbrs [][]int64
+	for _, nc := range nbrColors {
+		if nc < 0 || nc == c {
+			// nc == c would mean an improper input coloring; skipping keeps
+			// the step well-defined (the caller's validation catches it).
+			continue
+		}
+		nbrs = append(nbrs, decompose(nc, q, d+1))
+	}
+	for x := int64(0); x < q; x++ {
+		val := evalPoly(mine, x, q)
+		ok := true
+		for _, nb := range nbrs {
+			if evalPoly(nb, x, q) == val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return x*q + val
+		}
+	}
+	// Unreachable when q > dΔ and the input coloring is proper.
+	panic(fmt.Sprintf("linial: no evaluation point in F_%d for degree %d with %d neighbors", q, d, len(nbrs)))
+}
+
+// decompose writes c in base q as k coefficients (little-endian).
+func decompose(c, q, k int64) []int64 {
+	coeffs := make([]int64, k)
+	for i := int64(0); i < k; i++ {
+		coeffs[i] = c % q
+		c /= q
+	}
+	return coeffs
+}
+
+// evalPoly evaluates the polynomial with the given little-endian
+// coefficients at x over F_q (Horner).
+func evalPoly(coeffs []int64, x, q int64) int64 {
+	var acc int64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = (acc*x + coeffs[i]) % q
+	}
+	return acc
+}

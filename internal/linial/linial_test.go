@@ -1,0 +1,230 @@
+package linial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/util"
+	"repro/internal/verify"
+)
+
+func rg(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestScheduleShrinks(t *testing.T) {
+	steps := BuildSchedule(1_000_000, 10)
+	if len(steps) == 0 {
+		t.Fatal("expected at least one step")
+	}
+	m := int64(1_000_000)
+	for i, s := range steps {
+		if s.Q <= s.D*10 {
+			t.Fatalf("step %d: field size %d too small for dΔ=%d", i, s.Q, s.D*10)
+		}
+		if s.M >= m {
+			t.Fatalf("step %d does not shrink palette: %d >= %d", i, s.M, m)
+		}
+		if !util.IsPrime(int(s.Q)) {
+			t.Fatalf("step %d: q=%d not prime", i, s.Q)
+		}
+		m = s.M
+	}
+}
+
+func TestScheduleStepsAreLogStar(t *testing.T) {
+	// Number of steps should be small (log*-ish), not logarithmic: even for
+	// an enormous starting palette it must stay in single digits.
+	steps := BuildSchedule(1<<60, 8)
+	if len(steps) > 10 {
+		t.Fatalf("schedule unexpectedly long: %d steps", len(steps))
+	}
+}
+
+func TestScheduleFixpointPalette(t *testing.T) {
+	// Final palette must be O(Δ² log² Δ): check a generous concrete bound
+	// Δ²·(log₂Δ+4)² for a range of Δ.
+	for _, d := range []int{1, 2, 4, 8, 16, 64, 256} {
+		final := FinalPalette(1<<40, d)
+		lg := int64(util.Log2Ceil(d+1) + 4)
+		bound := int64(d) * int64(d) * lg * lg
+		if final > bound {
+			t.Errorf("Δ=%d: final palette %d exceeds Δ²log²Δ bound %d", d, final, bound)
+		}
+	}
+}
+
+func TestReduceProducesProperColoring(t *testing.T) {
+	g := rg(5, 120, 0.08)
+	topo := sim.NewTopology(g)
+	res, err := Reduce(sim.Sequential, topo, int64(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != len(BuildSchedule(int64(g.N()), g.MaxDegree()))+1 {
+		t.Fatalf("rounds %d != schedule+1", res.Stats.Rounds)
+	}
+}
+
+func TestReduceWithSeedLabels(t *testing.T) {
+	g := rg(6, 100, 0.1)
+	// Seed: a proper coloring with a huge palette (IDs spread out).
+	seed := make([]int64, g.N())
+	for v := range seed {
+		seed[v] = int64(v) * 1_000_003
+	}
+	m0 := int64(g.N()) * 1_000_003
+	topo := &sim.Topology{G: g, Labels: seed}
+	res, err := Reduce(sim.Sequential, topo, m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+	if res.Palette >= m0 {
+		t.Fatal("palette did not shrink")
+	}
+}
+
+func TestReduceSeedShorterThanIDs(t *testing.T) {
+	// §3 trick: starting from a small proper seed coloring takes fewer
+	// steps than starting from raw IDs.
+	g := rg(8, 300, 0.05)
+	d := g.MaxDegree()
+	small := FinalPalette(int64(g.N()), d)
+	fromIDs := len(BuildSchedule(int64(g.N()), d))
+	fromSeed := len(BuildSchedule(small, d))
+	if fromSeed > fromIDs {
+		t.Fatalf("seeded schedule longer: %d > %d", fromSeed, fromIDs)
+	}
+}
+
+func TestReduceOnEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(5).MustBuild()
+	res, err := Reduce(sim.Sequential, sim.NewTopology(g), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, res.Palette); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSingleColorSeed(t *testing.T) {
+	// Palette of size 1 on an edgeless graph: schedule empty, nothing to do.
+	g := graph.NewBuilder(3).MustBuild()
+	topo := &sim.Topology{G: g, Labels: []int64{0, 0, 0}}
+	res, err := Reduce(sim.Sequential, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Palette != 1 {
+		t.Fatalf("palette %d", res.Palette)
+	}
+}
+
+func TestReduceRejectsBadPalette(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := Reduce(sim.Sequential, sim.NewTopology(g), 0); err == nil {
+		t.Fatal("expected palette error")
+	}
+}
+
+func TestReduceQuickOverFamilies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		g := rg(seed, n, 0.15)
+		res, err := Reduce(sim.Sequential, sim.NewTopology(g), int64(n))
+		if err != nil {
+			return false
+		}
+		return verify.VertexColoring(g, res.Colors, res.Palette) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceEnginesAgree(t *testing.T) {
+	g := rg(13, 150, 0.06)
+	r1, err := Reduce(sim.Sequential, sim.NewTopology(g), int64(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Reduce(sim.Parallel, sim.NewTopology(g), int64(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats != r2.Stats || r1.Palette != r2.Palette {
+		t.Fatal("engines disagree on stats/palette")
+	}
+	for v := range r1.Colors {
+		if r1.Colors[v] != r2.Colors[v] {
+			t.Fatalf("engines disagree at vertex %d", v)
+		}
+	}
+}
+
+func TestApplyStepDeterministicAndProper(t *testing.T) {
+	// Direct unit test of the polynomial step on a small clique: all
+	// distinct colors must map to distinct new colors when applied with each
+	// vertex seeing the others as neighbors.
+	st := Step{D: 2, Q: 11, M: 121}
+	colors := []int64{5, 17, 100, 1000, 42}
+	newColors := make(map[int64]bool)
+	for i, c := range colors {
+		var nbrs []int64
+		for j, o := range colors {
+			if j != i {
+				nbrs = append(nbrs, o)
+			}
+		}
+		nc := applyStep(c, nbrs, st)
+		if nc < 0 || nc >= st.M {
+			t.Fatalf("new color %d out of range", nc)
+		}
+		if newColors[nc] {
+			t.Fatalf("collision on new color %d", nc)
+		}
+		newColors[nc] = true
+	}
+}
+
+func TestPolyHelpers(t *testing.T) {
+	// decompose/eval round trip: value of polynomial at x=q is... check
+	// decompose base-q digits recompose to c.
+	q := int64(13)
+	for _, c := range []int64{0, 1, 12, 13, 168, 2196} {
+		co := decompose(c, q, 4)
+		var back int64
+		mult := int64(1)
+		for _, d := range co {
+			back += d * mult
+			mult *= q
+		}
+		if back != c {
+			t.Fatalf("decompose(%d) round trip gave %d", c, back)
+		}
+	}
+	// evalPoly: p(x) = 3 + 2x + x² at x=5 mod 7 = (3+10+25) mod 7 = 38 mod 7 = 3.
+	if got := evalPoly([]int64{3, 2, 1}, 5, 7); got != 3 {
+		t.Fatalf("evalPoly = %d, want 3", got)
+	}
+}

@@ -1,0 +1,248 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+func rg(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// greedySeed builds a proper coloring with a deliberately wasteful palette m
+// by offsetting a greedy coloring into spread-out classes.
+func greedySeed(g *graph.Graph, spread int64) ([]int64, int64) {
+	colors := make([]int64, g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	for v := 0; v < g.N(); v++ {
+		used := map[int64]bool{}
+		for _, a := range g.Adj(v) {
+			if colors[a.To] >= 0 {
+				used[colors[a.To]] = true
+			}
+		}
+		var c int64
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	for v := range colors {
+		colors[v] *= spread
+	}
+	return colors, (int64(g.MaxDegree()) + 1) * spread
+}
+
+func TestTrimClasses(t *testing.T) {
+	g := rg(2, 80, 0.1)
+	seed, m := greedySeed(g, 7)
+	target := int64(g.MaxDegree()) + 1
+	topo := &sim.Topology{G: g, Labels: seed}
+	res, err := TrimClasses(sim.Sequential, topo, m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, target); err != nil {
+		t.Fatal(err)
+	}
+	wantRounds := int(m-target) + 1
+	if res.Stats.Rounds != wantRounds {
+		t.Fatalf("rounds %d, want %d", res.Stats.Rounds, wantRounds)
+	}
+}
+
+func TestTrimNoopWhenAlreadyBelowTarget(t *testing.T) {
+	g := graph.Path(5)
+	topo := &sim.Topology{G: g, Labels: []int64{0, 1, 0, 1, 0}}
+	res, err := TrimClasses(sim.Sequential, topo, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 0 || res.Palette != 2 {
+		t.Fatalf("expected zero-cost passthrough, got %+v", res)
+	}
+}
+
+func TestTrimRejectsLowTarget(t *testing.T) {
+	g := graph.Star(5)
+	seed, m := greedySeed(g, 1)
+	topo := &sim.Topology{G: g, Labels: seed}
+	if _, err := TrimClasses(sim.Sequential, topo, m, int64(g.MaxDegree())); err == nil {
+		t.Fatal("expected target<Δ+1 error")
+	}
+}
+
+func TestTrimRejectsMissingLabels(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := TrimClasses(sim.Sequential, sim.NewTopology(g), 5, 3); err == nil {
+		t.Fatal("expected missing-labels error")
+	}
+}
+
+func TestTrimRejectsOutOfRangeLabels(t *testing.T) {
+	g := graph.Path(3)
+	topo := &sim.Topology{G: g, Labels: []int64{0, 9, 0}}
+	if _, err := TrimClasses(sim.Sequential, topo, 5, 3); err == nil {
+		t.Fatal("expected label range error")
+	}
+}
+
+func TestKuhnWattenhofer(t *testing.T) {
+	g := rg(4, 100, 0.08)
+	seed, m := greedySeed(g, 97) // large, wasteful palette
+	target := int64(g.MaxDegree()) + 1
+	topo := &sim.Topology{G: g, Labels: seed}
+	res, err := KuhnWattenhofer(sim.Sequential, topo, m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, res.Colors, target); err != nil {
+		t.Fatal(err)
+	}
+	// Round bound: |schedule| + 1 ≈ target·log₂(m/target) + 1; assert the
+	// measured rounds match the derived schedule exactly and beat trimming.
+	if int64(res.Stats.Rounds) >= m-target+1 {
+		t.Fatalf("KW (%d rounds) not faster than trim (%d)", res.Stats.Rounds, m-target+1)
+	}
+}
+
+func TestKWScheduleProperties(t *testing.T) {
+	for _, tc := range []struct{ m, target int64 }{
+		{100, 5}, {1000, 11}, {17, 8}, {64, 32}, {33, 16}, {4096, 7},
+	} {
+		plan := kwSchedule(tc.m, tc.target)
+		if len(plan) == 0 {
+			t.Fatalf("m=%d T=%d: empty plan", tc.m, tc.target)
+		}
+		// Phases end with renumber steps; last round must renumber.
+		if !plan[len(plan)-1].renumberAfter {
+			t.Fatalf("m=%d T=%d: plan does not end a phase", tc.m, tc.target)
+		}
+		// Round cost must be O(T·log(m/T)): generous constant-4 check.
+		logRatio := 1
+		for x := tc.m; x > tc.target; x /= 2 {
+			logRatio++
+		}
+		if int64(len(plan)) > 4*tc.target*int64(logRatio) {
+			t.Fatalf("m=%d T=%d: plan length %d exceeds O(T log(m/T))", tc.m, tc.target, len(plan))
+		}
+	}
+}
+
+func TestKWQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(50)
+		g := rg(seed, n, 0.15)
+		sd, m := greedySeed(g, 13)
+		target := int64(g.MaxDegree()) + 1
+		topo := &sim.Topology{G: g, Labels: sd}
+		res, err := KuhnWattenhofer(sim.Sequential, topo, m, target)
+		if err != nil {
+			return false
+		}
+		return verify.VertexColoring(g, res.Colors, target) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + rng.Intn(30)
+		g := rg(seed, n, 0.2)
+		sd, m := greedySeed(g, 3)
+		target := int64(g.MaxDegree()) + 1
+		topo := &sim.Topology{G: g, Labels: sd}
+		res, err := TrimClasses(sim.Sequential, topo, m, target)
+		if err != nil {
+			return false
+		}
+		return verify.VertexColoring(g, res.Colors, target) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoPicksFaster(t *testing.T) {
+	g := rg(9, 60, 0.15)
+	target := int64(g.MaxDegree()) + 1
+
+	// Small palette gap: trim should win.
+	seedSmall, _ := greedySeed(g, 1)
+	topo := &sim.Topology{G: g, Labels: seedSmall}
+	resSmall, err := Auto(sim.Sequential, topo, target+3, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSmall.Stats.Rounds > 4 {
+		t.Fatalf("small-gap Auto used %d rounds", resSmall.Stats.Rounds)
+	}
+
+	// Huge palette: KW should win; verify the result is still proper.
+	seedBig, m := greedySeed(g, 1009)
+	topo = &sim.Topology{G: g, Labels: seedBig}
+	resBig, err := Auto(sim.Sequential, topo, m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VertexColoring(g, resBig.Colors, target); err != nil {
+		t.Fatal(err)
+	}
+	if int64(resBig.Stats.Rounds) >= m-target {
+		t.Fatal("Auto failed to pick KW for a large palette")
+	}
+}
+
+func TestEstimateAutoRounds(t *testing.T) {
+	if EstimateAutoRounds(10, 20) != 0 {
+		t.Fatal("no reduction needed should cost 0")
+	}
+	if EstimateAutoRounds(25, 20) != 6 {
+		t.Fatalf("small gap should use trim: got %d", EstimateAutoRounds(25, 20))
+	}
+	big := EstimateAutoRounds(1<<20, 8)
+	if big <= 0 || big > 8*2*25 {
+		t.Fatalf("big gap estimate out of range: %d", big)
+	}
+}
+
+func TestKWEnginesAgree(t *testing.T) {
+	g := rg(14, 90, 0.1)
+	sd, m := greedySeed(g, 31)
+	target := int64(g.MaxDegree()) + 1
+	t1 := &sim.Topology{G: g, Labels: sd}
+	t2 := &sim.Topology{G: g, Labels: sd}
+	r1, err := KuhnWattenhofer(sim.Sequential, t1, m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KuhnWattenhofer(sim.Parallel, t2, m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Colors {
+		if r1.Colors[v] != r2.Colors[v] {
+			t.Fatal("engine mismatch")
+		}
+	}
+}

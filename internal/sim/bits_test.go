@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// sizedMsg is a test payload with an explicit bit size.
+type sizedMsg struct{ n int64 }
+
+func (s sizedMsg) Bits() int64 { return s.n }
+
+func TestBitAccounting(t *testing.T) {
+	// Path 0-1-2: vertex 0 sends a 128-bit message, vertex 2 a plain int64
+	// (64 bits), vertex 1 nothing; everyone halts after one exchange.
+	g := graph.Path(3)
+	f := func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		return FuncMachine(func(round int, in []Message, out []Message) bool {
+			if round == 0 {
+				switch info.ID {
+				case 0:
+					SendAll(out, sizedMsg{n: 128})
+				case 2:
+					SendAll(out, int64(7))
+				}
+				return false
+			}
+			return true
+		})
+	}
+	stats, err := RunSequential(NewTopology(g), f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 2 {
+		t.Fatalf("messages = %d, want 2", stats.Messages)
+	}
+	if stats.Bits != 128+64 {
+		t.Fatalf("bits = %d, want 192", stats.Bits)
+	}
+	if stats.MaxMessageBits != 128 {
+		t.Fatalf("max message bits = %d, want 128", stats.MaxMessageBits)
+	}
+}
+
+func TestBitAccountingCombinators(t *testing.T) {
+	a := Stats{Rounds: 2, Messages: 10, Bits: 640, MaxMessageBits: 64}
+	b := Stats{Rounds: 5, Messages: 1, Bits: 999, MaxMessageBits: 999}
+	seq := a.Seq(b)
+	if seq.Bits != 1639 || seq.MaxMessageBits != 999 || seq.Rounds != 7 {
+		t.Fatalf("Seq wrong: %+v", seq)
+	}
+	par := a.Par(b)
+	if par.Bits != 1639 || par.MaxMessageBits != 999 || par.Rounds != 5 {
+		t.Fatalf("Par wrong: %+v", par)
+	}
+}
+
+func TestBitAccountingEnginesAgree(t *testing.T) {
+	g := graph.Complete(9)
+	f := func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		return FuncMachine(func(round int, in []Message, out []Message) bool {
+			if round < 2 {
+				SendAll(out, sizedMsg{n: info.ID + 1})
+				return false
+			}
+			return true
+		})
+	}
+	s1, err := RunSequential(NewTopology(g), f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunParallel(NewTopology(g), f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("engines disagree: %+v vs %+v", s1, s2)
+	}
+}

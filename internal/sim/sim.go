@@ -1,0 +1,532 @@
+// Package sim is the synchronous message-passing runtime (the LOCAL model of
+// §1.1 of the paper) on which every algorithm in this repository executes.
+//
+// A network is a Topology: a graph whose vertices are processors with
+// distinct identifiers. An algorithm is a Factory producing one Machine per
+// vertex; a Machine is a pure state machine advanced once per round. In each
+// round every machine reads the messages its neighbors sent in the previous
+// round (one inbox slot per incident edge), updates local state, and writes
+// outgoing messages (one outbox slot per incident edge). The engine delivers
+// outboxes to inboxes between rounds. Running time is the number of rounds
+// until every machine has halted, exactly the paper's measure.
+//
+// Knowledge model: as is standard for deterministic LOCAL algorithms
+// (KT1), a machine initially knows its own identifier, degree, the global
+// parameters n and Δ, and its neighbors' identifiers and seed labels. All
+// other information must travel over edges.
+//
+// Two engines are provided. RunSequential advances machines in index order
+// within a round — fast and allocation-light. RunParallel executes each
+// round concurrently with one goroutine per CPU over vertex shards,
+// synchronized by barriers; messages still cross only between rounds.
+// Machines are pure functions of (state, inbox), so both engines produce
+// bit-identical executions; tests assert this.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Message is an arbitrary payload travelling over one edge for one round.
+// nil means "no message".
+type Message any
+
+// NodeInfo is the initial knowledge of a vertex (see the package comment).
+type NodeInfo struct {
+	V      int   // vertex index within the topology (engine bookkeeping)
+	ID     int64 // unique identifier, the only identity algorithms should use
+	Label  int64 // seed label (e.g. a proper coloring from an earlier phase); -1 if unset
+	Degree int
+	N      int // number of vertices in the topology (global knowledge)
+	MaxDeg int // Δ of the topology (global knowledge)
+}
+
+// Machine is the per-vertex state machine of an algorithm.
+type Machine interface {
+	// Step executes one synchronous round. in[p] holds the message sent by
+	// the neighbor on port p in the previous round (nil if none, and on
+	// round 0). The machine writes messages into out[p] (pre-cleared to
+	// nil). Step returns true when the vertex halts; a halted machine is
+	// never stepped again and sends nothing.
+	Step(round int, in []Message, out []Message) bool
+}
+
+// Factory creates the machine for one vertex. nbrIDs[p] and nbrLabels[p]
+// are the identifier and seed label of the neighbor on port p.
+type Factory func(info NodeInfo, nbrIDs []int64, nbrLabels []int64) Machine
+
+// Topology is a network: a graph plus per-vertex identifiers and optional
+// seed labels.
+type Topology struct {
+	G *graph.Graph
+	// IDs are the distinct vertex identifiers. nil means "use vertex index".
+	IDs []int64
+	// Labels are optional seed labels (§3 of the paper replaces IDs with a
+	// precomputed O(Δ²)-coloring to avoid repeated log* n terms). nil means
+	// "unset" (-1 is passed to machines).
+	Labels []int64
+}
+
+// NewTopology wraps g with default identifiers 0..n-1.
+func NewTopology(g *graph.Graph) *Topology { return &Topology{G: g} }
+
+// ID returns the identifier of vertex v.
+func (t *Topology) ID(v int) int64 {
+	if t.IDs == nil {
+		return int64(v)
+	}
+	return t.IDs[v]
+}
+
+// Label returns the seed label of v, or -1 when unset.
+func (t *Topology) Label(v int) int64 {
+	if t.Labels == nil {
+		return -1
+	}
+	return t.Labels[v]
+}
+
+// Validate checks that identifiers are distinct.
+func (t *Topology) Validate() error {
+	if t.IDs != nil {
+		if len(t.IDs) != t.G.N() {
+			return fmt.Errorf("sim: %d IDs for %d vertices", len(t.IDs), t.G.N())
+		}
+		seen := make(map[int64]bool, len(t.IDs))
+		for _, id := range t.IDs {
+			if seen[id] {
+				return fmt.Errorf("sim: duplicate identifier %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if t.Labels != nil && len(t.Labels) != t.G.N() {
+		return fmt.Errorf("sim: %d labels for %d vertices", len(t.Labels), t.G.N())
+	}
+	return nil
+}
+
+// Sizer lets a message payload report its encoded size in bits. Payloads
+// that do not implement Sizer are accounted as one machine word (64 bits).
+// The paper's model is LOCAL (unbounded messages); this accounting measures
+// how far each algorithm actually strays from CONGEST-sized messages.
+type Sizer interface {
+	Bits() int64
+}
+
+// Stats records the cost of an execution or of a composition of executions.
+type Stats struct {
+	Rounds   int
+	Messages int64
+	// Bits is the total traffic in bits under the Sizer accounting.
+	Bits int64
+	// MaxMessageBits is the largest single message observed — the CONGEST
+	// yardstick (CONGEST allows O(log n) bits per message per round).
+	MaxMessageBits int64
+}
+
+// Seq returns the cost of running s then o sequentially.
+func (s Stats) Seq(o Stats) Stats {
+	return Stats{
+		Rounds:         s.Rounds + o.Rounds,
+		Messages:       s.Messages + o.Messages,
+		Bits:           s.Bits + o.Bits,
+		MaxMessageBits: maxI64(s.MaxMessageBits, o.MaxMessageBits),
+	}
+}
+
+// Par returns the cost of running s and o concurrently on (possibly
+// overlapping) parts of the network: rounds take the maximum, messages add.
+// This is the paper's accounting for "for each Gi in parallel do".
+func (s Stats) Par(o Stats) Stats {
+	r := s.Rounds
+	if o.Rounds > r {
+		r = o.Rounds
+	}
+	return Stats{
+		Rounds:         r,
+		Messages:       s.Messages + o.Messages,
+		Bits:           s.Bits + o.Bits,
+		MaxMessageBits: maxI64(s.MaxMessageBits, o.MaxMessageBits),
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// messageBits returns the accounted size of one message.
+func messageBits(m Message) int64 {
+	if s, ok := m.(Sizer); ok {
+		return s.Bits()
+	}
+	return 64
+}
+
+// ParAll folds Par over a set of concurrent executions.
+func ParAll(all []Stats) Stats {
+	var acc Stats
+	for _, s := range all {
+		acc = acc.Par(s)
+	}
+	return acc
+}
+
+// ErrRoundLimit is returned when an execution exceeds its round budget,
+// which in this codebase always indicates an algorithm bug (deadlock or
+// non-termination), not an expected condition.
+var ErrRoundLimit = errors.New("sim: round limit exceeded")
+
+// instance holds the shared execution state of one run.
+type instance struct {
+	t         *Topology
+	machines  []Machine
+	done      []bool
+	remaining int
+	// in and out are per-vertex per-port message buffers.
+	in  [][]Message
+	out [][]Message
+	// peer[v][p] locates the inbox slot fed by v's port p: the arc
+	// (v -> u, edge e) feeds u's port index for edge e.
+	peer     [][]portRef
+	messages int64
+}
+
+type portRef struct {
+	v    int32
+	port int32
+}
+
+func newInstance(t *Topology, f Factory) (*instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	g := t.G
+	n := g.N()
+	inst := &instance{
+		t:         t,
+		machines:  make([]Machine, n),
+		done:      make([]bool, n),
+		remaining: n,
+		in:        make([][]Message, n),
+		out:       make([][]Message, n),
+		peer:      make([][]portRef, n),
+	}
+	// Port index of each incident edge at each vertex.
+	portOf := make([]map[int32]int32, n)
+	for v := 0; v < n; v++ {
+		adj := g.Adj(v)
+		portOf[v] = make(map[int32]int32, len(adj))
+		for p, a := range adj {
+			portOf[v][a.Edge] = int32(p)
+		}
+	}
+	for v := 0; v < n; v++ {
+		adj := g.Adj(v)
+		deg := len(adj)
+		inst.in[v] = make([]Message, deg)
+		inst.out[v] = make([]Message, deg)
+		inst.peer[v] = make([]portRef, deg)
+		for p, a := range adj {
+			inst.peer[v][p] = portRef{v: a.To, port: portOf[a.To][a.Edge]}
+		}
+		nbrIDs := make([]int64, deg)
+		nbrLabels := make([]int64, deg)
+		for p, a := range adj {
+			nbrIDs[p] = t.ID(int(a.To))
+			if t.Labels == nil {
+				nbrLabels[p] = -1
+			} else {
+				nbrLabels[p] = t.Labels[a.To]
+			}
+		}
+		info := NodeInfo{
+			V:      v,
+			ID:     t.ID(v),
+			Label:  t.Label(v),
+			Degree: deg,
+			N:      n,
+			MaxDeg: g.MaxDegree(),
+		}
+		inst.machines[v] = f(info, nbrIDs, nbrLabels)
+	}
+	return inst, nil
+}
+
+// sendStats aggregates the traffic one vertex emitted in one round.
+type sendStats struct {
+	msgs    int64
+	bits    int64
+	maxBits int64
+}
+
+func (a *sendStats) add(b sendStats) {
+	a.msgs += b.msgs
+	a.bits += b.bits
+	if b.maxBits > a.maxBits {
+		a.maxBits = b.maxBits
+	}
+}
+
+// stepVertex advances one machine and returns its emitted traffic.
+func (inst *instance) stepVertex(v, round int) sendStats {
+	if inst.done[v] {
+		return sendStats{}
+	}
+	out := inst.out[v]
+	for p := range out {
+		out[p] = nil
+	}
+	if inst.machines[v].Step(round, inst.in[v], out) {
+		inst.done[v] = true
+	}
+	var st sendStats
+	for p := range out {
+		if out[p] != nil {
+			st.msgs++
+			b := messageBits(out[p])
+			st.bits += b
+			if b > st.maxBits {
+				st.maxBits = b
+			}
+		}
+	}
+	return st
+}
+
+// deliver moves v's outbox into neighbors' inboxes. A halted vertex's
+// outbox is empty (cleared by its last step and never rewritten), but its
+// neighbors may still be running, so inbox slots fed by halted vertices are
+// cleared to nil each round via the normal copy.
+func (inst *instance) deliverFrom(v int) {
+	out := inst.out[v]
+	refs := inst.peer[v]
+	for p := range out {
+		ref := refs[p]
+		inst.in[ref.v][ref.port] = out[p]
+	}
+}
+
+func (inst *instance) clearOutbox(v int) {
+	out := inst.out[v]
+	for p := range out {
+		out[p] = nil
+	}
+}
+
+// RunSequential executes the algorithm to global termination, advancing
+// vertices in index order within each round.
+func RunSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	inst, err := newInstance(t, f)
+	if err != nil {
+		return Stats{}, err
+	}
+	n := t.G.N()
+	var stats Stats
+	for round := 0; ; round++ {
+		if inst.remaining == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
+		}
+		for v := 0; v < n; v++ {
+			wasDone := inst.done[v]
+			st := inst.stepVertex(v, round)
+			stats.Messages += st.msgs
+			stats.Bits += st.bits
+			if st.maxBits > stats.MaxMessageBits {
+				stats.MaxMessageBits = st.maxBits
+			}
+			if !wasDone && inst.done[v] {
+				inst.remaining--
+			}
+		}
+		for v := 0; v < n; v++ {
+			inst.deliverFrom(v)
+		}
+		// Outboxes of vertices that halted this round must not be
+		// redelivered next round.
+		for v := 0; v < n; v++ {
+			if inst.done[v] {
+				inst.clearOutbox(v)
+			}
+		}
+		stats.Rounds++
+	}
+	return stats, nil
+}
+
+// RunReverseSequential executes the algorithm stepping vertices in reverse
+// index order within each round. Synchronous message passing makes the
+// in-round order semantically irrelevant; this engine exists to *prove*
+// that — any program whose results depend on intra-round scheduling (e.g.
+// by leaking state through shared memory mid-round) will diverge from
+// RunSequential under test.
+func RunReverseSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	inst, err := newInstance(t, f)
+	if err != nil {
+		return Stats{}, err
+	}
+	n := t.G.N()
+	var stats Stats
+	for round := 0; ; round++ {
+		if inst.remaining == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
+		}
+		for v := n - 1; v >= 0; v-- {
+			wasDone := inst.done[v]
+			st := inst.stepVertex(v, round)
+			stats.Messages += st.msgs
+			stats.Bits += st.bits
+			if st.maxBits > stats.MaxMessageBits {
+				stats.MaxMessageBits = st.maxBits
+			}
+			if !wasDone && inst.done[v] {
+				inst.remaining--
+			}
+		}
+		for v := 0; v < n; v++ {
+			inst.deliverFrom(v)
+		}
+		for v := 0; v < n; v++ {
+			if inst.done[v] {
+				inst.clearOutbox(v)
+			}
+		}
+		stats.Rounds++
+	}
+	return stats, nil
+}
+
+// RunParallel executes the algorithm with shard-per-goroutine concurrency.
+// The execution is bit-identical to RunSequential.
+func RunParallel(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	inst, err := newInstance(t, f)
+	if err != nil {
+		return Stats{}, err
+	}
+	n := t.G.N()
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var stats Stats
+	halted := make([]int, workers)     // per-shard newly halted counts
+	sent := make([]sendStats, workers) // per-shard traffic
+	for round := 0; ; round++ {
+		if inst.remaining == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
+		}
+		runShards(n, workers, func(w, lo, hi int) {
+			var h int
+			var s sendStats
+			for v := lo; v < hi; v++ {
+				wasDone := inst.done[v]
+				s.add(inst.stepVertex(v, round))
+				if !wasDone && inst.done[v] {
+					h++
+				}
+			}
+			halted[w], sent[w] = h, s
+		})
+		for w := 0; w < workers; w++ {
+			inst.remaining -= halted[w]
+			stats.Messages += sent[w].msgs
+			stats.Bits += sent[w].bits
+			if sent[w].maxBits > stats.MaxMessageBits {
+				stats.MaxMessageBits = sent[w].maxBits
+			}
+		}
+		// Delivery writes each inbox slot exactly once (its unique feeding
+		// neighbor), so sharding by source vertex is race-free.
+		runShards(n, workers, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				inst.deliverFrom(v)
+				if inst.done[v] {
+					inst.clearOutbox(v)
+				}
+			}
+		})
+		stats.Rounds++
+	}
+	return stats, nil
+}
+
+// runShards splits [0,n) into contiguous shards and runs fn on each from
+// its own goroutine, waiting for all to finish.
+func runShards(n, workers int, fn func(w, lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Engine selects an execution engine; the zero value is the sequential one.
+type Engine int
+
+const (
+	// Sequential is the deterministic single-threaded engine.
+	Sequential Engine = iota
+	// Parallel is the goroutine-sharded engine.
+	Parallel
+	// ReverseSequential steps vertices in reverse order (scheduling-
+	// independence validation; see RunReverseSequential).
+	ReverseSequential
+)
+
+// Run dispatches to the selected engine.
+func (e Engine) Run(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	switch e {
+	case Parallel:
+		return RunParallel(t, f, maxRounds)
+	case ReverseSequential:
+		return RunReverseSequential(t, f, maxRounds)
+	default:
+		return RunSequential(t, f, maxRounds)
+	}
+}
+
+// DefaultMaxRounds returns a generous round budget for a topology: all
+// algorithms here are polylogarithmic or poly-Δ, so 64·(Δ²+log²n+64) rounds
+// only trips on genuine non-termination.
+func DefaultMaxRounds(t *Topology) int {
+	n := t.G.N()
+	d := t.G.MaxDegree()
+	logn := 1
+	for v := n; v > 1; v >>= 1 {
+		logn++
+	}
+	return 64 * (d*d + logn*logn + 64)
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func rg(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// neighborSumProgram: every vertex broadcasts its ID in round 0, sums the
+// received IDs in round 1, stores the result, and halts.
+func neighborSumProgram(results []int64) Factory {
+	return func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		return FuncMachine(func(round int, in []Message, out []Message) bool {
+			switch round {
+			case 0:
+				SendAll(out, info.ID)
+				return info.Degree == 0 // isolated vertices are done immediately
+			default:
+				var sum int64
+				for _, m := range in {
+					sum += m.(int64)
+				}
+				results[info.V] = sum
+				return true
+			}
+		})
+	}
+}
+
+func TestNeighborSum(t *testing.T) {
+	g := rg(1, 40, 0.2)
+	results := make([]int64, g.N())
+	topo := NewTopology(g)
+	stats, err := RunSequential(topo, neighborSumProgram(results), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		var want int64
+		for _, a := range g.Adj(v) {
+			want += int64(a.To)
+		}
+		if g.Degree(v) > 0 && results[v] != want {
+			t.Fatalf("vertex %d sum = %d, want %d", v, results[v], want)
+		}
+	}
+	if stats.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", stats.Rounds)
+	}
+	if stats.Messages != 2*int64(g.M()) {
+		t.Fatalf("messages = %d, want %d", stats.Messages, 2*g.M())
+	}
+}
+
+// bfsProgram floods a token from the vertex with identifier 0; every vertex
+// records the round it first hears the token (its BFS distance).
+func bfsProgram(dist []int) Factory {
+	return func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		reached := info.ID == 0
+		relayed := false
+		if reached {
+			dist[info.V] = 0
+		}
+		return FuncMachine(func(round int, in []Message, out []Message) bool {
+			if reached && !relayed {
+				SendAll(out, int64(1))
+				relayed = true
+				return true
+			}
+			if !reached {
+				for _, m := range in {
+					if m != nil {
+						reached = true
+						dist[info.V] = round
+						break
+					}
+				}
+				if reached {
+					SendAll(out, int64(1))
+					relayed = true
+					return true
+				}
+			}
+			return false
+		})
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := rg(7, 60, 0.08)
+	// Compute reference distances from vertex 0 by BFS.
+	want := make([]int, g.N())
+	for i := range want {
+		want[i] = -1
+	}
+	want[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Adj(v) {
+			if want[a.To] == -1 {
+				want[a.To] = want[v] + 1
+				queue = append(queue, int(a.To))
+			}
+		}
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	topo := NewTopology(g)
+	// Unreachable vertices never halt; bound rounds and expect the error if
+	// the graph is disconnected.
+	_, err := RunSequential(topo, bfsProgram(dist), g.N()+2)
+	disconnected := false
+	for _, d := range want {
+		if d == -1 {
+			disconnected = true
+		}
+	}
+	if disconnected {
+		if !errors.Is(err, ErrRoundLimit) {
+			t.Fatalf("expected round-limit error on disconnected graph, got %v", err)
+		}
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if want[v] != -1 && dist[v] != want[v] {
+			t.Fatalf("vertex %d distance %d, want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestEnginesProduceIdenticalExecutions(t *testing.T) {
+	g := rg(3, 200, 0.05)
+	r1 := make([]int64, g.N())
+	r2 := make([]int64, g.N())
+	s1, err := RunSequential(NewTopology(g), neighborSumProgram(r1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunParallel(NewTopology(g), neighborSumProgram(r2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for v := range r1 {
+		if r1[v] != r2[v] {
+			t.Fatalf("vertex %d differs: %d vs %d", v, r1[v], r2[v])
+		}
+	}
+}
+
+func TestEngineDispatch(t *testing.T) {
+	g := graph.Path(4)
+	res := make([]int64, 4)
+	for _, e := range []Engine{Sequential, Parallel} {
+		if _, err := e.Run(NewTopology(g), neighborSumProgram(res), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundLimitError(t *testing.T) {
+	g := graph.Path(3)
+	forever := func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		return FuncMachine(func(round int, in []Message, out []Message) bool {
+			return false
+		})
+	}
+	_, err := RunSequential(NewTopology(g), forever, 5)
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("want ErrRoundLimit, got %v", err)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	g := graph.Path(3)
+	topo := &Topology{G: g, IDs: []int64{1, 1, 2}}
+	if err := topo.Validate(); err == nil {
+		t.Fatal("expected duplicate ID error")
+	}
+	topo = &Topology{G: g, IDs: []int64{1}}
+	if err := topo.Validate(); err == nil {
+		t.Fatal("expected ID length error")
+	}
+	topo = &Topology{G: g, Labels: []int64{1}}
+	if err := topo.Validate(); err == nil {
+		t.Fatal("expected label length error")
+	}
+	topo = &Topology{G: g, IDs: []int64{5, 3, 9}, Labels: []int64{0, 1, 0}}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.ID(1) != 3 || topo.Label(2) != 0 {
+		t.Fatal("accessors wrong")
+	}
+	plain := NewTopology(g)
+	if plain.ID(2) != 2 || plain.Label(0) != -1 {
+		t.Fatal("default accessors wrong")
+	}
+}
+
+func TestNodeInfoAndNeighborKnowledge(t *testing.T) {
+	g := graph.Star(5)
+	ids := []int64{100, 200, 300, 400, 500}
+	labels := []int64{7, 8, 9, 10, 11}
+	topo := &Topology{G: g, IDs: ids, Labels: labels}
+	type seen struct {
+		info   NodeInfo
+		nbrIDs []int64
+		nbrLbl []int64
+	}
+	got := make([]seen, g.N())
+	f := func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		got[info.V] = seen{info, append([]int64(nil), nbrIDs...), append([]int64(nil), nbrLabels...)}
+		return FuncMachine(func(round int, in []Message, out []Message) bool { return true })
+	}
+	if _, err := RunSequential(topo, f, 5); err != nil {
+		t.Fatal(err)
+	}
+	center := got[0]
+	if center.info.ID != 100 || center.info.Degree != 4 || center.info.MaxDeg != 4 || center.info.N != 5 {
+		t.Fatalf("center info wrong: %+v", center.info)
+	}
+	if len(center.nbrIDs) != 4 {
+		t.Fatal("center should see 4 neighbor IDs")
+	}
+	for p, a := range g.Adj(0) {
+		if center.nbrIDs[p] != ids[a.To] || center.nbrLbl[p] != labels[a.To] {
+			t.Fatal("neighbor knowledge mismatched with ports")
+		}
+	}
+	leaf := got[3]
+	if leaf.info.Label != 10 || len(leaf.nbrIDs) != 1 || leaf.nbrIDs[0] != 100 {
+		t.Fatalf("leaf knowledge wrong: %+v", leaf)
+	}
+}
+
+func TestStatsCombinators(t *testing.T) {
+	a := Stats{Rounds: 5, Messages: 100}
+	b := Stats{Rounds: 3, Messages: 50}
+	if s := a.Seq(b); s.Rounds != 8 || s.Messages != 150 {
+		t.Fatalf("Seq wrong: %+v", s)
+	}
+	if s := a.Par(b); s.Rounds != 5 || s.Messages != 150 {
+		t.Fatalf("Par wrong: %+v", s)
+	}
+	if s := ParAll([]Stats{a, b, {Rounds: 9, Messages: 1}}); s.Rounds != 9 || s.Messages != 151 {
+		t.Fatalf("ParAll wrong: %+v", s)
+	}
+	if s := ParAll(nil); s.Rounds != 0 || s.Messages != 0 {
+		t.Fatalf("empty ParAll wrong: %+v", s)
+	}
+}
+
+func TestHaltedVertexStopsSending(t *testing.T) {
+	// Vertex with ID 0 halts immediately after sending once; its neighbor
+	// must see the message in round 1 but nothing in round 2.
+	g := graph.Path(2)
+	var sawRound1, sawRound2 bool
+	f := func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		if info.ID == 0 {
+			return FuncMachine(func(round int, in []Message, out []Message) bool {
+				SendAll(out, int64(42))
+				return true
+			})
+		}
+		return FuncMachine(func(round int, in []Message, out []Message) bool {
+			switch round {
+			case 1:
+				sawRound1 = in[0] != nil
+				return false
+			case 2:
+				sawRound2 = in[0] != nil
+				return true
+			}
+			return false
+		})
+	}
+	if _, err := RunSequential(NewTopology(g), f, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !sawRound1 {
+		t.Fatal("final message of halting vertex was not delivered")
+	}
+	if sawRound2 {
+		t.Fatal("halted vertex message redelivered")
+	}
+}
+
+func TestInt64sHelper(t *testing.T) {
+	in := []Message{int64(3), nil, int64(9)}
+	got := Int64s(in, -1)
+	if got[0] != 3 || got[1] != -1 || got[2] != 9 {
+		t.Fatalf("Int64s wrong: %v", got)
+	}
+}
+
+func TestDefaultMaxRounds(t *testing.T) {
+	if DefaultMaxRounds(NewTopology(graph.Complete(10))) <= 0 {
+		t.Fatal("round budget must be positive")
+	}
+}

@@ -1,0 +1,85 @@
+package star
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// TestEdgeColorParameterSpaceQuick drives the star partition over random
+// graphs, depths and legal t values — not just the canonical ⌊Δ^{1/(x+1)}⌋.
+// Properness and the declared palette must hold for every legal draw.
+func TestEdgeColorParameterSpaceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(50)
+		g := gen.GNP(n, 0.1+rng.Float64()*0.2, seed)
+		if g.MaxDegree() < 4 {
+			return true
+		}
+		x := rng.Intn(3) // 0..2
+		tt := 2 + rng.Intn(4)
+		res, err := EdgeColor(g, tt, x, Options{})
+		if err != nil {
+			return false
+		}
+		if verify.EdgeColoring(g, res.Colors, res.Palette) != nil {
+			return false
+		}
+		// The guarantee is the smaller of the declared product and (after
+		// the trim) the 2^{x+1}Δ bound.
+		return res.Palette <= res.Declared || res.Palette <= res.Bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeColorSchedulingIndependence: the star recursion composes pure
+// phases; reverse-order execution must be bit-identical.
+func TestEdgeColorSchedulingIndependence(t *testing.T) {
+	g := gen.GNP(60, 0.15, 47)
+	tt, err := ChooseT(g.MaxDegree(), 1)
+	if err != nil {
+		t.Skip("degenerate Δ")
+	}
+	fwd, err := EdgeColor(g, tt, 1, Options{Exec: sim.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := EdgeColor(g, tt, 1, Options{Exec: sim.ReverseSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range fwd.Colors {
+		if fwd.Colors[e] != rev.Colors[e] {
+			t.Fatalf("edge %d differs under reverse scheduling", e)
+		}
+	}
+}
+
+// TestDeclaredDominatesMeasured: the declared palette formula must always
+// dominate the maximum color actually emitted (pre-trim), across a sweep.
+func TestDeclaredDominatesMeasured(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		g, err := gen.NearRegular(150, 18, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := ChooseT(g.MaxDegree(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EdgeColor(g, tt, 1, Options{SkipTrim: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := verify.MaxColor(res.Colors); got >= res.Declared {
+			t.Fatalf("seed %d: max color %d ≥ declared %d", seed, got, res.Declared)
+		}
+	}
+}

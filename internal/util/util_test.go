@@ -1,0 +1,181 @@
+package util
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {1, 2, 1}, {2, 2, 1}, {3, 2, 2},
+		{10, 3, 4}, {9, 3, 3}, {100, 7, 15}, {-3, 2, 0},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZeroDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero divisor")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestISqrtExact(t *testing.T) {
+	for n := 0; n <= 10000; n++ {
+		got := ISqrt(n)
+		if got*got > n || (got+1)*(got+1) <= n {
+			t.Fatalf("ISqrt(%d) = %d is not the floor square root", n, got)
+		}
+	}
+}
+
+func TestISqrtQuick(t *testing.T) {
+	f := func(x uint32) bool {
+		n := int(x % 1_000_000_000)
+		r := ISqrt(n)
+		return r*r <= n && (r+1)*(r+1) > n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICbrt(t *testing.T) {
+	for n := 0; n <= 5000; n++ {
+		got := ICbrt(n)
+		if got*got*got > n || (got+1)*(got+1)*(got+1) <= n {
+			t.Fatalf("ICbrt(%d) = %d incorrect", n, got)
+		}
+	}
+}
+
+func TestIRootAgreesWithSpecialCases(t *testing.T) {
+	for n := 0; n <= 3000; n++ {
+		if IRoot(n, 2) != ISqrt(n) {
+			t.Fatalf("IRoot(%d,2)=%d != ISqrt=%d", n, IRoot(n, 2), ISqrt(n))
+		}
+		if IRoot(n, 3) != ICbrt(n) {
+			t.Fatalf("IRoot(%d,3)=%d != ICbrt=%d", n, IRoot(n, 3), ICbrt(n))
+		}
+		if IRoot(n, 1) != n {
+			t.Fatalf("IRoot(%d,1) != n", n)
+		}
+	}
+}
+
+func TestIRootQuick(t *testing.T) {
+	f := func(x uint16, kk uint8) bool {
+		n := int(x)
+		k := int(kk%6) + 1
+		r := IRoot(n, k)
+		if n < 2 {
+			return r == n
+		}
+		// r^k <= n < (r+1)^k
+		return powAtMost(r, k, n) && !powAtMost(r+1, k, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPow(t *testing.T) {
+	cases := []struct{ b, e, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {10, 3, 1000}, {0, 0, 1}, {0, 3, 0}, {1, 62, 1},
+	}
+	for _, c := range cases {
+		if got := IPow(c.b, c.e); got != c.want {
+			t.Errorf("IPow(%d,%d)=%d want %d", c.b, c.e, got, c.want)
+		}
+	}
+}
+
+func TestIPowOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	IPow(1<<32, 3)
+}
+
+func TestLog2(t *testing.T) {
+	if Log2Ceil(1) != 0 || Log2Floor(1) != 0 {
+		t.Fatal("log2(1) should be 0")
+	}
+	for n := 2; n < 1<<20; n = n*7/3 + 1 {
+		wantF := int(math.Floor(math.Log2(float64(n))))
+		wantC := int(math.Ceil(math.Log2(float64(n))))
+		if got := Log2Floor(n); got != wantF {
+			t.Errorf("Log2Floor(%d)=%d want %d", n, got, wantF)
+		}
+		if got := Log2Ceil(n); got != wantC {
+			t.Errorf("Log2Ceil(%d)=%d want %d", n, got, wantC)
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 3}, {17, 4}, {65536, 4}, {65537, 5}, {1 << 62, 5},
+	}
+	for _, c := range cases {
+		if got := LogStar(c.n); got != c.want {
+			t.Errorf("LogStar(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPrimes(t *testing.T) {
+	known := map[int]bool{
+		2: true, 3: true, 4: false, 5: true, 9: false, 97: true, 91: false,
+		7919: true, 7917: false, 1: false, 0: false,
+	}
+	for n, want := range known {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d)=%v want %v", n, got, want)
+		}
+	}
+	if NextPrime(14) != 17 || NextPrime(17) != 17 || NextPrime(0) != 2 || NextPrime(8) != 11 {
+		t.Fatal("NextPrime incorrect")
+	}
+}
+
+func TestNextPrimeQuick(t *testing.T) {
+	f := func(x uint16) bool {
+		n := int(x)
+		p := NextPrime(n)
+		if p < n || !IsPrime(p) {
+			return false
+		}
+		for q := Max(n, 2); q < p; q++ {
+			if IsPrime(q) {
+				return false // skipped a prime
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Min/Max broken")
+	}
+	if Clamp(7, 0, 5) != 5 || Clamp(-1, 0, 5) != 0 || Clamp(3, 0, 5) != 3 {
+		t.Fatal("Clamp broken")
+	}
+}

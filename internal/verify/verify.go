@@ -1,0 +1,113 @@
+// Package verify contains the correctness oracles every test and benchmark
+// in this repository runs against: proper-coloring checks with palette
+// bounds for vertices and edges, plus validators for the structural objects
+// of the paper (H-partitions, orientations). Benchmarks call these too — a
+// benchmark that produces an improper coloring fails rather than reporting
+// a meaningless number.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// VertexColoring checks that colors is a proper vertex coloring of g using
+// colors in [0, palette).
+func VertexColoring(g *graph.Graph, colors []int64, palette int64) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if colors[v] < 0 || colors[v] >= palette {
+			return fmt.Errorf("verify: vertex %d color %d outside [0,%d)", v, colors[v], palette)
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if colors[u] == colors[v] {
+			return fmt.Errorf("verify: adjacent vertices %d,%d share color %d", u, v, colors[u])
+		}
+	}
+	return nil
+}
+
+// EdgeColoring checks that colors is a proper edge coloring of g (one color
+// per edge identifier; edges sharing an endpoint get distinct colors) using
+// colors in [0, palette).
+func EdgeColoring(g *graph.Graph, colors []int64, palette int64) error {
+	if len(colors) != g.M() {
+		return fmt.Errorf("verify: %d colors for %d edges", len(colors), g.M())
+	}
+	for e := 0; e < g.M(); e++ {
+		if colors[e] < 0 || colors[e] >= palette {
+			return fmt.Errorf("verify: edge %d color %d outside [0,%d)", e, colors[e], palette)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		seen := make(map[int64]int32, g.Degree(v))
+		for _, a := range g.Adj(v) {
+			c := colors[a.Edge]
+			if prev, dup := seen[c]; dup {
+				return fmt.Errorf("verify: edges %d,%d at vertex %d share color %d", prev, a.Edge, v, c)
+			}
+			seen[c] = a.Edge
+		}
+	}
+	return nil
+}
+
+// PaletteUsed returns the number of distinct colors appearing in colors.
+func PaletteUsed(colors []int64) int {
+	seen := make(map[int64]bool, len(colors))
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// MaxColor returns the largest color value, or -1 for an empty slice.
+func MaxColor(colors []int64) int64 {
+	max := int64(-1)
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// HPartition checks the defining property of an H-partition with degree
+// bound d: every vertex in part i has at most d neighbors in parts ≥ i.
+// part[v] values must lie in [0, numParts).
+func HPartition(g *graph.Graph, part []int, numParts, d int) error {
+	if len(part) != g.N() {
+		return fmt.Errorf("verify: %d part labels for %d vertices", len(part), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if part[v] < 0 || part[v] >= numParts {
+			return fmt.Errorf("verify: vertex %d part %d outside [0,%d)", v, part[v], numParts)
+		}
+		later := 0
+		for _, a := range g.Adj(v) {
+			if part[a.To] >= part[v] {
+				later++
+			}
+		}
+		if later > d {
+			return fmt.Errorf("verify: vertex %d (part %d) has %d ≥-part neighbors, bound %d", v, part[v], later, d)
+		}
+	}
+	return nil
+}
+
+// AcyclicOrientation checks acyclicity and the out-degree bound of o.
+func AcyclicOrientation(o *graph.Orientation, maxOut int) error {
+	if !o.IsAcyclic() {
+		return fmt.Errorf("verify: orientation has a directed cycle")
+	}
+	if d := o.MaxOutDegree(); d > maxOut {
+		return fmt.Errorf("verify: orientation out-degree %d exceeds bound %d", d, maxOut)
+	}
+	return nil
+}

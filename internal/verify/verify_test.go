@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestVertexColoring(t *testing.T) {
+	g := graph.Path(3)
+	if err := VertexColoring(g, []int64{0, 1, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VertexColoring(g, []int64{0, 0, 1}, 2); err == nil {
+		t.Fatal("expected improper error")
+	}
+	if err := VertexColoring(g, []int64{0, 2, 0}, 2); err == nil {
+		t.Fatal("expected palette error")
+	}
+	if err := VertexColoring(g, []int64{0, 1}, 2); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := VertexColoring(g, []int64{0, -1, 0}, 2); err == nil {
+		t.Fatal("expected negative color error")
+	}
+}
+
+func TestEdgeColoring(t *testing.T) {
+	g := graph.Path(3) // edges {0,1}=0, {1,2}=1
+	if err := EdgeColoring(g, []int64{0, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := EdgeColoring(g, []int64{1, 1}, 2); err == nil {
+		t.Fatal("expected shared-endpoint conflict")
+	}
+	if err := EdgeColoring(g, []int64{0, 5}, 2); err == nil {
+		t.Fatal("expected palette error")
+	}
+	if err := EdgeColoring(g, []int64{0}, 2); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestPaletteHelpers(t *testing.T) {
+	if PaletteUsed([]int64{3, 3, 1, 0, 1}) != 3 {
+		t.Fatal("PaletteUsed wrong")
+	}
+	if MaxColor([]int64{3, 9, 1}) != 9 || MaxColor(nil) != -1 {
+		t.Fatal("MaxColor wrong")
+	}
+}
+
+func TestHPartitionCheck(t *testing.T) {
+	g := graph.Star(5) // center 0 degree 4
+	// Put center in the last part alone: center has 0 ≥-part neighbors...
+	// actually neighbors of leaves in parts ≥ theirs include the center.
+	part := []int{1, 0, 0, 0, 0}
+	if err := HPartition(g, part, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Center in part 0: it has 4 neighbors in parts ≥ 0 → bound 1 fails.
+	part = []int{0, 1, 1, 1, 1}
+	if err := HPartition(g, part, 2, 1); err == nil {
+		t.Fatal("expected degree-bound violation")
+	}
+	if err := HPartition(g, []int{0}, 2, 1); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := HPartition(g, []int{5, 0, 0, 0, 0}, 2, 4); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestAcyclicOrientationCheck(t *testing.T) {
+	g := graph.Cycle(3)
+	ranks := []int{0, 1, 2}
+	o := graph.OrientByOrder(g, ranks)
+	if err := AcyclicOrientation(o, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := AcyclicOrientation(o, 1); err == nil {
+		t.Fatal("expected out-degree violation")
+	}
+	cyc, err := graph.NewOrientation(g, []int32{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AcyclicOrientation(cyc, 3); err == nil {
+		t.Fatal("expected cycle detection")
+	}
+}

@@ -1,0 +1,88 @@
+package distcolor
+
+// Shape tests: the paper's Table 1 is fundamentally a claim about round
+// *exponents*. These tests fit log-log slopes on measured rounds across a
+// Δ sweep and assert the orderings the paper predicts. Absolute exponents
+// differ from the paper's by roughly 2× (the substituted black box is
+// linear rather than √ in its argument; EXPERIMENTS.md), but ours must stay
+// polynomially below the previous best's.
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/star"
+)
+
+func TestTable1RoundExponents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-Δ sweep")
+	}
+	deltas := []int{16, 32, 64, 128}
+	var xs, oursR, prevR []float64
+	for _, d := range deltas {
+		g, err := bench.Workload(d, 2017)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := star.ChooseT(g.MaxDegree(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ours, err := star.EdgeColor(g, tt, 1, star.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := baseline.BE11EdgeColor(g, 1, star.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The robust form of "who wins": pointwise dominance at every Δ of
+		// the sweep (the slope gap is only ~Δ^{1/12} under the substituted
+		// black box and drowns in per-level constants at laptop Δ).
+		if ours.Stats.Rounds >= prev.Stats.Rounds {
+			t.Fatalf("Δ=%d: ours %d rounds not below previous best's %d", d, ours.Stats.Rounds, prev.Stats.Rounds)
+		}
+		xs = append(xs, float64(g.MaxDegree()))
+		oursR = append(oursR, float64(ours.Stats.Rounds))
+		prevR = append(prevR, float64(prev.Stats.Rounds))
+	}
+	oursSlope := bench.FitSlope(xs, oursR)
+	prevSlope := bench.FitSlope(xs, prevR)
+	t.Logf("round exponents at x=1: ours %.2f, previous %.2f (paper: 1/4 vs 1/3; doubled under the substituted black box: 1/2 vs 2/3)", oursSlope, prevSlope)
+	// Both must be genuinely sublinear in Δ; the ordering itself is
+	// asserted pointwise above.
+	if oursSlope <= 0 || oursSlope > 0.85 {
+		t.Fatalf("ours' exponent %.2f outside plausible range", oursSlope)
+	}
+	if prevSlope > 1.1 {
+		t.Fatalf("previous best's exponent %.2f implausibly superlinear", prevSlope)
+	}
+}
+
+func TestSection5RoundGrowthIsLogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-n sweep")
+	}
+	// Theorem 5.2's rounds are O(a log n) — for fixed a the measured rounds
+	// must grow far slower than n: the slope of rounds vs n must be ≪ 1/2.
+	var ns, rounds []float64
+	for _, hub := range []int{100, 200, 400, 800} {
+		row, err := bench.RunSparseRow(3*hub, 2, hub, 2017)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range row.Rows {
+			if m.Algorithm == "thm5.2" {
+				ns = append(ns, float64(row.N))
+				rounds = append(rounds, float64(m.Rounds))
+			}
+		}
+	}
+	slope := bench.FitSlope(ns, rounds)
+	t.Logf("thm5.2 rounds-vs-n exponent: %.3f (paper: logarithmic)", slope)
+	if slope > 0.4 {
+		t.Fatalf("rounds grow like n^%.2f — not logarithmic", slope)
+	}
+}
