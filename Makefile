@@ -1,0 +1,29 @@
+# Tier-1 verify is `go build ./... && go test ./...` (ROADMAP.md); `make ci`
+# runs that plus vet and the race pass over the concurrent packages.
+
+GO ?= go
+
+.PHONY: build test vet race bench tables ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race pass targets the packages with real concurrency: the service
+# (cache + worker pool hammer), the simulator's sharded engine, and the
+# parallel-vs-sequential equivalence tests in arbor.
+race:
+	$(GO) test -race ./internal/service/ ./internal/sim/ ./internal/graph/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX .
+
+tables:
+	$(GO) run ./cmd/colorbench -table all -quick
+
+ci: build vet test race

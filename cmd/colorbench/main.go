@@ -9,6 +9,12 @@
 //	colorbench -table 2            # Table 2: CD-coloring vs previous best
 //	colorbench -table 5            # Section 5: Thm 5.2/5.3/5.4 vs 2Δ−1
 //	colorbench -table all -quick   # everything, smaller sweeps
+//	colorbench -server http://localhost:8080   # drive a live colord instead
+//
+// With -server the harness doubles as a service load generator: the same
+// synthetic families are generated server-side (/v1/generate), every sweep
+// runs twice so the second pass must come from the result cache, and the
+// server's cache-hit counters are reported at the end.
 //
 // Every reported row is verified (proper coloring within the declared
 // palette) before printing; the program exits non-zero otherwise.
@@ -27,7 +33,16 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, 5, or all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	server := flag.String("server", "", "base URL of a running colord instance; when set, colorbench becomes a load generator driving the service instead of running in-process")
 	flag.Parse()
+
+	if *server != "" {
+		if err := runRemote(*server, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: remote: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		switch *table {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	distcolor "repro"
+	"repro/internal/bench"
+	"repro/internal/service"
+)
+
+// Remote mode: instead of running the experiment tables in-process,
+// colorbench drives a live colord instance — the bench harness doubling as
+// a service load generator. Workloads are synthesized server-side via
+// /v1/generate, every sweep is submitted twice so the second pass exercises
+// the result cache, and the server's own counters (cache hits, rounds,
+// messages) are reported alongside per-job results.
+
+// remoteSweep is one generator workload family plus the algorithm template
+// to run it under.
+type remoteSweep struct {
+	name string
+	gen  service.GenSpec
+	tmpl distcolor.Request
+}
+
+func remoteSweeps(seed int64, quick bool) []remoteSweep {
+	count := 3
+	n := 600
+	hub := 200
+	if quick {
+		count = 2
+		n = 300
+		hub = 100
+	}
+	return []remoteSweep{
+		{
+			name: "sparse/foresthub",
+			gen:  service.GenSpec{Family: "foresthub", N: n, A: 2, Hub: hub, Seed: seed, Count: count},
+			tmpl: distcolor.Request{Algorithm: distcolor.AlgoEdgeSparse, Arboricity: 3},
+		},
+		{
+			name: "star/nearregular",
+			gen:  service.GenSpec{Family: "nearregular", N: 256, Degree: 16, Seed: seed, Count: count},
+			tmpl: distcolor.Request{Algorithm: distcolor.AlgoEdgeStar, X: 1},
+		},
+		{
+			name: "greedy/gnp",
+			gen:  service.GenSpec{Family: "gnp", N: 200, P: 0.05, Seed: seed, Count: count},
+			tmpl: distcolor.Request{Algorithm: distcolor.AlgoEdgeGreedy},
+		},
+		{
+			name: "cd/hypergraph",
+			gen:  service.GenSpec{Family: "hypergraph", NV: 30, Rank: 3, NE: 120, Seed: seed, Count: count},
+			tmpl: distcolor.Request{Algorithm: distcolor.AlgoVertexCD, X: 1},
+		},
+	}
+}
+
+// runRemote drives the colord instance at base through the sweeps.
+func runRemote(base string, seed int64, quick bool) error {
+	c := &service.Client{Base: base}
+	before, err := c.Metrics()
+	if err != nil {
+		return fmt.Errorf("cannot reach colord at %s: %w", base, err)
+	}
+
+	var rows [][]string
+	for _, sw := range remoteSweeps(seed, quick) {
+		// Two passes over identical workloads: the first simulates, the
+		// second must be answered by the content-addressed result cache.
+		for pass := 1; pass <= 2; pass++ {
+			batch, err := c.Generate(service.GenerateRequest{Gen: sw.gen, Template: sw.tmpl})
+			if err != nil {
+				return fmt.Errorf("sweep %s pass %d: %w", sw.name, pass, err)
+			}
+			for i, job := range batch.Jobs {
+				if job.Error != "" {
+					return fmt.Errorf("sweep %s pass %d job %d: %s", sw.name, pass, i, job.Error)
+				}
+				st, err := c.Wait(job.ID, 0, 10*time.Minute)
+				if err != nil {
+					return err
+				}
+				if st.State != service.StateDone {
+					return fmt.Errorf("sweep %s pass %d job %s: state %s (%s)", sw.name, pass, job.ID, st.State, st.Error)
+				}
+				// The cache contract is part of what this harness checks:
+				// an identical pass-2 workload must not re-simulate.
+				if pass == 2 && !st.CacheHit {
+					return fmt.Errorf("sweep %s job %s: pass-2 workload was not served from the result cache", sw.name, job.ID)
+				}
+				rows = append(rows, []string{
+					sw.name, strconv.Itoa(pass), st.ID,
+					strconv.Itoa(st.N), strconv.Itoa(st.M),
+					st.Algorithm,
+					strconv.FormatInt(st.Palette, 10),
+					strconv.Itoa(st.Rounds),
+					strconv.FormatInt(st.Messages, 10),
+					strconv.FormatInt(st.WallMS, 10),
+					strconv.FormatBool(st.CacheHit),
+				})
+			}
+		}
+	}
+
+	if err := bench.RenderTable(os.Stdout,
+		"colord load run (remote): every pass-2 row must be served from the result cache",
+		[]string{"sweep", "pass", "job", "n", "m", "algorithm", "palette", "rounds", "messages", "wall ms", "cached"},
+		rows); err != nil {
+		return err
+	}
+
+	after, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nserver counters over this run: submitted=%d completed=%d cache hits=%d misses=%d bad=%d; rounds=%d messages=%d\n",
+		after.Submitted-before.Submitted,
+		after.Completed-before.Completed,
+		after.CacheHits-before.CacheHits,
+		after.CacheMisses-before.CacheMisses,
+		after.CacheBadHits-before.CacheBadHits,
+		after.RoundsTotal-before.RoundsTotal,
+		after.MessagesTotal-before.MessagesTotal)
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command colord is the coloring daemon: an HTTP/JSON service that runs the
+// distcolor algorithms behind a job queue, a worker pool, and a
+// content-addressed result cache (see internal/service and DESIGN.md §6).
+//
+// Quickstart (see README.md for the full walk-through):
+//
+//	colord -addr :8080 &
+//
+//	# submit a 5-cycle for the adaptive Δ+o(Δ) edge coloring
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "algorithm": "edge/sparse",
+//	  "graph": {"n": 5, "edges": [[0,1],[1,2],[2,3],[3,4],[4,0]]}
+//	}'
+//	# → {"id":"j1","state":"queued",...}
+//
+//	curl -s localhost:8080/v1/jobs/j1           # poll status
+//	curl -s localhost:8080/v1/jobs/j1/result    # fetch the coloring
+//	curl -s localhost:8080/v1/jobs/j1/trace     # stream the round trace
+//	curl -s localhost:8080/v1/metrics           # cache hits, rounds, ...
+//
+// Submitting the same graph (or any isomorphic relabeling of it) again is
+// answered from the result cache without re-simulation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	queue := flag.Int("queue", 0, "work queue depth (0 = default 256)")
+	cache := flag.Int("cache", 0, "result cache entries (0 = default 512, negative disables)")
+	maxN := flag.Int("max-vertices", 0, "reject graphs with more vertices (0 = default 200000, negative disables)")
+	maxM := flag.Int("max-edges", 0, "reject graphs with more edges (0 = default 2000000, negative disables)")
+	parallel := flag.Bool("parallel", false, "run every job on the goroutine-sharded simulator engine (results are bit-identical; wall-clock policy only)")
+	flag.Parse()
+
+	srv := service.NewServer(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxVertices:  *maxN,
+		MaxEdges:     *maxM,
+		Parallel:     *parallel,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("colord: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("colord: serving on %s (workers=%d queue=%d cache=%d)",
+		*addr, *workers, *queue, *cache)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("colord: %v", err)
+	}
+	srv.Close()
+	log.Printf("colord: drained")
+}

@@ -1,0 +1,236 @@
+package distcolor
+
+import (
+	"fmt"
+)
+
+// This file is the stable wire codec of the library: a JSON-friendly
+// Request/Response pair that names every entry point, plus Execute, which
+// dispatches a Request to the matching algorithm and verifies the produced
+// coloring before returning it. The colord service (internal/service,
+// cmd/colord) speaks exactly these types over HTTP; keeping them here makes
+// the same codec usable in-process, which is how cmd/colorbench can target
+// either a live daemon or the library with one workload description.
+
+// Algorithm names accepted in Request.Algorithm.
+const (
+	// AlgoEdgeGreedy is the folklore (2Δ−1)-edge-coloring baseline.
+	AlgoEdgeGreedy = "edge/greedy"
+	// AlgoEdgeStar is the §4 star-partition (2^{x+1}Δ)-edge-coloring
+	// (parameter X, default 1).
+	AlgoEdgeStar = "edge/star"
+	// AlgoEdgeSparse is the adaptive Corollary 5.5 (Δ+o(Δ))-edge-coloring
+	// (parameters Arboricity — 0 means "estimate" — and Q).
+	AlgoEdgeSparse = "edge/sparse"
+	// AlgoEdgeSparse52/53/54x2/54x3 pin a specific Section 5 theorem.
+	AlgoEdgeSparse52   = "edge/sparse/thm5.2"
+	AlgoEdgeSparse53   = "edge/sparse/thm5.3"
+	AlgoEdgeSparse54x2 = "edge/sparse/thm5.4x2"
+	AlgoEdgeSparse54x3 = "edge/sparse/thm5.4x3"
+	// AlgoVertexDelta1 is the classical deterministic (Δ+1)-vertex-coloring.
+	AlgoVertexDelta1 = "vertex/delta1"
+	// AlgoVertexCD is the §3 clique-decomposition coloring; the Request must
+	// carry the clique cover (Graph.Cliques) and may set X (default 1).
+	AlgoVertexCD = "vertex/cd"
+)
+
+// Algorithms lists every Request.Algorithm value Execute accepts.
+func Algorithms() []string {
+	return []string{
+		AlgoEdgeGreedy, AlgoEdgeStar,
+		AlgoEdgeSparse, AlgoEdgeSparse52, AlgoEdgeSparse53, AlgoEdgeSparse54x2, AlgoEdgeSparse54x3,
+		AlgoVertexDelta1, AlgoVertexCD,
+	}
+}
+
+// GraphSpec is the wire form of a graph: a vertex count and an edge list.
+// For AlgoVertexCD it additionally carries the clique cover.
+type GraphSpec struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+	// Cliques is the clique cover for AlgoVertexCD (each list is one
+	// clique's vertices); ignored by every other algorithm.
+	Cliques [][]int32 `json:"cliques,omitempty"`
+}
+
+// Spec converts a built graph back to its wire form.
+func Spec(g *Graph) GraphSpec {
+	s := GraphSpec{N: g.N(), Edges: make([][2]int, 0, g.M())}
+	for _, e := range g.Edges() {
+		s.Edges = append(s.Edges, [2]int{int(e.U), int(e.V)})
+	}
+	return s
+}
+
+// Build validates the spec and constructs the immutable graph. Endpoints
+// are range-checked against [0, N) here, before the builder's int32
+// narrowing, so out-of-range wire values fail instead of silently wrapping
+// onto a different vertex.
+func (s GraphSpec) Build() (*Graph, error) {
+	b := NewBuilder(s.N)
+	for i, e := range s.Edges {
+		if e[0] < 0 || e[0] >= s.N || e[1] < 0 || e[1] >= s.N {
+			return nil, fmt.Errorf("distcolor: edge %d endpoints {%d,%d} out of range [0,%d)", i, e[0], e[1], s.N)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Request describes one coloring workload in a stable, JSON-serializable
+// form.
+type Request struct {
+	// Algorithm is one of the Algo* constants.
+	Algorithm string    `json:"algorithm"`
+	Graph     GraphSpec `json:"graph"`
+	// X is the recursion-depth parameter of AlgoEdgeStar / AlgoVertexCD
+	// (default 1).
+	X int `json:"x,omitempty"`
+	// Arboricity is the bound fed to the sparse algorithms; 0 means
+	// "estimate with ArboricityUpperBound".
+	Arboricity int `json:"arboricity,omitempty"`
+	// Q is the Section 5 threshold multiplier (0 → default 3).
+	Q float64 `json:"q,omitempty"`
+	// Parallel selects the goroutine-sharded engine.
+	Parallel bool `json:"parallel,omitempty"`
+}
+
+// Response is the result of executing a Request. Kind tells whether Colors
+// is indexed by edge identifiers or by vertices.
+type Response struct {
+	// Kind is "edge" or "vertex".
+	Kind string `json:"kind"`
+	// Algorithm echoes the procedure that actually ran (for the adaptive
+	// sparse entry point this is the chosen plan, e.g. "thm5.3").
+	Algorithm string  `json:"algorithm"`
+	Colors    []int64 `json:"colors"`
+	Palette   int64   `json:"palette"`
+	Stats     Stats   `json:"stats"`
+	// Delta and Arboricity record the structural parameters the run used.
+	Delta      int `json:"delta"`
+	Arboricity int `json:"arboricity,omitempty"`
+}
+
+// Validate checks a Request without running it.
+func (r *Request) Validate() error {
+	switch r.Algorithm {
+	case AlgoEdgeGreedy, AlgoEdgeStar, AlgoEdgeSparse, AlgoEdgeSparse52, AlgoEdgeSparse53,
+		AlgoEdgeSparse54x2, AlgoEdgeSparse54x3, AlgoVertexDelta1, AlgoVertexCD:
+	default:
+		return fmt.Errorf("distcolor: unknown algorithm %q", r.Algorithm)
+	}
+	if r.Graph.N < 0 {
+		return fmt.Errorf("distcolor: negative vertex count %d", r.Graph.N)
+	}
+	if r.X < 0 {
+		return fmt.Errorf("distcolor: negative x %d", r.X)
+	}
+	if r.Arboricity < 0 {
+		return fmt.Errorf("distcolor: negative arboricity %d", r.Arboricity)
+	}
+	if r.Algorithm == AlgoVertexCD && len(r.Graph.Cliques) == 0 {
+		return fmt.Errorf("distcolor: %s requires a clique cover", AlgoVertexCD)
+	}
+	return nil
+}
+
+// x returns the recursion depth with its default.
+func (r *Request) x() int {
+	if r.X == 0 {
+		return 1
+	}
+	return r.X
+}
+
+// Execute runs the Request against the library and verifies the coloring
+// before returning; a Response from Execute is always a proper coloring
+// within its declared palette. opt supplies execution extras (Observer);
+// the Request's own Parallel/Q fields take precedence over opt's.
+func Execute(r *Request, opt Options) (*Response, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := r.Graph.Build()
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteOn(r, g, opt)
+}
+
+// ExecuteOn is Execute for callers that already built r.Graph (the colord
+// service builds it at submission for validation and canonicalization and
+// reuses it here); g must be the graph r.Graph describes.
+func ExecuteOn(r *Request, g *Graph, opt Options) (*Response, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	opt.Parallel = r.Parallel
+	opt.Q = r.Q
+	resp := &Response{Delta: g.MaxDegree()}
+	var err error
+
+	arb := func() int {
+		if r.Arboricity > 0 {
+			return r.Arboricity
+		}
+		return ArboricityUpperBound(g)
+	}
+
+	var (
+		ec *EdgeColoring
+		vc *VertexColoring
+	)
+	switch r.Algorithm {
+	case AlgoEdgeGreedy:
+		ec, err = EdgeColorGreedy(g, opt)
+	case AlgoEdgeStar:
+		ec, err = EdgeColorStar(g, r.x(), opt)
+	case AlgoEdgeSparse:
+		resp.Arboricity = arb()
+		ec, err = EdgeColorSparse(g, resp.Arboricity, opt)
+	case AlgoEdgeSparse52:
+		resp.Arboricity = arb()
+		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseHPartition, opt)
+	case AlgoEdgeSparse53:
+		resp.Arboricity = arb()
+		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseSqrt, opt)
+	case AlgoEdgeSparse54x2:
+		resp.Arboricity = arb()
+		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseRecursive2, opt)
+	case AlgoEdgeSparse54x3:
+		resp.Arboricity = arb()
+		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseRecursive3, opt)
+	case AlgoVertexDelta1:
+		vc, err = VertexColor(g, opt)
+	case AlgoVertexCD:
+		var cover *CliqueCover
+		cover, err = NewCliqueCover(g, r.Graph.Cliques)
+		if err == nil {
+			vc, err = VertexColorCD(g, cover, r.x(), opt)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case ec != nil:
+		if err := CheckEdgeColoring(g, ec.Colors, ec.Palette); err != nil {
+			return nil, fmt.Errorf("distcolor: %s produced an invalid coloring: %w", r.Algorithm, err)
+		}
+		resp.Kind = "edge"
+		resp.Algorithm = ec.Algorithm
+		resp.Colors = ec.Colors
+		resp.Palette = ec.Palette
+		resp.Stats = ec.Stats
+	case vc != nil:
+		if err := CheckVertexColoring(g, vc.Colors, vc.Palette); err != nil {
+			return nil, fmt.Errorf("distcolor: %s produced an invalid coloring: %w", r.Algorithm, err)
+		}
+		resp.Kind = "vertex"
+		resp.Algorithm = vc.Algorithm
+		resp.Colors = vc.Colors
+		resp.Palette = vc.Palette
+		resp.Stats = vc.Stats
+	}
+	return resp, nil
+}

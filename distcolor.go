@@ -17,8 +17,17 @@
 //   - VertexColor: the classical deterministic (Δ+1)-coloring used as the
 //     black box (Linial + Kuhn–Wattenhofer).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// Beyond the one-shot entry points, the package defines the stable wire
+// codec (Request/Response and Execute in codec.go) spoken by the colord
+// coloring service: cmd/colord serves these algorithms over HTTP behind a
+// job queue, a worker pool, and a content-addressed result cache keyed by
+// canonical graph hashes (CanonicalHash), with per-round streaming traces
+// powered by Options.Observer. See internal/service, and README.md for a
+// curl quickstart (submit a graph, poll status, fetch the colored result).
+//
+// See DESIGN.md for the system inventory (§6 covers the service) and
+// EXPERIMENTS.md for the paper-versus-measured record of every table and
+// figure.
 package distcolor
 
 import (
@@ -50,6 +59,9 @@ type (
 	Stats = sim.Stats
 	// Plan names an adaptive parameterization choice (Corollary 5.5).
 	Plan = arbor.Plan
+	// RoundEvent is one executed simulator round, as delivered to
+	// Options.Observer (see internal/sim).
+	RoundEvent = sim.RoundEvent
 )
 
 // NewBuilder returns a Builder for a graph on n vertices.
@@ -68,13 +80,19 @@ type Options struct {
 	Parallel bool
 	// Q is the Section 5 threshold multiplier (default 3; clamped ≥ 2.05).
 	Q float64
+	// Observer, when non-nil, receives a RoundEvent after every executed
+	// round of every constituent distributed execution (composed algorithms
+	// run many). Returning a non-nil error from the observer aborts the run
+	// with that error — the cancellation mechanism for long jobs.
+	Observer func(RoundEvent) error
 }
 
-func (o Options) engine() sim.Engine {
+func (o Options) engine() sim.Exec {
+	base := sim.Sequential
 	if o.Parallel {
-		return sim.Parallel
+		base = sim.Parallel
 	}
-	return sim.Sequential
+	return sim.Observed(base, o.Observer)
 }
 
 func (o Options) vc() vc.Options { return vc.Options{Exec: o.engine()} }
@@ -260,6 +278,16 @@ func CheckVertexColoring(g *Graph, colors []int64, palette int64) error {
 // ArboricityUpperBound estimates a(G) from the degeneracy (within 2× of the
 // truth) for callers who do not know their graph's arboricity.
 func ArboricityUpperBound(g *Graph) int { return graph.ArboricityUpperBound(g) }
+
+// CanonicalHash returns a content address for g's structure: isomorphic
+// relabelings of the same graph hash equal (up to the WL-hard ties noted in
+// internal/graph), distinct structures hash differently. The colord result
+// cache keys on it.
+func CanonicalHash(g *Graph) string { return graph.CanonicalHash(g) }
+
+// CanonicalLabeling returns the canonical vertex relabeling behind
+// CanonicalHash (perm[v] = canonical index of v).
+func CanonicalLabeling(g *Graph) []int32 { return graph.CanonicalLabeling(g) }
 
 // SparsePlans lists the candidate Section 5 parameterizations for (Δ, a)
 // with their declared palettes, as considered by EdgeColorSparse.

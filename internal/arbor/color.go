@@ -14,7 +14,7 @@ import (
 // Options configures the Section 5 algorithms.
 type Options struct {
 	// Exec selects the simulator engine.
-	Exec sim.Engine
+	Exec sim.Exec
 	// VC configures the coloring black box used for part-internal edges.
 	VC vc.Options
 	// Q is the H-partition threshold multiplier (θ = ⌈q·a⌉); values above 2

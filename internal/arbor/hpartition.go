@@ -59,7 +59,8 @@ type HPartitionResult struct {
 // When the true arboricity a(G) satisfies θ ≥ (2+ε)a the number of phases
 // is O(log n); the round budget is n+4, so a threshold below the peeling
 // requirement surfaces as ErrRoundLimit rather than nontermination.
-func HPartition(eng sim.Engine, g *graph.Graph, threshold int) (*HPartitionResult, error) {
+func HPartition(eng sim.Exec, g *graph.Graph, threshold int) (*HPartitionResult, error) {
+	eng = sim.OrSequential(eng)
 	if threshold < 1 {
 		return nil, fmt.Errorf("arbor: threshold %d < 1", threshold)
 	}

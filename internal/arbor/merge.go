@@ -43,7 +43,8 @@ type MergeResult struct {
 // single vertex, all assignments are conflict-free. Our message-passing
 // realization spends two rounds per sub-phase (offer, reply) plus one role
 // exchange: 2D+2 rounds, matching the paper's O(d).
-func Merge(eng sim.Engine, spec MergeSpec) (*MergeResult, error) {
+func Merge(eng sim.Exec, spec MergeSpec) (*MergeResult, error) {
+	eng = sim.OrSequential(eng)
 	g := spec.G
 	if len(spec.RoleA) != g.N() || len(spec.RoleB) != g.N() {
 		return nil, fmt.Errorf("arbor: merge roles sized %d,%d for %d vertices", len(spec.RoleA), len(spec.RoleB), g.N())

@@ -32,7 +32,7 @@ import (
 // Options configures a CD-Coloring run.
 type Options struct {
 	// Exec selects the simulator engine.
-	Exec sim.Engine
+	Exec sim.Exec
 	// VC configures the coloring black box.
 	VC vc.Options
 	// Seed, when non-nil, is a proper coloring of the input graph with

@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Canonical labeling and content hashing.
+//
+// CanonicalLabeling computes a vertex relabeling that depends only on the
+// isomorphism class of the graph for the vast majority of inputs, by
+// 1-dimensional Weisfeiler–Leman color refinement followed by greedy
+// minimal-certificate individualization. Isomorphic relabelings of a graph
+// therefore map to the same canonical form and hash equal; distinct graphs
+// hash differently up to 64/256-bit hash collisions.
+//
+// The individualization step is greedy (no backtracking): when a stable
+// partition still has a non-singleton class, one vertex of the first such
+// class is split off — the vertex whose refined quotient certificate is
+// minimal. For vertices that are genuinely symmetric (automorphic) every
+// choice yields the same canonical form, so the greedy step is exact on all
+// vertex-transitive ties. Only WL-indistinguishable yet non-automorphic
+// vertices (e.g. in some strongly regular graphs) can make two isomorphic
+// copies disagree; callers that use the hash as a cache key must therefore
+// treat it as a fingerprint — verify on hit — not as a proof of isomorphism.
+// A false *negative* (isomorphic graphs hashing differently) only costs a
+// cache miss; a false *positive* is caught by post-remap verification.
+
+const fnvPrime = 1099511628211
+
+func mix(h, x uint64) uint64 {
+	h ^= x
+	h *= fnvPrime
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// refineStable iterates WL color refinement from the given class ids until
+// the number of classes stops growing. Class ids are canonical ranks: they
+// are assigned by sorting signature values, so they are invariant under
+// vertex relabeling. It returns the stable class ids and the class count.
+func refineStable(g *Graph, classes []int, count int) ([]int, int) {
+	n := g.N()
+	sigs := make([]uint64, n)
+	nbr := make([]uint64, 0, g.maxDeg)
+	for {
+		for v := 0; v < n; v++ {
+			nbr = nbr[:0]
+			for _, a := range g.adj[v] {
+				nbr = append(nbr, uint64(classes[a.To])+1)
+			}
+			sort.Slice(nbr, func(i, j int) bool { return nbr[i] < nbr[j] })
+			h := mix(14695981039346656037, uint64(classes[v])+1)
+			for _, x := range nbr {
+				h = mix(h, x)
+			}
+			sigs[v] = h
+		}
+		uniq := make([]uint64, n)
+		copy(uniq, sigs)
+		sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+		k := 0
+		for i, s := range uniq {
+			if i == 0 || s != uniq[i-1] {
+				uniq[k] = s
+				k++
+			}
+		}
+		uniq = uniq[:k]
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			next[v] = sort.Search(k, func(i int) bool { return uniq[i] >= sigs[v] })
+		}
+		if k == count {
+			return next, k
+		}
+		classes, count = next, k
+	}
+}
+
+// certificate hashes the quotient structure of a stable partition: the class
+// size histogram plus the multiset of edge class-pairs. It is invariant
+// under vertex relabeling, and when the partition is discrete it determines
+// the canonically relabeled edge list exactly.
+func certificate(g *Graph, classes []int, count int) uint64 {
+	sizes := make([]int, count)
+	for _, c := range classes {
+		sizes[c]++
+	}
+	h := mix(14695981039346656037, uint64(g.N()))
+	h = mix(h, uint64(g.M()))
+	for _, s := range sizes {
+		h = mix(h, uint64(s))
+	}
+	pairs := make([]uint64, 0, g.M())
+	for _, e := range g.edges {
+		a, b := classes[e.U], classes[e.V]
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, uint64(a)<<32|uint64(b))
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	for _, p := range pairs {
+		h = mix(h, p)
+	}
+	return h
+}
+
+// initialClasses ranks vertices by degree, the WL base case.
+func initialClasses(g *Graph) ([]int, int) {
+	n := g.N()
+	degs := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		degs = append(degs, len(g.adj[v]))
+	}
+	sort.Ints(degs)
+	k := 0
+	for i, d := range degs {
+		if i == 0 || d != degs[i-1] {
+			degs[k] = d
+			k++
+		}
+	}
+	degs = degs[:k]
+	classes := make([]int, n)
+	for v := 0; v < n; v++ {
+		classes[v] = sort.Search(k, func(i int) bool { return degs[i] >= len(g.adj[v]) })
+	}
+	return classes, k
+}
+
+// canonScanCap bounds how many candidates of a target cell each
+// individualization step refines. Scanning the whole cell makes symmetric
+// families (cycles, complete graphs: one big WL class) cost O(n) refines
+// per step — cubic overall. All vertices of a cell are WL-equivalent, and
+// for automorphic ties (the overwhelmingly common kind) every candidate
+// yields the same certificate, so a bounded prefix loses nothing there; for
+// WL-equivalent non-automorphic ties it can only cost hash stability, which
+// cache users already tolerate (verify-on-hit).
+const canonScanCap = 16
+
+// CanonicalLabeling returns perm with perm[v] = the canonical index of
+// vertex v (a bijection onto 0..n-1). See the package comments above for the
+// exact invariance guarantee.
+func CanonicalLabeling(g *Graph) []int32 {
+	n := g.N()
+	classes, count := initialClasses(g)
+	classes, count = refineStable(g, classes, count)
+	for count < n {
+		// Target cell: the non-singleton class with the smallest id. Class
+		// ids are canonical ranks, so this choice is relabeling-invariant.
+		sizes := make([]int, count)
+		for _, c := range classes {
+			sizes[c]++
+		}
+		target := -1
+		for c := 0; c < count; c++ {
+			if sizes[c] > 1 {
+				target = c
+				break
+			}
+		}
+		var (
+			bestClasses []int
+			bestCount   int
+			bestCert    uint64
+			have        bool
+			scanned     int
+		)
+		for v := 0; v < n && scanned < canonScanCap; v++ {
+			if classes[v] != target {
+				continue
+			}
+			scanned++
+			// Individualize v: give it a fresh class above all others, then
+			// re-refine to a stable partition.
+			cand := make([]int, n)
+			copy(cand, classes)
+			cand[v] = count
+			cc, ck := refineStable(g, cand, count+1)
+			cert := certificate(g, cc, ck)
+			if !have || cert < bestCert {
+				bestClasses, bestCount, bestCert, have = cc, ck, cert, true
+			}
+		}
+		classes, count = bestClasses, bestCount
+	}
+	perm := make([]int32, n)
+	for v := 0; v < n; v++ {
+		perm[v] = int32(classes[v])
+	}
+	return perm
+}
+
+// CanonicalHash returns a hex-encoded SHA-256 of the canonically relabeled
+// edge list (preceded by the vertex and edge counts): a content address for
+// the graph's structure. Isomorphic relabelings of the same graph hash
+// equal whenever CanonicalLabeling canonizes them (always, except for
+// WL-hard symmetric ties — see the caveat above CanonicalLabeling).
+func CanonicalHash(g *Graph) string {
+	return CanonicalHashWithLabeling(g, CanonicalLabeling(g))
+}
+
+// CanonicalHashWithLabeling is CanonicalHash for callers that already hold
+// the canonical labeling (avoids recomputing it).
+func CanonicalHashWithLabeling(g *Graph, perm []int32) string {
+	_, hash := canonicalForm(g, canonicalPairs(g, perm), false)
+	return hash
+}
+
+// CanonicalForm returns the canonical edge order together with the
+// canonical hash, sharing one pair build+sort (the cache's submission path
+// needs both).
+func CanonicalForm(g *Graph, perm []int32) (ord []int32, hash string) {
+	return canonicalForm(g, canonicalPairs(g, perm), true)
+}
+
+func canonicalForm(g *Graph, pairs []canonPair, wantOrd bool) (ord []int32, hash string) {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	if wantOrd {
+		ord = make([]int32, len(pairs))
+	}
+	for i, p := range pairs {
+		put(p.key)
+		if wantOrd {
+			ord[i] = p.edge
+		}
+	}
+	return ord, hex.EncodeToString(h.Sum(nil))
+}
+
+type canonPair struct {
+	key  uint64 // canonical (min,max) endpoint pair, packed
+	edge int32  // original edge identifier
+}
+
+func canonicalPairs(g *Graph, perm []int32) []canonPair {
+	pairs := make([]canonPair, g.M())
+	for e, ed := range g.edges {
+		a, b := perm[ed.U], perm[ed.V]
+		if a > b {
+			a, b = b, a
+		}
+		pairs[e] = canonPair{key: uint64(a)<<32 | uint64(b), edge: int32(e)}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	return pairs
+}
+
+// CanonicalEdgeOrder returns ord with ord[i] = the original edge identifier
+// of the i-th edge in canonical order (edges sorted by their canonically
+// relabeled endpoint pairs). Two isomorphic graphs canonized to the same
+// form produce position-wise corresponding edges, which is what lets a
+// cached edge coloring be transferred between them: colors[ord[i]] in one
+// graph corresponds to colors[ord'[i]] in the other.
+func CanonicalEdgeOrder(g *Graph, perm []int32) []int32 {
+	pairs := canonicalPairs(g, perm)
+	ord := make([]int32, len(pairs))
+	for i, p := range pairs {
+		ord[i] = p.edge
+	}
+	return ord
+}

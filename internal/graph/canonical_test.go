@@ -1,0 +1,172 @@
+package graph_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// relabel returns the isomorphic copy of g with vertex v renamed perm[v].
+func relabel(g *graph.Graph, perm []int) *graph.Graph {
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e.U], perm[e.V])
+	}
+	return b.MustBuild()
+}
+
+// canonicalFamilies is the relabeling-invariance corpus: random families
+// plus highly symmetric structured ones (where WL refinement alone cannot
+// discretize and the individualization path is exercised).
+func canonicalFamilies() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnp":         gen.GNP(40, 0.15, 7),
+		"gnp-dense":   gen.GNP(24, 0.5, 11),
+		"forestunion": gen.ForestUnion(60, 3, 5),
+		"geometric":   gen.Geometric(50, 0.25, 3),
+		"grid":        gen.Grid(5, 7),
+		"complete":    graph.Complete(9),
+		"cycle":       graph.Cycle(12),
+		"path":        graph.Path(12),
+		"star":        graph.Star(11),
+		"bipartite":   graph.CompleteBipartite(4, 6),
+		"empty":       graph.NewBuilder(8).MustBuild(),
+	}
+}
+
+func TestCanonicalLabelingIsPermutation(t *testing.T) {
+	for name, g := range canonicalFamilies() {
+		perm := graph.CanonicalLabeling(g)
+		if len(perm) != g.N() {
+			t.Fatalf("%s: labeling has %d entries for %d vertices", name, len(perm), g.N())
+		}
+		seen := make([]bool, g.N())
+		for v, p := range perm {
+			if p < 0 || int(p) >= g.N() || seen[p] {
+				t.Fatalf("%s: perm[%d]=%d is not a bijection", name, v, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestCanonicalHashInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, g := range canonicalFamilies() {
+		want := graph.CanonicalHash(g)
+		for trial := 0; trial < 4; trial++ {
+			perm := rng.Perm(g.N())
+			h := relabel(g, perm)
+			if got := graph.CanonicalHash(h); got != want {
+				t.Fatalf("%s trial %d: relabeled copy hashes %s, original %s", name, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalHashDistinct is the property-style collision sweep: a corpus
+// of pairwise non-isomorphic graphs must produce pairwise distinct hashes.
+func TestCanonicalHashDistinct(t *testing.T) {
+	corpus := map[string]*graph.Graph{}
+	// The structured families skip their few cross-family isomorphisms:
+	// C3 = K3, star-3 = path-3, and the 2×2 grid = C4.
+	for n := 3; n <= 12; n++ {
+		corpus[fmt.Sprintf("path-%d", n)] = graph.Path(n)
+		corpus[fmt.Sprintf("complete-%d", n)] = graph.Complete(n)
+		if n >= 4 {
+			corpus[fmt.Sprintf("cycle-%d", n)] = graph.Cycle(n)
+			corpus[fmt.Sprintf("star-%d", n)] = graph.Star(n)
+		}
+	}
+	for rows := 2; rows <= 4; rows++ {
+		for cols := rows; cols <= 5; cols++ {
+			if rows == 2 && cols == 2 {
+				continue
+			}
+			corpus[fmt.Sprintf("grid-%dx%d", rows, cols)] = gen.Grid(rows, cols)
+		}
+	}
+	// Random sweep: distinct seeds give structurally distinct samples (an
+	// accidental isomorphism between two G(24, 0.2) samples has negligible
+	// probability and would be a legitimate finding anyway).
+	for seed := int64(0); seed < 60; seed++ {
+		corpus[fmt.Sprintf("gnp-%d", seed)] = gen.GNP(24, 0.2, seed)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		corpus[fmt.Sprintf("forest-%d", seed)] = gen.ForestUnion(30, 2, seed)
+	}
+	hashes := map[string]string{}
+	for name, g := range corpus {
+		h := graph.CanonicalHash(g)
+		if prev, ok := hashes[h]; ok {
+			t.Fatalf("hash collision between %s and %s (%s)", prev, name, h)
+		}
+		hashes[h] = name
+	}
+}
+
+// TestCanonicalEdgeOrderTransfersColorings is the property the service
+// cache relies on: a proper edge coloring transferred between isomorphic
+// copies via their canonical edge orders stays proper.
+func TestCanonicalEdgeOrderTransfersColorings(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, g := range canonicalFamilies() {
+		if g.M() == 0 {
+			continue
+		}
+		// A greedy (2Δ−1) proper edge coloring of g.
+		colors := greedyEdgeColors(g)
+		palette := int64(2*g.MaxDegree() - 1)
+		if err := verify.EdgeColoring(g, colors, palette); err != nil {
+			t.Fatalf("%s: greedy coloring invalid: %v", name, err)
+		}
+		permG := graph.CanonicalLabeling(g)
+		ordG := graph.CanonicalEdgeOrder(g, permG)
+
+		vperm := rng.Perm(g.N())
+		h := relabel(g, vperm)
+		permH := graph.CanonicalLabeling(h)
+		ordH := graph.CanonicalEdgeOrder(h, permH)
+
+		transferred := make([]int64, h.M())
+		for i := range ordG {
+			transferred[ordH[i]] = colors[ordG[i]]
+		}
+		if err := verify.EdgeColoring(h, transferred, palette); err != nil {
+			t.Fatalf("%s: transferred coloring invalid: %v", name, err)
+		}
+	}
+}
+
+// greedyEdgeColors produces a proper (2Δ−1)-edge-coloring sequentially.
+func greedyEdgeColors(g *graph.Graph) []int64 {
+	colors := make([]int64, g.M())
+	for e := range colors {
+		colors[e] = -1
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		used := map[int64]bool{}
+		for _, a := range g.Adj(u) {
+			if colors[a.Edge] >= 0 {
+				used[colors[a.Edge]] = true
+			}
+		}
+		for _, a := range g.Adj(v) {
+			if colors[a.Edge] >= 0 {
+				used[colors[a.Edge]] = true
+			}
+		}
+		for c := int64(0); ; c++ {
+			if !used[c] {
+				colors[e] = c
+				break
+			}
+		}
+	}
+	return colors
+}

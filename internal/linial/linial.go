@@ -126,7 +126,8 @@ type Result struct {
 // Reduce runs the schedule on topology t. The starting coloring is the
 // topology's seed labels when present (they must form a proper coloring
 // with palette m0), otherwise the identifiers (with m0 > every ID).
-func Reduce(eng sim.Engine, t *sim.Topology, m0 int64) (*Result, error) {
+func Reduce(eng sim.Exec, t *sim.Topology, m0 int64) (*Result, error) {
+	eng = sim.OrSequential(eng)
 	if m0 < 1 {
 		return nil, fmt.Errorf("linial: palette bound %d < 1", m0)
 	}

@@ -30,7 +30,8 @@ type Result struct {
 // c = m-1 … target, every vertex colored c simultaneously recolors to the
 // smallest color in [0, target) unused by its neighbors. Requires
 // target ≥ Δ+1. Cost: m − target + 1 rounds.
-func TrimClasses(eng sim.Engine, t *sim.Topology, m, target int64) (*Result, error) {
+func TrimClasses(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
+	eng = sim.OrSequential(eng)
 	if err := checkArgs(t, m, target); err != nil {
 		return nil, err
 	}
@@ -114,7 +115,8 @@ func smallestFree(in []sim.Message, limit int64, scratch *[]int32, stamp int32) 
 // rounds, by repeatedly splitting the palette into blocks of 2·target and
 // reducing each block to target in parallel [Kuhn & Wattenhofer, PODC'06].
 // Requires target ≥ Δ+1.
-func KuhnWattenhofer(eng sim.Engine, t *sim.Topology, m, target int64) (*Result, error) {
+func KuhnWattenhofer(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
+	eng = sim.OrSequential(eng)
 	if err := checkArgs(t, m, target); err != nil {
 		return nil, err
 	}
@@ -233,7 +235,7 @@ func smallestFreeInBlock(in []sim.Message, base, t int64, scratch *[]int32, stam
 
 // Auto reduces m → target choosing the cheaper of TrimClasses
 // (m−target rounds) and KuhnWattenhofer (≈ target·log₂(m/target) rounds).
-func Auto(eng sim.Engine, t *sim.Topology, m, target int64) (*Result, error) {
+func Auto(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
 	if m <= target {
 		return passThrough(t, m)
 	}

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	distcolor "repro"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// The result cache is content-addressed: the key is the canonical hash of
+// the submitted graph (isomorphic relabelings collapse to one key) combined
+// with the algorithm name and its palette-determining parameters. Colorings
+// are stored in canonical coordinates — edge colors in canonical edge
+// order, vertex colors in canonical vertex order — so a hit for a
+// *relabeled* resubmission is served by mapping the stored coloring through
+// the new submission's own canonical labeling.
+//
+// The canonical hash is a fingerprint, not a proof of isomorphism (see
+// graph.CanonicalLabeling): a remapped hit is therefore re-verified against
+// the submitted graph before being served, and a verification failure is
+// treated as a miss (counted as a "bad hit"). Correctness never depends on
+// the canonicalization; only the hit rate does.
+
+// canonForm is the submission-time canonicalization of a request's graph.
+type canonForm struct {
+	perm []int32 // vertex -> canonical index
+	ord  []int32 // canonical edge position -> edge id
+	hash string  // canonical structure hash
+	// coverHash fingerprints the clique cover for vertex/cd requests, in
+	// canonical vertex coordinates; empty otherwise.
+	coverHash string
+}
+
+func canonicalize(g *graph.Graph, req *distcolor.Request) *canonForm {
+	perm := graph.CanonicalLabeling(g)
+	ord, hash := graph.CanonicalForm(g, perm)
+	c := &canonForm{perm: perm, ord: ord, hash: hash}
+	if len(req.Graph.Cliques) > 0 {
+		c.coverHash = coverHash(req.Graph.Cliques, perm)
+	}
+	return c
+}
+
+// coverHash fingerprints a clique cover under the canonical labeling: each
+// clique's vertices map through perm and sort, and the cliques themselves
+// sort lexicographically, so isomorphic (graph, cover) pairs agree.
+func coverHash(cliques [][]int32, perm []int32) string {
+	mapped := make([][]int32, len(cliques))
+	for i, cl := range cliques {
+		m := make([]int32, len(cl))
+		for k, v := range cl {
+			if int(v) < len(perm) {
+				m[k] = perm[v]
+			} else {
+				m[k] = v // out-of-range covers fail validation later
+			}
+		}
+		sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
+		mapped[i] = m
+	}
+	sort.Slice(mapped, func(a, b int) bool {
+		x, y := mapped[a], mapped[b]
+		for k := 0; k < len(x) && k < len(y); k++ {
+			if x[k] != y[k] {
+				return x[k] < y[k]
+			}
+		}
+		return len(x) < len(y)
+	})
+	h := sha256.New()
+	var buf [4]byte
+	for _, cl := range mapped {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(cl)))
+		h.Write(buf[:])
+		for _, v := range cl {
+			binary.LittleEndian.PutUint32(buf[:], uint32(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheKey combines the canonical structure hash with every request field
+// that can change the served coloring or its declared palette. Parameters
+// the algorithm ignores are zeroed and defaulted forms are normalized
+// (X: 0→1 mirroring Request.x; Q: 0→3 and clamping mirroring arbor), so
+// requests that provably run identically share one key.
+func cacheKey(c *canonForm, req *distcolor.Request) string {
+	var (
+		x int
+		a int
+		q float64
+	)
+	switch req.Algorithm {
+	case distcolor.AlgoEdgeStar:
+		x = effX(req.X)
+	case distcolor.AlgoVertexCD:
+		x = effX(req.X)
+	case distcolor.AlgoEdgeSparse, distcolor.AlgoEdgeSparse52, distcolor.AlgoEdgeSparse53,
+		distcolor.AlgoEdgeSparse54x2, distcolor.AlgoEdgeSparse54x3:
+		a = req.Arboricity
+		q = effQ(req.Q)
+	}
+	return fmt.Sprintf("%s|%s|x=%d|a=%d|q=%g|cover=%s",
+		c.hash, req.Algorithm, x, a, q, c.coverHash)
+}
+
+func effX(x int) int {
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+func effQ(q float64) float64 {
+	if q == 0 {
+		return 3
+	}
+	if q < 2.05 {
+		return 2.05
+	}
+	return q
+}
+
+// cacheEntry is a verified coloring in canonical coordinates.
+type cacheEntry struct {
+	kind        string // "edge" | "vertex"
+	algorithm   string
+	palette     int64
+	stats       distcolor.Stats
+	delta       int
+	arboricity  int
+	canonColors []int64
+}
+
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // value: *cacheItem
+	lru     *list.List               // front = most recent
+}
+
+type cacheItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// store records a verified response under key, in canonical coordinates.
+func (c *resultCache) store(key string, canon *canonForm, resp *distcolor.Response) {
+	entry := &cacheEntry{
+		kind:       resp.Kind,
+		algorithm:  resp.Algorithm,
+		palette:    resp.Palette,
+		stats:      resp.Stats,
+		delta:      resp.Delta,
+		arboricity: resp.Arboricity,
+	}
+	switch resp.Kind {
+	case "edge":
+		entry.canonColors = make([]int64, len(resp.Colors))
+		for i, e := range canon.ord {
+			entry.canonColors[i] = resp.Colors[e]
+		}
+	case "vertex":
+		entry.canonColors = make([]int64, len(resp.Colors))
+		for v, c := range resp.Colors {
+			entry.canonColors[canon.perm[v]] = c
+		}
+	default:
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).entry = entry
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheItem{key: key, entry: entry})
+	for len(c.entries) > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheItem).key)
+	}
+}
+
+// load looks up key and, on a hit, remaps the stored coloring onto g via
+// canon and re-verifies it. It returns (response, false) on a verified hit,
+// (nil, true) when an entry existed but failed post-remap verification (a
+// canonical-hash collision), and (nil, false) on a plain miss.
+func (c *resultCache) load(key string, g *graph.Graph, canon *canonForm) (*distcolor.Response, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	entry := el.Value.(*cacheItem).entry
+	c.mu.Unlock()
+
+	resp := &distcolor.Response{
+		Kind:       entry.kind,
+		Algorithm:  entry.algorithm,
+		Palette:    entry.palette,
+		Stats:      entry.stats,
+		Delta:      entry.delta,
+		Arboricity: entry.arboricity,
+	}
+	switch entry.kind {
+	case "edge":
+		if len(entry.canonColors) != g.M() {
+			return nil, true
+		}
+		resp.Colors = make([]int64, g.M())
+		for i, e := range canon.ord {
+			resp.Colors[e] = entry.canonColors[i]
+		}
+		if verify.EdgeColoring(g, resp.Colors, resp.Palette) != nil {
+			return nil, true
+		}
+	case "vertex":
+		if len(entry.canonColors) != g.N() {
+			return nil, true
+		}
+		resp.Colors = make([]int64, g.N())
+		for v := 0; v < g.N(); v++ {
+			resp.Colors[v] = entry.canonColors[canon.perm[v]]
+		}
+		if verify.VertexColoring(g, resp.Colors, resp.Palette) != nil {
+			return nil, true
+		}
+	default:
+		return nil, true
+	}
+	return resp, false
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	distcolor "repro"
+)
+
+// Client talks to a running colord instance over its JSON API. It is what
+// cmd/colorbench uses in -server mode, and doubles as the reference client
+// for the wire protocol.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// do sends a request and decodes the JSON body into out (skipped when out
+// is nil). Non-2xx responses decode the server's error body.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.url(path), body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("colord: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("colord: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends one workload and returns its job status (already done on a
+// cache hit).
+func (c *Client) Submit(req *distcolor.Request) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Batch submits many workloads in one call.
+func (c *Client) Batch(reqs []distcolor.Request) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(http.MethodPost, "/v1/batch", BatchRequest{Requests: reqs}, &out)
+	return out, err
+}
+
+// Generate asks the server to synthesize and submit workloads.
+func (c *Client) Generate(req GenerateRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(http.MethodPost, "/v1/generate", req, &out)
+	return out, err
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel requests cancellation.
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// Result fetches the coloring of a done job.
+func (c *Client) Result(id string) (*distcolor.Response, error) {
+	var resp distcolor.Response
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the server counters.
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	err := c.do(http.MethodGet, "/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Wait polls until the job is terminal or the timeout elapses, returning
+// the last observed status.
+func (c *Client) Wait(id string, poll, timeout time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return st, fmt.Errorf("colord: job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// Trace streams the job's round trace, invoking fn for every event until
+// the stream's end line; it returns the job's final state.
+func (c *Client) Trace(id string, fn func(TraceEvent)) (State, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/trace"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("colord: trace %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var end traceEnd
+		if json.Unmarshal(line, &end) == nil && end.Done {
+			return end.State, nil
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return "", fmt.Errorf("colord: trace %s: bad line %q: %w", id, line, err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("colord: trace %s: stream ended without a terminal line", id)
+}

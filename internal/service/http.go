@@ -1,0 +1,430 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	distcolor "repro"
+	"repro/internal/gen"
+)
+
+// HTTP surface of the service (all JSON):
+//
+//	POST /v1/jobs              Request                → JobStatus (202; 200 on cache hit)
+//	GET  /v1/jobs/{id}         —                      → JobStatus
+//	GET  /v1/jobs/{id}/result  —                      → Response (409 until done)
+//	GET  /v1/jobs/{id}/trace   ?after=<seq>           → NDJSON stream of TraceEvents, live until terminal
+//	POST /v1/jobs/{id}/cancel  —                      → JobStatus
+//	POST /v1/batch             BatchRequest           → BatchResponse
+//	POST /v1/generate          GenerateRequest        → BatchResponse (graphs built server-side)
+//	GET  /v1/metrics           —                      → Metrics
+//	GET  /v1/algorithms        —                      → [names]
+//	GET  /v1/healthz           —                      → {"ok":true}
+
+// BatchRequest submits many workloads in one call.
+type BatchRequest struct {
+	Requests []distcolor.Request `json:"requests"`
+}
+
+// BatchResponse reports the per-workload submission outcomes, index-aligned
+// with the batch. Failed submissions carry Error and no ID.
+type BatchResponse struct {
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchJob is one submission outcome within a batch.
+type BatchJob struct {
+	ID       string `json:"id,omitempty"`
+	State    State  `json:"state,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// GenSpec names a synthetic workload family from internal/gen.
+type GenSpec struct {
+	// Family: gnp | nearregular | forestunion | foresthub | tree | grid |
+	// geometric | hypergraph | cliquecover.
+	Family string `json:"family"`
+	// Count generates this many graphs with seeds Seed, Seed+1, …
+	// (default 1).
+	Count int   `json:"count,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+
+	N      int     `json:"n,omitempty"`      // vertices (gnp, nearregular, forestunion, foresthub, tree, geometric)
+	P      float64 `json:"p,omitempty"`      // gnp edge probability
+	Degree int     `json:"degree,omitempty"` // nearregular target degree
+	A      int     `json:"a,omitempty"`      // forest count (forestunion, foresthub)
+	Hub    int     `json:"hub,omitempty"`    // hub degree (foresthub)
+	Rows   int     `json:"rows,omitempty"`   // grid
+	Cols   int     `json:"cols,omitempty"`   // grid
+	Radius float64 `json:"radius,omitempty"` // geometric
+	NV     int     `json:"nv,omitempty"`     // hypergraph vertices
+	Rank   int     `json:"rank,omitempty"`   // hypergraph edge size
+	NE     int     `json:"ne,omitempty"`     // hypergraph edge count
+	// cliquecover parameters (BoundedDiversityCliqueGraph).
+	Cliques    int `json:"cliques,omitempty"`
+	CliqueSize int `json:"clique_size,omitempty"`
+	MaxPerV    int `json:"max_per_v,omitempty"`
+}
+
+// GenerateRequest synthesizes workloads server-side: each generated graph
+// is submitted as Template with its Graph field replaced.
+type GenerateRequest struct {
+	Gen GenSpec `json:"gen"`
+	// Template carries the algorithm and its parameters; Template.Graph is
+	// ignored and overwritten by the generated graph (including the clique
+	// cover for the hypergraph and cliquecover families).
+	Template distcolor.Request `json:"template"`
+}
+
+// Generator guard rails: graph materialization happens before Submit's
+// size checks can protect the server, so the wire parameters are bounded
+// here first. genMaxCount caps graphs per request; genMaxN caps every
+// vertex-count-like parameter (below MaxVertices because the quadratic
+// families — gnp, geometric — cost O(n²) generation time).
+const (
+	genMaxCount = 256
+	genMaxN     = 50_000
+)
+
+// validate bounds the wire parameters before any generator allocates.
+func (g GenSpec) validate(cfg Config) error {
+	if g.Count < 0 || g.Count > genMaxCount {
+		return fmt.Errorf("service: generator count %d outside [0,%d]", g.Count, genMaxCount)
+	}
+	maxN := genMaxN
+	if cfg.MaxVertices > 0 && cfg.MaxVertices < maxN {
+		maxN = cfg.MaxVertices
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"n", g.N}, {"nv", g.NV}, {"rows", g.Rows}, {"cols", g.Cols},
+	} {
+		if p.v < 0 || p.v > maxN {
+			return fmt.Errorf("service: generator %s=%d outside [0,%d]", p.name, p.v, maxN)
+		}
+	}
+	if g.Rows > 0 && g.Cols > 0 && g.Rows*g.Cols > maxN {
+		return fmt.Errorf("service: grid %d×%d exceeds %d vertices", g.Rows, g.Cols, maxN)
+	}
+	maxE := 2_000_000
+	if cfg.MaxEdges > 0 && cfg.MaxEdges < maxE {
+		maxE = cfg.MaxEdges
+	}
+	// Families whose edge count is not linear in a bounded parameter must
+	// bound their *worst-case* materialized edges, since generation happens
+	// before Submit's MaxEdges check can reject:
+	//   gnp/geometric  → up to n(n−1)/2 regardless of P/Radius,
+	//   nearregular    → n·degree/2,
+	//   forest unions  → (a+1)·n,
+	//   hypergraph     → line graphs of ne hyperedges reach O((ne·rank)²),
+	//   cliquecover    → cliques·cliqueSize².
+	switch g.Family {
+	case "gnp", "geometric":
+		if int64(g.N)*int64(g.N-1)/2 > int64(maxE) {
+			return fmt.Errorf("service: %s with n=%d can reach %d edges, limit %d", g.Family, g.N, int64(g.N)*int64(g.N-1)/2, maxE)
+		}
+	case "nearregular":
+		if int64(g.N)*int64(g.Degree)/2 > int64(maxE) {
+			return fmt.Errorf("service: nearregular n=%d degree=%d exceeds %d edges", g.N, g.Degree, maxE)
+		}
+	case "forestunion", "foresthub":
+		if int64(g.A+1)*int64(g.N) > int64(maxE) {
+			return fmt.Errorf("service: forest union n=%d a=%d exceeds %d edges", g.N, g.A, maxE)
+		}
+	case "hypergraph":
+		lineVerts := int64(g.NE)
+		if lineVerts*(lineVerts-1)/2 > int64(maxE) {
+			return fmt.Errorf("service: hypergraph ne=%d can reach %d line-graph edges, limit %d", g.NE, lineVerts*(lineVerts-1)/2, maxE)
+		}
+	case "cliquecover":
+		if int64(g.Cliques)*int64(g.CliqueSize)*int64(g.CliqueSize) > int64(maxE) {
+			return fmt.Errorf("service: cliquecover cliques=%d size=%d exceeds %d edges", g.Cliques, g.CliqueSize, maxE)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"degree", g.Degree}, {"a", g.A}, {"hub", g.Hub}, {"rank", g.Rank},
+		{"ne", g.NE}, {"cliques", g.Cliques}, {"clique_size", g.CliqueSize},
+		{"max_per_v", g.MaxPerV},
+	} {
+		if p.v < 0 || p.v > maxE {
+			return fmt.Errorf("service: generator %s=%d outside [0,%d]", p.name, p.v, maxE)
+		}
+	}
+	return nil
+}
+
+// buildGraph materializes one graph of the spec at the given seed.
+func (g GenSpec) buildGraph(seed int64) (distcolor.GraphSpec, error) {
+	switch g.Family {
+	case "gnp":
+		return distcolor.Spec(gen.GNP(g.N, g.P, seed)), nil
+	case "nearregular":
+		gr, err := gen.NearRegular(g.N, g.Degree, seed)
+		if err != nil {
+			return distcolor.GraphSpec{}, err
+		}
+		return distcolor.Spec(gr), nil
+	case "forestunion":
+		return distcolor.Spec(gen.ForestUnion(g.N, g.A, seed)), nil
+	case "foresthub":
+		gr, err := gen.ForestUnionHub(g.N, g.A, g.Hub, seed)
+		if err != nil {
+			return distcolor.GraphSpec{}, err
+		}
+		return distcolor.Spec(gr), nil
+	case "tree":
+		return distcolor.Spec(gen.Tree(g.N, seed)), nil
+	case "grid":
+		return distcolor.Spec(gen.Grid(g.Rows, g.Cols)), nil
+	case "geometric":
+		return distcolor.Spec(gen.Geometric(g.N, g.Radius, seed)), nil
+	case "hypergraph":
+		h, err := gen.UniformHypergraph(g.NV, g.Rank, g.NE, seed)
+		if err != nil {
+			return distcolor.GraphSpec{}, err
+		}
+		lg, cover, err := distcolor.HypergraphLineCover(h)
+		if err != nil {
+			return distcolor.GraphSpec{}, err
+		}
+		spec := distcolor.Spec(lg)
+		spec.Cliques = cover.Cliques
+		return spec, nil
+	case "cliquecover":
+		gr, cliques, err := gen.BoundedDiversityCliqueGraph(g.N, g.Cliques, g.CliqueSize, g.MaxPerV, seed)
+		if err != nil {
+			return distcolor.GraphSpec{}, err
+		}
+		spec := distcolor.Spec(gr)
+		spec.Cliques = cliques
+		return spec, nil
+	default:
+		return distcolor.GraphSpec{}, fmt.Errorf("service: unknown generator family %q", g.Family)
+	}
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Algorithms())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+// boundBody caps how much of a request body a handler will read, so the
+// configured limits protect memory during JSON decoding, not only after the
+// full body has been materialized.
+func (s *Server) boundBody(w http.ResponseWriter, r *http.Request) io.Reader {
+	if s.cfg.MaxBodyBytes < 0 {
+		return r.Body
+	}
+	return http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// submitCode maps a submission error to an HTTP status.
+func submitCode(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req distcolor.Request
+	if err := json.NewDecoder(s.boundBody(w, r)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(&req)
+	if err != nil {
+		writeErr(w, submitCode(err), err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == StateDone {
+		code = http.StatusOK // served from cache
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	resp, st, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if resp == nil {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(s.boundBody(w, r)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.submitAll(req.Requests))
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(s.boundBody(w, r)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Gen.validate(s.cfg); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	count := req.Gen.Count
+	if count <= 0 {
+		count = 1
+	}
+	reqs := make([]distcolor.Request, 0, count)
+	for i := 0; i < count; i++ {
+		spec, err := req.Gen.buildGraph(req.Gen.Seed + int64(i))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		one := req.Template
+		one.Graph = spec
+		reqs = append(reqs, one)
+	}
+	writeJSON(w, http.StatusOK, s.submitAll(reqs))
+}
+
+func (s *Server) submitAll(reqs []distcolor.Request) BatchResponse {
+	out := BatchResponse{Jobs: make([]BatchJob, len(reqs))}
+	for i := range reqs {
+		st, err := s.Submit(&reqs[i])
+		if err != nil {
+			out.Jobs[i] = BatchJob{Error: err.Error()}
+			continue
+		}
+		out.Jobs[i] = BatchJob{ID: st.ID, State: st.State, CacheHit: st.CacheHit}
+	}
+	return out
+}
+
+// traceEnd is the final line of a trace stream.
+type traceEnd struct {
+	Done  bool  `json:"done"`
+	State State `json:"state"`
+	// FirstSeq is the seq of the oldest retained event; a reader that asked
+	// for earlier events missed them to the bounded history.
+	FirstSeq int `json:"first_seq"`
+}
+
+// handleTrace streams the job's round trace as NDJSON: recorded events
+// first, then live events as the job executes, then one traceEnd line.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	after := 0
+	if q := r.URL.Query().Get("after"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad after=%q: %w", q, err))
+			return
+		}
+		after = v
+	}
+	if _, err := s.Status(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		events, state, firstSeq, err := s.WaitTrace(ctx, id, after)
+		if err != nil || ctx.Err() != nil {
+			return // job evicted mid-stream or client went away
+		}
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+			if ev.Seq >= after {
+				after = ev.Seq + 1
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if state.Terminal() && len(events) == 0 {
+			_ = enc.Encode(traceEnd{Done: true, State: state, FirstSeq: firstSeq})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,700 @@
+// Package service is the colord serving layer: a long-running concurrent
+// coloring service over the distcolor library. It accepts Requests (the
+// stable codec of the root package), schedules them on a bounded work queue
+// drained by a configurable worker pool, verifies every produced coloring,
+// and memoizes results in a content-addressed cache keyed by the canonical
+// graph hash plus the algorithm and its parameters — so an isomorphic
+// resubmission of a served workload is answered by remapping the cached
+// coloring through the canonical labeling instead of re-simulating.
+//
+// Observability is native: each job records the per-round progress of every
+// constituent distributed execution (via sim.Observed round hooks), which
+// the HTTP layer exposes as a streaming NDJSON round trace, and the server
+// keeps aggregate counters (cache hits, rounds, messages, wall time) behind
+// a metrics endpoint. The same hook implements cancellation: a canceled
+// job's observer aborts the simulation at the next round boundary.
+//
+// Lock ordering: s.mu may be taken while holding nothing or before j.mu;
+// j.mu is never held while taking s.mu.
+//
+// See DESIGN.md §6 for the subsystem design and README.md for a quickstart.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	distcolor "repro"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (default: NumCPU).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; Submit
+	// fails with ErrQueueFull beyond it (default 256).
+	QueueDepth int
+	// CacheEntries bounds the result cache (LRU, default 512; negative
+	// disables caching).
+	CacheEntries int
+	// CacheMaxVertices / CacheMaxEdges bound the graphs the cache will
+	// canonicalize (defaults 1024 / 65536; negative disables the bound).
+	// Canonical labeling runs synchronously in Submit and costs real CPU on
+	// highly symmetric graphs (~1s for a 1024-cycle, the worst case at the
+	// default bound; WL-friendly graphs are milliseconds); larger
+	// submissions simply bypass the cache (counted in
+	// Metrics.CacheSkipped) instead of stalling intake.
+	CacheMaxVertices int
+	CacheMaxEdges    int
+	// MaxVertices / MaxEdges reject oversized submissions (defaults 200k /
+	// 2M; negative disables the check).
+	MaxVertices int
+	MaxEdges    int
+	// MaxBodyBytes caps how much of an HTTP request body the JSON decoder
+	// will read (default 64 MiB; negative disables), so the graph limits
+	// protect memory during decoding rather than after it.
+	MaxBodyBytes int64
+	// MaxJobs bounds retained finished jobs; the oldest finished jobs are
+	// forgotten beyond it (default 4096).
+	MaxJobs int
+	// TraceDepth bounds the per-job round-trace history (default 4096
+	// events; when exceeded, the oldest half is dropped and the gap is
+	// visible to readers via the first retained seq).
+	TraceDepth int
+	// Parallel runs every job on the goroutine-sharded sim.RunParallel
+	// engine even when the request did not ask for it. Results are
+	// bit-identical either way (the engines are equivalent by
+	// construction), so this is purely a wall-clock policy and does not
+	// participate in cache keys.
+	Parallel bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheMaxVertices == 0 {
+		c.CacheMaxVertices = 1024
+	}
+	if c.CacheMaxEdges == 0 {
+		c.CacheMaxEdges = 65536
+	}
+	if c.MaxVertices == 0 {
+		c.MaxVertices = 200_000
+	}
+	if c.MaxEdges == 0 {
+		c.MaxEdges = 2_000_000
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.TraceDepth <= 0 {
+		c.TraceDepth = 4096
+	}
+	return c
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// TraceEvent is one executed simulator round of one of a job's constituent
+// executions, in wire form.
+type TraceEvent struct {
+	// Seq numbers events within the job (monotone, including dropped ones).
+	Seq int `json:"seq"`
+	// Exec counts the constituent executions of the job so far; composed
+	// algorithms run many executions, often on subtopologies.
+	Exec int `json:"exec"`
+	// Round is the 0-based round within the current execution.
+	Round int `json:"round"`
+	// N is the vertex count of the current execution's topology; Running is
+	// how many of its machines are still running.
+	N       int `json:"n"`
+	Running int `json:"running"`
+	// Messages is the cumulative message count of the current execution.
+	Messages int64 `json:"messages"`
+}
+
+// JobStatus is the wire form of a job's externally visible state.
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	CacheHit  bool   `json:"cache_hit"`
+	Error     string `json:"error,omitempty"`
+	// WallMS is the job's execution wall time (0 until it finished, and for
+	// cache hits, which skip execution).
+	WallMS int64 `json:"wall_ms"`
+	// Rounds/Messages/Palette are filled once the job is done.
+	Rounds   int   `json:"rounds,omitempty"`
+	Messages int64 `json:"messages,omitempty"`
+	Palette  int64 `json:"palette,omitempty"`
+}
+
+// Metrics is a snapshot of the server's aggregate counters.
+type Metrics struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheBadHits counts canonical-hash collisions detected by post-remap
+	// verification (served as misses).
+	CacheBadHits int64 `json:"cache_bad_hits"`
+	// CacheSkipped counts submissions that bypassed the cache because the
+	// graph exceeded the canonicalization size bounds.
+	CacheSkipped  int64 `json:"cache_skipped"`
+	CacheEntries  int   `json:"cache_entries"`
+	QueueDepth    int   `json:"queue_depth"`
+	Running       int   `json:"running"`
+	Workers       int   `json:"workers"`
+	RoundsTotal   int64 `json:"rounds_total"`
+	MessagesTotal int64 `json:"messages_total"`
+	WallMSTotal   int64 `json:"wall_ms_total"`
+	Jobs          int   `json:"jobs"`
+}
+
+// ErrQueueFull is returned by Submit when the work queue is at capacity.
+var ErrQueueFull = errors.New("service: work queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: server closed")
+
+// ErrNotFound is returned for unknown (or already-forgotten) job IDs.
+var ErrNotFound = errors.New("service: no such job")
+
+// errJobCanceled aborts a running job from its round observer.
+var errJobCanceled = errors.New("service: job canceled")
+
+// job is the unit of scheduled work.
+type job struct {
+	id         string
+	req        *distcolor.Request
+	g          *distcolor.Graph // built once at submission, reused by the worker
+	traceDepth int
+
+	// canon carries the submission-time canonicalization, reused to store
+	// the result; nil when caching is disabled.
+	canon *canonForm
+	key   string
+
+	mu         sync.Mutex
+	cond       *sync.Cond    // broadcast on every state/trace change
+	done       chan struct{} // closed exactly once, on the terminal transition
+	state      State
+	err        string
+	resp       *distcolor.Response
+	cacheHit   bool
+	cancelReq  bool
+	wallMS     int64
+	trace      []TraceEvent
+	traceStart int // seq of trace[0] (earlier events were dropped)
+	traceSeq   int // next seq to assign
+	lastExec   int
+	lastN      int
+	sawRound   bool
+}
+
+// finishLocked moves the job to a terminal state; j.mu must be held and the
+// current state must be non-terminal.
+func (j *job) finishLocked(st State, errMsg string) {
+	j.state = st
+	j.err = errMsg
+	close(j.done)
+	j.cond.Broadcast()
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Algorithm: j.req.Algorithm,
+		N:         j.req.Graph.N,
+		M:         len(j.req.Graph.Edges),
+		CacheHit:  j.cacheHit,
+		Error:     j.err,
+		WallMS:    j.wallMS,
+	}
+	if j.resp != nil {
+		st.Algorithm = j.resp.Algorithm
+		st.Rounds = j.resp.Stats.Rounds
+		st.Messages = j.resp.Stats.Messages
+		st.Palette = j.resp.Palette
+	}
+	return st
+}
+
+// Server is the concurrent coloring service.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+
+	mu        sync.Mutex
+	queueCond *sync.Cond // signaled when queue gains work or the server closes
+	closed    bool
+	nextID    int64
+	jobs      map[string]*job
+	order     []string // submission order, for bounded retention
+	queue     []*job   // FIFO of not-yet-started jobs; canceled jobs are removed in place
+	wg        sync.WaitGroup
+	metrics   struct {
+		submitted, completed, failed, canceled, rejected int64
+		cacheHits, cacheMisses, cacheBadHits             int64
+		cacheSkipped                                     int64
+		running                                          int
+		roundsTotal, messagesTotal, wallMSTotal          int64
+	}
+}
+
+// NewServer starts a server with cfg's worker pool running.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		jobs: make(map[string]*job),
+	}
+	s.queueCond = sync.NewCond(&s.mu)
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting submissions, lets queued and running jobs finish,
+// and waits for the workers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.queueCond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit validates, cache-checks, and (on a miss) enqueues a request. On a
+// cache hit the returned job is already done and carries the remapped,
+// re-verified coloring.
+func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
+	if err := req.Validate(); err != nil {
+		s.countRejected()
+		return JobStatus{}, err
+	}
+	if s.cfg.MaxVertices > 0 && req.Graph.N > s.cfg.MaxVertices {
+		s.countRejected()
+		return JobStatus{}, fmt.Errorf("service: graph has %d vertices, limit %d", req.Graph.N, s.cfg.MaxVertices)
+	}
+	if s.cfg.MaxEdges > 0 && len(req.Graph.Edges) > s.cfg.MaxEdges {
+		s.countRejected()
+		return JobStatus{}, fmt.Errorf("service: graph has %d edges, limit %d", len(req.Graph.Edges), s.cfg.MaxEdges)
+	}
+	g, err := req.Graph.Build()
+	if err != nil {
+		s.countRejected()
+		return JobStatus{}, err
+	}
+
+	j := &job{req: req, g: g, state: StateQueued, traceDepth: s.cfg.TraceDepth, done: make(chan struct{})}
+	j.cond = sync.NewCond(&j.mu)
+
+	var hit *distcolor.Response
+	cacheable := s.cache != nil &&
+		(s.cfg.CacheMaxVertices < 0 || g.N() <= s.cfg.CacheMaxVertices) &&
+		(s.cfg.CacheMaxEdges < 0 || g.M() <= s.cfg.CacheMaxEdges)
+	if cacheable {
+		j.canon = canonicalize(g, req)
+		j.key = cacheKey(j.canon, req)
+		var bad bool
+		hit, bad = s.cache.load(j.key, g, j.canon)
+		if bad {
+			s.mu.Lock()
+			s.metrics.cacheBadHits++
+			s.mu.Unlock()
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrClosed
+	}
+	if hit != nil {
+		// Served from cache: load re-verified the remapped coloring against
+		// this submission's graph.
+		j.state = StateDone
+		j.resp = hit
+		j.cacheHit = true
+		close(j.done)
+		s.metrics.cacheHits++
+		s.metrics.submitted++
+		s.metrics.completed++
+		s.register(j)
+		return j.status(), nil
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.metrics.rejected++
+		return JobStatus{}, ErrQueueFull
+	}
+	s.queue = append(s.queue, j)
+	s.queueCond.Signal()
+	switch {
+	case cacheable:
+		s.metrics.cacheMisses++
+	case s.cache != nil:
+		s.metrics.cacheSkipped++
+	}
+	s.metrics.submitted++
+	s.register(j)
+	return j.status(), nil
+}
+
+// register assigns an ID and stores the job; the caller holds s.mu.
+func (s *Server) register(j *job) {
+	s.nextID++
+	j.id = "j" + strconv.FormatInt(s.nextID, 10)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	// Bounded retention: forget the oldest *finished* jobs beyond MaxJobs.
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			old, ok := s.jobs[id]
+			if !ok {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			old.mu.Lock()
+			terminal := old.state.Terminal()
+			old.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is in flight; retain over MaxJobs
+		}
+	}
+}
+
+func (s *Server) countRejected() {
+	s.mu.Lock()
+	s.metrics.rejected++
+	s.mu.Unlock()
+}
+
+// Status returns a job's current status.
+func (s *Server) Status(id string) (JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.status(), nil
+}
+
+func (s *Server) job(id string) (*job, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// Result returns the response of a done job. The response is nil while the
+// job has not (or not successfully) finished; the status tells why.
+func (s *Server) Result(id string) (*distcolor.Response, JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, JobStatus{}, err
+	}
+	j.mu.Lock()
+	resp := j.resp
+	j.mu.Unlock()
+	return resp, j.status(), nil
+}
+
+// Cancel requests cancellation: a queued job is removed from the queue
+// (freeing its slot immediately) and never runs; a running job is aborted
+// at its next round boundary.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	// Pull the job out of the queue first (s.mu before j.mu): once removed,
+	// no worker can pick it up, so this caller owns the terminal transition.
+	s.mu.Lock()
+	removed := false
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.cancelReq = true
+		if removed {
+			j.finishLocked(StateCanceled, errJobCanceled.Error())
+		}
+	}
+	j.mu.Unlock()
+	if removed {
+		s.mu.Lock()
+		s.metrics.canceled++
+		s.mu.Unlock()
+	}
+	return j.status(), nil
+}
+
+// Wait blocks until the job reaches a terminal state (or the timeout, when
+// positive) and returns its then-current status.
+func (s *Server) Wait(id string, timeout time.Duration) (JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if timeout > 0 {
+		select {
+		case <-j.done:
+		case <-time.After(timeout):
+		}
+	} else {
+		<-j.done
+	}
+	return j.status(), nil
+}
+
+// Trace copies the job's recorded round-trace events with seq ≥ afterSeq,
+// and reports the job's current state and the seq of the first retained
+// event (events before it were dropped by the bounded history).
+func (s *Server) Trace(id string, afterSeq int) ([]TraceEvent, State, int, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []TraceEvent
+	for _, ev := range j.trace {
+		if ev.Seq >= afterSeq {
+			out = append(out, ev)
+		}
+	}
+	return out, j.state, j.traceStart, nil
+}
+
+// WaitTrace blocks until the job has trace events with seq ≥ afterSeq, is
+// terminal, or ctx is done, then behaves like Trace (the caller checks
+// ctx.Err() to distinguish the last case). The context lets a streaming
+// reader whose client disconnected stop waiting on a slow job.
+func (s *Server) WaitTrace(ctx context.Context, id string, afterSeq int) ([]TraceEvent, State, int, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	// cond.Wait cannot watch a channel; poke the waiters when ctx ends.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	for !j.state.Terminal() && j.traceSeq <= afterSeq && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	j.mu.Unlock()
+	return s.Trace(id, afterSeq)
+}
+
+// Metrics snapshots the aggregate counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Submitted:     s.metrics.submitted,
+		Completed:     s.metrics.completed,
+		Failed:        s.metrics.failed,
+		Canceled:      s.metrics.canceled,
+		Rejected:      s.metrics.rejected,
+		CacheHits:     s.metrics.cacheHits,
+		CacheMisses:   s.metrics.cacheMisses,
+		CacheBadHits:  s.metrics.cacheBadHits,
+		CacheSkipped:  s.metrics.cacheSkipped,
+		QueueDepth:    len(s.queue),
+		Running:       s.metrics.running,
+		Workers:       s.cfg.Workers,
+		RoundsTotal:   s.metrics.roundsTotal,
+		MessagesTotal: s.metrics.messagesTotal,
+		WallMSTotal:   s.metrics.wallMSTotal,
+		Jobs:          len(s.jobs),
+	}
+	if s.cache != nil {
+		m.CacheEntries = s.cache.len()
+	}
+	return m
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.queueCond.Wait()
+		}
+		if len(s.queue) == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cond.Broadcast()
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.metrics.running++
+	s.mu.Unlock()
+
+	req := j.req
+	if s.cfg.Parallel && !req.Parallel {
+		cp := *req
+		cp.Parallel = true
+		req = &cp
+	}
+	start := time.Now()
+	resp, err := distcolor.ExecuteOn(req, j.g, distcolor.Options{Observer: j.observe})
+	wall := time.Since(start).Milliseconds()
+
+	// Store into the cache before the job turns terminal: a waiter that
+	// resubmits the identical workload the instant Wait returns must hit.
+	if err == nil && s.cache != nil && j.canon != nil {
+		s.cache.store(j.key, j.canon, resp)
+	}
+
+	j.mu.Lock()
+	j.wallMS = wall
+	canceled := err != nil && (errors.Is(err, errJobCanceled) || j.cancelReq)
+	switch {
+	case canceled:
+		j.finishLocked(StateCanceled, errJobCanceled.Error())
+	case err != nil:
+		j.finishLocked(StateFailed, err.Error())
+	default:
+		j.resp = resp
+		j.finishLocked(StateDone, "")
+	}
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.metrics.running--
+	switch {
+	case canceled:
+		s.metrics.canceled++
+	case err != nil:
+		s.metrics.failed++
+	default:
+		s.metrics.completed++
+		s.metrics.roundsTotal += int64(resp.Stats.Rounds)
+		s.metrics.messagesTotal += resp.Stats.Messages
+		s.metrics.wallMSTotal += wall
+	}
+	s.mu.Unlock()
+}
+
+// observe is the job's sim round hook: it records the bounded trace history
+// and aborts the run once cancellation was requested. A new execution is
+// detected by its round counter restarting at 0.
+func (j *job) observe(ev distcolor.RoundEvent) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelReq {
+		return errJobCanceled
+	}
+	if ev.Round == 0 || !j.sawRound || ev.N != j.lastN {
+		j.lastExec++
+	}
+	j.sawRound = true
+	j.lastN = ev.N
+	j.trace = append(j.trace, TraceEvent{
+		Seq:      j.traceSeq,
+		Exec:     j.lastExec,
+		Round:    ev.Round,
+		N:        ev.N,
+		Running:  ev.Running,
+		Messages: ev.Stats.Messages,
+	})
+	j.traceSeq++
+	// Bounded history: drop the oldest half when over depth, so streaming
+	// readers that fell behind see a gap, not unbounded memory.
+	if len(j.trace) > j.traceDepth {
+		keep := j.traceDepth / 2
+		if keep < 1 {
+			keep = 1
+		}
+		drop := len(j.trace) - keep
+		j.traceStart = j.trace[drop].Seq
+		j.trace = append(j.trace[:0], j.trace[drop:]...)
+	}
+	j.cond.Broadcast()
+	return nil
+}
+
+// Algorithms re-exports the codec's algorithm list for the HTTP layer.
+func Algorithms() []string { return distcolor.Algorithms() }

@@ -185,6 +185,61 @@ func ParAll(all []Stats) Stats {
 // non-termination), not an expected condition.
 var ErrRoundLimit = errors.New("sim: round limit exceeded")
 
+// Exec runs a node program to global termination. Engine values implement
+// it; Observed wraps an Engine with a per-round hook. Algorithm packages
+// accept an Exec so callers can observe (or abort) every constituent
+// execution of a composed algorithm without the algorithms knowing.
+type Exec interface {
+	Run(t *Topology, f Factory, maxRounds int) (Stats, error)
+}
+
+// OrSequential normalizes a possibly-nil Exec (the zero value of an Options
+// struct holding an Exec interface) to the Sequential engine.
+func OrSequential(e Exec) Exec {
+	if e == nil {
+		return Sequential
+	}
+	return e
+}
+
+// RoundEvent describes one executed round of one execution, delivered to a
+// RoundHook. Stats are cumulative for that execution.
+type RoundEvent struct {
+	// Round is the 0-based index of the round that just executed.
+	Round int
+	// Running is the number of machines still running after the round.
+	Running int
+	// N is the vertex count of the execution's topology. Composed
+	// algorithms run many executions, often on subtopologies; N lets an
+	// observer tell them apart.
+	N int
+	// Stats is the cumulative cost of this execution so far.
+	Stats Stats
+}
+
+// RoundHook observes rounds as they execute. Returning a non-nil error
+// aborts the execution immediately with that error — the cancellation
+// mechanism for long runs.
+type RoundHook func(RoundEvent) error
+
+// Observed returns an Exec that runs like base but calls hook after every
+// executed round. A nil hook returns base unchanged.
+func Observed(base Engine, hook RoundHook) Exec {
+	if hook == nil {
+		return base
+	}
+	return observedExec{base: base, hook: hook}
+}
+
+type observedExec struct {
+	base Engine
+	hook RoundHook
+}
+
+func (o observedExec) Run(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return o.base.run(t, f, maxRounds, o.hook)
+}
+
 // instance holds the shared execution state of one run.
 type instance struct {
 	t         *Topology
@@ -325,6 +380,10 @@ func (inst *instance) clearOutbox(v int) {
 // RunSequential executes the algorithm to global termination, advancing
 // vertices in index order within each round.
 func RunSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return runSequential(t, f, maxRounds, nil)
+}
+
+func runSequential(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
 	inst, err := newInstance(t, f)
 	if err != nil {
 		return Stats{}, err
@@ -361,6 +420,11 @@ func RunSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
 			}
 		}
 		stats.Rounds++
+		if hook != nil {
+			if err := hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats}); err != nil {
+				return stats, err
+			}
+		}
 	}
 	return stats, nil
 }
@@ -372,6 +436,10 @@ func RunSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
 // by leaking state through shared memory mid-round) will diverge from
 // RunSequential under test.
 func RunReverseSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return runReverseSequential(t, f, maxRounds, nil)
+}
+
+func runReverseSequential(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
 	inst, err := newInstance(t, f)
 	if err != nil {
 		return Stats{}, err
@@ -406,6 +474,11 @@ func RunReverseSequential(t *Topology, f Factory, maxRounds int) (Stats, error) 
 			}
 		}
 		stats.Rounds++
+		if hook != nil {
+			if err := hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats}); err != nil {
+				return stats, err
+			}
+		}
 	}
 	return stats, nil
 }
@@ -413,6 +486,10 @@ func RunReverseSequential(t *Topology, f Factory, maxRounds int) (Stats, error) 
 // RunParallel executes the algorithm with shard-per-goroutine concurrency.
 // The execution is bit-identical to RunSequential.
 func RunParallel(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return runParallel(t, f, maxRounds, nil)
+}
+
+func runParallel(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
 	inst, err := newInstance(t, f)
 	if err != nil {
 		return Stats{}, err
@@ -466,6 +543,11 @@ func RunParallel(t *Topology, f Factory, maxRounds int) (Stats, error) {
 			}
 		})
 		stats.Rounds++
+		if hook != nil {
+			if err := hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats}); err != nil {
+				return stats, err
+			}
+		}
 	}
 	return stats, nil
 }
@@ -508,13 +590,19 @@ const (
 
 // Run dispatches to the selected engine.
 func (e Engine) Run(t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return e.run(t, f, maxRounds, nil)
+}
+
+// run is the single engine-dispatch point, shared by Engine.Run and
+// Observed wrappers.
+func (e Engine) run(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
 	switch e {
 	case Parallel:
-		return RunParallel(t, f, maxRounds)
+		return runParallel(t, f, maxRounds, hook)
 	case ReverseSequential:
-		return RunReverseSequential(t, f, maxRounds)
+		return runReverseSequential(t, f, maxRounds, hook)
 	default:
-		return RunSequential(t, f, maxRounds)
+		return runSequential(t, f, maxRounds, hook)
 	}
 }
 

@@ -28,7 +28,7 @@ import (
 // Options configures a star-partition run.
 type Options struct {
 	// Exec selects the simulator engine.
-	Exec sim.Engine
+	Exec sim.Exec
 	// VC configures the coloring black box.
 	VC vc.Options
 	// Seed, when non-nil, is a proper edge coloring of the input graph with

@@ -27,7 +27,7 @@ import (
 // Options configures the black-box engine.
 type Options struct {
 	// Exec selects the simulator engine (sequential by default).
-	Exec sim.Engine
+	Exec sim.Exec
 	// Reducer selects the post-Linial reduction strategy. Default Auto.
 	Reducer Reducer
 }
