@@ -1,9 +1,11 @@
 # Tier-1 verify is `go build ./... && go test ./...` (ROADMAP.md); `make ci`
-# runs that plus vet and the race pass over the concurrent packages.
+# runs that plus vet, a formatting gate, and the race pass over the
+# concurrent packages.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench tables ci
+.PHONY: build test vet fmt-check race bench tables fuzz ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +15,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# CI fails on unformatted files; gofmt -l prints them for the log.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # The race pass targets the packages with real concurrency: the service
 # (cache + worker pool hammer), the simulator's sharded engine, and the
@@ -26,4 +35,9 @@ bench:
 tables:
 	$(GO) run ./cmd/colorbench -table all -quick
 
-ci: build vet test race
+# Fuzz the edge-list parser (the one surface that reads arbitrary user
+# bytes). Corpus findings land in internal/graph/testdata/fuzz.
+fuzz:
+	$(GO) test ./internal/graph/ -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
+
+ci: build vet fmt-check test race

@@ -1,0 +1,200 @@
+package distcolor
+
+// This file registers the paper's algorithm family. Each algorithm is one
+// self-contained descriptor: adding a future variant (another Section 5
+// parameterization, a fewer-colors edge coloring, …) is one
+// RegisterAlgorithm call — the codec, the colord service, /v1/algorithms,
+// and the CLIs pick it up with no further edits.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/arbor"
+	"repro/internal/cd"
+	"repro/internal/sim"
+	"repro/internal/star"
+	"repro/internal/vc"
+)
+
+// Algorithm names accepted by Run and Request.Algorithm.
+const (
+	// AlgoEdgeGreedy is the folklore (2Δ−1)-edge-coloring baseline.
+	AlgoEdgeGreedy = "edge/greedy"
+	// AlgoEdgeStar is the §4 star-partition (2^{x+1}Δ)-edge-coloring
+	// (parameter x, default 1).
+	AlgoEdgeStar = "edge/star"
+	// AlgoEdgeSparse is the adaptive Corollary 5.5 (Δ+o(Δ))-edge-coloring
+	// (parameters arboricity — 0 means "estimate" — and q).
+	AlgoEdgeSparse = "edge/sparse"
+	// AlgoEdgeSparse52/53/54x2/54x3 pin a specific Section 5 theorem.
+	AlgoEdgeSparse52   = "edge/sparse/thm5.2"
+	AlgoEdgeSparse53   = "edge/sparse/thm5.3"
+	AlgoEdgeSparse54x2 = "edge/sparse/thm5.4x2"
+	AlgoEdgeSparse54x3 = "edge/sparse/thm5.4x3"
+	// AlgoVertexDelta1 is the classical deterministic (Δ+1)-vertex-coloring.
+	AlgoVertexDelta1 = "vertex/delta1"
+	// AlgoVertexCD is the §3 clique-decomposition coloring; it needs a
+	// clique cover (Options.Cover in-process, GraphSpec.Cliques on the
+	// wire) and takes x (default 1).
+	AlgoVertexCD = "vertex/cd"
+)
+
+// Shared parameter schemas. Zero values select the default (matching the
+// wire codec's omitempty semantics).
+var (
+	paramX = ParamSpec{
+		Name: "x", Type: "int", Default: 1, Min: 1, Max: 30,
+		Doc: "recursion depth (levels of star partition / clique decomposition)",
+	}
+	paramArboricity = ParamSpec{
+		Name: "arboricity", Type: "int", Default: 0, Min: 1, Max: 1 << 30,
+		Doc: "arboricity bound a(G); 0 (the default) estimates it from the degeneracy",
+	}
+	// paramQ documents the Section 5 threshold multiplier contract: the
+	// default is 3, NaN and negative values are rejected, and positive
+	// values below 2.05 are clamped up to 2.05 (θ = ⌈q·a⌉ needs q > 2 for
+	// logarithmically many H-partition parts; 2.05 keeps the peeling fast).
+	paramQ = ParamSpec{
+		Name: "q", Type: "float", Default: 3, Min: 0, Max: 1e9, ClampMin: 2.05,
+		Doc: "H-partition threshold multiplier (θ = ⌈q·a⌉); positive values below 2.05 are clamped up to 2.05",
+	}
+)
+
+// arbOf resolves the arboricity parameter against the graph: an absent (or
+// zero) value estimates from the degeneracy, and the resolved value is
+// written back so callers see it in Coloring.Params.
+func arbOf(g *Graph, p Params) int {
+	a := int(p["arboricity"])
+	if a <= 0 {
+		a = ArboricityUpperBound(g)
+		p["arboricity"] = float64(a)
+	}
+	return a
+}
+
+// sparseAlgorithm registers one member of the Section 5 family.
+func sparseAlgorithm(name, doc, palette string, run func(ctx context.Context, g *Graph, a int, o arbor.Options) (*arbor.Result, string, error)) Algorithm {
+	return Algorithm{
+		Name: name, Kind: KindEdge, Doc: doc, Palette: palette,
+		Params: []ParamSpec{paramArboricity, paramQ},
+		Run: func(ctx context.Context, g *Graph, p Params, opt Options) (*Coloring, error) {
+			a := arbOf(g, p)
+			res, ran, err := run(ctx, g, a, arbor.Options{Exec: opt.engine(), VC: opt.vc(), Q: p["q"]})
+			if err != nil {
+				return nil, err
+			}
+			return &Coloring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: ran}, nil
+		},
+	}
+}
+
+func init() {
+	RegisterAlgorithm(Algorithm{
+		Name: AlgoEdgeGreedy, Kind: KindEdge,
+		Doc:     "classical distributed (2Δ−1)-edge-coloring (the folklore baseline)",
+		Palette: "2Δ−1",
+		Run: func(ctx context.Context, g *Graph, p Params, opt Options) (*Coloring, error) {
+			res, err := vc.EdgeColor(ctx, g, nil, vc.EdgeIDBound(g), opt.vc())
+			if err != nil {
+				return nil, err
+			}
+			return &Coloring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: "2Δ−1"}, nil
+		},
+	})
+
+	RegisterAlgorithm(Algorithm{
+		Name: AlgoEdgeStar, Kind: KindEdge,
+		Doc:     "§4 star-partition edge coloring (Theorem 4.1): 4Δ colors at x=1, 8Δ at x=2, …",
+		Palette: "2^{x+1}·Δ",
+		Params:  []ParamSpec{paramX},
+		Applicable: func(g *Graph, p Params) error {
+			_, err := star.ChooseT(g.MaxDegree(), int(p["x"]))
+			return err
+		},
+		Run: func(ctx context.Context, g *Graph, p Params, opt Options) (*Coloring, error) {
+			x := int(p["x"])
+			t, err := star.ChooseT(g.MaxDegree(), x)
+			if err != nil {
+				return nil, err
+			}
+			res, err := star.EdgeColor(ctx, g, t, x, star.Options{Exec: opt.engine(), VC: opt.vc()})
+			if err != nil {
+				return nil, err
+			}
+			return &Coloring{
+				Colors: res.Colors, Palette: res.Palette, Stats: res.Stats,
+				Algorithm: fmt.Sprintf("star-partition/x=%d", x),
+			}, nil
+		},
+	})
+
+	RegisterAlgorithm(sparseAlgorithm(AlgoEdgeSparse,
+		"adaptive (Δ+o(Δ))-edge-coloring (Corollary 5.5): runs the Section 5 plan with the smallest declared palette for this (Δ, a)",
+		"Δ+o(Δ) (best Section 5 plan)",
+		func(ctx context.Context, g *Graph, a int, o arbor.Options) (*arbor.Result, string, error) {
+			res, plan, err := arbor.ColorAdaptive(ctx, g, a, o)
+			return res, plan.Name, err
+		}))
+	RegisterAlgorithm(sparseAlgorithm(AlgoEdgeSparse52,
+		"Theorem 5.2: Δ+O(a) colors in O(a·log n) rounds via H-partition",
+		"Δ+θ−1 + 2θ−1, θ=⌈q·a⌉",
+		func(ctx context.Context, g *Graph, a int, o arbor.Options) (*arbor.Result, string, error) {
+			res, err := arbor.ColorHPartition(ctx, g, a, o)
+			return res, "thm5.2", err
+		}))
+	RegisterAlgorithm(sparseAlgorithm(AlgoEdgeSparse53,
+		"Theorem 5.3: Δ+O(√(Δa))+O(a) colors in O(√a·log n) rounds via orientation connectors",
+		"Δ+O(√(Δa))+O(a)",
+		func(ctx context.Context, g *Graph, a int, o arbor.Options) (*arbor.Result, string, error) {
+			res, err := arbor.ColorSqrt(ctx, g, a, o)
+			return res, "thm5.3", err
+		}))
+	RegisterAlgorithm(sparseAlgorithm(AlgoEdgeSparse54x2,
+		"Theorem 5.4 at depth x=2: (Δ^{1/2}+O(â^{1/2}))² colors via bipartite orientation connectors",
+		"(Δ^{1/x}+â^{1/x}+O(1))^x, x=2",
+		func(ctx context.Context, g *Graph, a int, o arbor.Options) (*arbor.Result, string, error) {
+			res, err := arbor.ColorRecursive(ctx, g, a, 2, o)
+			return res, "thm5.4/x=2", err
+		}))
+	RegisterAlgorithm(sparseAlgorithm(AlgoEdgeSparse54x3,
+		"Theorem 5.4 at depth x=3",
+		"(Δ^{1/x}+â^{1/x}+O(1))^x, x=3",
+		func(ctx context.Context, g *Graph, a int, o arbor.Options) (*arbor.Result, string, error) {
+			res, err := arbor.ColorRecursive(ctx, g, a, 3, o)
+			return res, "thm5.4/x=3", err
+		}))
+
+	RegisterAlgorithm(Algorithm{
+		Name: AlgoVertexDelta1, Kind: KindVertex,
+		Doc:     "classical deterministic (Δ+1)-vertex-coloring (Linial + Kuhn–Wattenhofer), the paper's black box",
+		Palette: "Δ+1",
+		Run: func(ctx context.Context, g *Graph, p Params, opt Options) (*Coloring, error) {
+			res, err := vc.Delta1(ctx, sim.NewTopology(g), int64(g.N()), opt.vc())
+			if err != nil {
+				return nil, err
+			}
+			return &Coloring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: "Δ+1"}, nil
+		},
+	})
+
+	RegisterAlgorithm(Algorithm{
+		Name: AlgoVertexCD, Kind: KindVertex,
+		Doc:        "§3 clique-decomposition vertex coloring of bounded-diversity graphs (Theorem 3.3(i))",
+		Palette:    "D^{x+1}·S",
+		Params:     []ParamSpec{paramX},
+		NeedsCover: true,
+		Run: func(ctx context.Context, g *Graph, p Params, opt Options) (*Coloring, error) {
+			x := int(p["x"])
+			t := cd.ChooseT(opt.Cover.MaxCliqueSize(), x)
+			res, err := cd.Color(ctx, g, opt.Cover, t, x, cd.Options{Exec: opt.engine(), VC: opt.vc()})
+			if err != nil {
+				return nil, err
+			}
+			return &Coloring{
+				Colors: res.Colors, Palette: res.Palette, Stats: res.Stats,
+				Algorithm: fmt.Sprintf("cd-coloring/x=%d", x),
+			}, nil
+		},
+	})
+}

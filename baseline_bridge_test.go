@@ -4,11 +4,12 @@ package distcolor
 // package without widening the public API surface.
 
 import (
+	"context"
 	"repro/internal/baseline"
 	"repro/internal/graph"
 	"repro/internal/star"
 )
 
 func baselineBE11(g *graph.Graph, x int) (*star.Result, error) {
-	return baseline.BE11EdgeColor(g, x, star.Options{})
+	return baseline.BE11EdgeColor(context.Background(), g, x, star.Options{})
 }

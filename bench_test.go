@@ -13,6 +13,7 @@ package distcolor
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -60,7 +61,7 @@ func BenchmarkTable1Ours(b *testing.B) {
 				}
 				var last *star.Result
 				for i := 0; i < b.N; i++ {
-					last, err = star.EdgeColor(g, t, x, star.Options{})
+					last, err = star.EdgeColor(context.Background(), g, t, x, star.Options{})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -92,7 +93,7 @@ func BenchmarkTable1Previous(b *testing.B) {
 				}
 				var last *star.Result
 				for i := 0; i < b.N; i++ {
-					last, err = baseline.BE11EdgeColor(g, x, star.Options{})
+					last, err = baseline.BE11EdgeColor(context.Background(), g, x, star.Options{})
 					if err != nil {
 						b.Skip(err)
 					}
@@ -116,7 +117,7 @@ func BenchmarkTable1TwoDelta(b *testing.B) {
 			}
 			var last *vc.Result
 			for i := 0; i < b.N; i++ {
-				last, err = baseline.TwoDeltaMinusOne(g, vc.Options{})
+				last, err = baseline.TwoDeltaMinusOne(context.Background(), g, vc.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -143,7 +144,7 @@ func BenchmarkTable2Ours(b *testing.B) {
 				var last *cd.Result
 				var err error
 				for i := 0; i < b.N; i++ {
-					last, err = cd.Color(g, cov, t, x, cd.Options{})
+					last, err = cd.Color(context.Background(), g, cov, t, x, cd.Options{})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -170,7 +171,7 @@ func BenchmarkTable2Previous(b *testing.B) {
 				var last *cd.Result
 				var err error
 				for i := 0; i < b.N; i++ {
-					last, err = baseline.BE11VertexColor(g, cov, x, cd.Options{})
+					last, err = baseline.BE11VertexColor(context.Background(), g, cov, x, cd.Options{})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -197,7 +198,7 @@ func BenchmarkThm33(b *testing.B) {
 			var last *cd.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				last, err = cd.Color(g, cov, t, 1, cd.Options{})
+				last, err = cd.Color(context.Background(), g, cov, t, 1, cd.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -231,7 +232,7 @@ func BenchmarkPolylogColors(b *testing.B) {
 			t := cd.ChooseT(s, x)
 			var last *cd.Result
 			for i := 0; i < b.N; i++ {
-				last, err = cd.Color(lgr.L, cov, t, x, cd.Options{})
+				last, err = cd.Color(context.Background(), lgr.L, cov, t, x, cd.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -266,7 +267,7 @@ func BenchmarkThm52(b *testing.B) {
 			var last *arbor.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				last, err = arbor.ColorHPartition(g, 3, arbor.Options{})
+				last, err = arbor.ColorHPartition(context.Background(), g, 3, arbor.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -287,7 +288,7 @@ func BenchmarkThm53(b *testing.B) {
 			var last *arbor.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				last, err = arbor.ColorSqrt(g, 3, arbor.Options{})
+				last, err = arbor.ColorSqrt(context.Background(), g, 3, arbor.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -308,7 +309,7 @@ func BenchmarkThm54(b *testing.B) {
 			var last *arbor.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				last, err = arbor.ColorRecursive(g, 3, x, arbor.Options{})
+				last, err = arbor.ColorRecursive(context.Background(), g, 3, x, arbor.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -330,7 +331,7 @@ func BenchmarkCor55(b *testing.B) {
 			var plan arbor.Plan
 			var err error
 			for i := 0; i < b.N; i++ {
-				last, plan, err = arbor.ColorAdaptive(g, a, arbor.Options{})
+				last, plan, err = arbor.ColorAdaptive(context.Background(), g, a, arbor.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -363,7 +364,7 @@ func BenchmarkTwoDeltaBaseline(b *testing.B) {
 			}
 			var last *vc.Result
 			for i := 0; i < b.N; i++ {
-				last, err = baseline.TwoDeltaMinusOne(g, vc.Options{})
+				last, err = baseline.TwoDeltaMinusOne(context.Background(), g, vc.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -395,7 +396,7 @@ func BenchmarkAblationT(b *testing.B) {
 			var last *cd.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				last, err = cd.Color(g, cov, t, 1, cd.Options{SkipTrim: true})
+				last, err = cd.Color(context.Background(), g, cov, t, 1, cd.Options{SkipTrim: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -435,7 +436,7 @@ func BenchmarkAblationEngine(b *testing.B) {
 				topo := sim.NewTopology(g)
 				var last *vc.Result
 				for i := 0; i < b.N; i++ {
-					last, err = vc.Delta1(topo, int64(g.N()), vc.Options{Reducer: r.red})
+					last, err = vc.Delta1(context.Background(), topo, int64(g.N()), vc.Options{Reducer: r.red})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -462,7 +463,7 @@ func BenchmarkAblationSeed(b *testing.B) {
 		var last *cd.Result
 		var err error
 		for i := 0; i < b.N; i++ {
-			last, err = cd.Color(g, cov, t, 2, cd.Options{})
+			last, err = cd.Color(context.Background(), g, cov, t, 2, cd.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -479,7 +480,7 @@ func BenchmarkAblationSeed(b *testing.B) {
 		var last *cd.Result
 		var err error
 		for i := 0; i < b.N; i++ {
-			last, err = cd.Color(g, cov, t, 2, cd.Options{Seed: ids, SeedPalette: int64(g.N())})
+			last, err = cd.Color(context.Background(), g, cov, t, 2, cd.Options{Seed: ids, SeedPalette: int64(g.N())})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -503,7 +504,7 @@ func BenchmarkAblationInternalStar(b *testing.B) {
 			var last *arbor.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				last, err = arbor.ColorHPartition(g, 9, arbor.Options{InternalStar: v.star})
+				last, err = arbor.ColorHPartition(context.Background(), g, 9, arbor.Options{InternalStar: v.star})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -528,7 +529,7 @@ func BenchmarkMessageSizes(b *testing.B) {
 		var last *arbor.Result
 		var err error
 		for i := 0; i < b.N; i++ {
-			last, err = arbor.ColorHPartition(g, 3, arbor.Options{})
+			last, err = arbor.ColorHPartition(context.Background(), g, 3, arbor.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -544,7 +545,7 @@ func BenchmarkMessageSizes(b *testing.B) {
 		}
 		var last *star.Result
 		for i := 0; i < b.N; i++ {
-			last, err = star.EdgeColor(g, t, 1, star.Options{})
+			last, err = star.EdgeColor(context.Background(), g, t, 1, star.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -569,7 +570,7 @@ func BenchmarkLinial(b *testing.B) {
 			topo := sim.NewTopology(g)
 			var last *linial.Result
 			for i := 0; i < b.N; i++ {
-				last, err = linial.Reduce(sim.Sequential, topo, int64(n))
+				last, err = linial.Reduce(context.Background(), sim.Sequential, topo, int64(n))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -598,7 +599,7 @@ func BenchmarkEngines(b *testing.B) {
 	}{{"sequential", sim.Sequential}, {"parallel", sim.Parallel}} {
 		b.Run(e.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := linial.Reduce(e.eng, sim.NewTopology(g), int64(g.N())); err != nil {
+				if _, err := linial.Reduce(context.Background(), e.eng, sim.NewTopology(g), int64(g.N())); err != nil {
 					b.Fatal(err)
 				}
 			}

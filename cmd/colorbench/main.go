@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"repro/internal/bench"
 )
@@ -36,8 +39,13 @@ func main() {
 	server := flag.String("server", "", "base URL of a running colord instance; when set, colorbench becomes a load generator driving the service instead of running in-process")
 	flag.Parse()
 
+	// Ctrl-C cancels the context, which aborts in-flight simulations at
+	// their next round boundary instead of killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *server != "" {
-		if err := runRemote(*server, *seed, *quick); err != nil {
+		if err := runRemote(ctx, *server, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "colorbench: remote: %v\n", err)
 			os.Exit(1)
 		}
@@ -53,12 +61,12 @@ func main() {
 			}
 		}
 	}
-	run("1", func() error { return table1(*seed, *quick) })
-	run("2", func() error { return table2(*seed, *quick) })
-	run("5", func() error { return table5(*seed, *quick) })
+	run("1", func() error { return table1(ctx, *seed, *quick) })
+	run("2", func() error { return table2(ctx, *seed, *quick) })
+	run("5", func() error { return table5(ctx, *seed, *quick) })
 }
 
-func table1(seed int64, quick bool) error {
+func table1(ctx context.Context, seed int64, quick bool) error {
 	deltas := []int{16, 32, 64}
 	xs := []int{1, 2, 3}
 	if quick {
@@ -73,7 +81,7 @@ func table1(seed int64, quick bool) error {
 			if d < 1<<(x+2) {
 				continue
 			}
-			row, err := bench.RunTable1Row(8*d, d, x, seed)
+			row, err := bench.RunTable1Row(ctx, 8*d, d, x, seed)
 			if err != nil {
 				return err
 			}
@@ -92,7 +100,7 @@ func table1(seed int64, quick bool) error {
 		rows)
 }
 
-func table2(seed int64, quick bool) error {
+func table2(ctx context.Context, seed int64, quick bool) error {
 	// S is driven by the hyperedge count: more hyperedges per vertex →
 	// larger cliques in the line graph. S must be large enough that the two
 	// parameter profiles t = S^{1/(x+1)} vs S^{1/(x+2)} actually differ at
@@ -107,7 +115,7 @@ func table2(seed int64, quick bool) error {
 	var rows [][]string
 	for _, x := range xs {
 		for _, c := range cfgs {
-			row, err := bench.RunTable2Row(c.nv, 3, c.ne, x, seed)
+			row, err := bench.RunTable2Row(ctx, c.nv, 3, c.ne, x, seed)
 			if err != nil {
 				return err
 			}
@@ -125,7 +133,7 @@ func table2(seed int64, quick bool) error {
 		rows)
 }
 
-func table5(seed int64, quick bool) error {
+func table5(ctx context.Context, seed int64, quick bool) error {
 	type cfg struct{ n, a, hub int }
 	cfgs := []cfg{{600, 2, 200}, {1200, 2, 500}, {2400, 2, 1200}}
 	if quick {
@@ -133,7 +141,7 @@ func table5(seed int64, quick bool) error {
 	}
 	var rows [][]string
 	for _, c := range cfgs {
-		row, err := bench.RunSparseRow(c.n, c.a, c.hub, seed)
+		row, err := bench.RunSparseRow(ctx, c.n, c.a, c.hub, seed)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -59,8 +60,31 @@ func remoteSweeps(seed int64, quick bool) []remoteSweep {
 	}
 }
 
+// waitJob polls the job until it is terminal, the timeout elapses, or ctx
+// is canceled (Ctrl-C must interrupt a sweep mid-wait).
+func waitJob(ctx context.Context, c *service.Client, id string, timeout time.Duration) (service.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
 // runRemote drives the colord instance at base through the sweeps.
-func runRemote(base string, seed int64, quick bool) error {
+func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 	c := &service.Client{Base: base}
 	before, err := c.Metrics()
 	if err != nil {
@@ -72,6 +96,9 @@ func runRemote(base string, seed int64, quick bool) error {
 		// Two passes over identical workloads: the first simulates, the
 		// second must be answered by the content-addressed result cache.
 		for pass := 1; pass <= 2; pass++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			batch, err := c.Generate(service.GenerateRequest{Gen: sw.gen, Template: sw.tmpl})
 			if err != nil {
 				return fmt.Errorf("sweep %s pass %d: %w", sw.name, pass, err)
@@ -80,7 +107,7 @@ func runRemote(base string, seed int64, quick bool) error {
 				if job.Error != "" {
 					return fmt.Errorf("sweep %s pass %d job %d: %s", sw.name, pass, i, job.Error)
 				}
-				st, err := c.Wait(job.ID, 0, 10*time.Minute)
+				st, err := waitJob(ctx, c, job.ID, 10*time.Minute)
 				if err != nil {
 					return err
 				}

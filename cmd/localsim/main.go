@@ -1,59 +1,160 @@
-// Command localsim runs any distcolor algorithm on a user-supplied graph
-// and reports the verified result as JSON.
+// Command localsim runs any registered distcolor algorithm on a
+// user-supplied graph and reports the verified result as JSON.
 //
 // Usage:
 //
-//	localsim -algo star -x 1 < graph.edges
-//	localsim -algo sparse -arboricity 3 -in mygraph.edges
-//	localsim -algo greedy -in mygraph.edges -colors out.txt
+//	localsim -list                                  # discover algorithms + parameter schemas
+//	localsim -algo edge/star -x 1 < graph.edges
+//	localsim -algo edge/sparse -arboricity 3 -in mygraph.edges
+//	localsim -algo edge/sparse/thm5.3 -param q=2.5 -in mygraph.edges
+//	localsim -algo vertex/cd -line -in mygraph.edges
+//	localsim -algo edge/greedy -in mygraph.edges -colors out.txt
 //
 // The input format is a whitespace edge list with an optional "n <count>"
-// header; see ReadEdgeList. Algorithms: star (2^{x+1}Δ edge coloring),
-// greedy (2Δ−1 edge coloring), sparse (Δ+o(Δ) edge coloring, needs
-// -arboricity), delta1 ((Δ+1) vertex coloring), cdline (CD vertex coloring
-// of the line graph, i.e. D=2).
+// header; see ReadEdgeList. -algo takes any registered algorithm name
+// (see -list); the short aliases star, greedy, sparse, delta1 and cdline
+// from earlier releases keep working. -line runs a vertex algorithm on the
+// line graph of the input (with its canonical diversity-2 clique cover),
+// which edge-colors the input graph; cover-requiring algorithms
+// (vertex/cd) need it when the input is a plain edge list.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	distcolor "repro"
 )
 
 type output struct {
-	Algorithm string `json:"algorithm"`
-	N         int    `json:"n"`
-	M         int    `json:"m"`
-	MaxDegree int    `json:"maxDegree"`
-	Palette   int64  `json:"palette"`
-	Used      int    `json:"colorsUsed"`
-	Rounds    int    `json:"rounds"`
-	Messages  int64  `json:"messages"`
-	Target    string `json:"target"` // "edges" or "vertices"
+	Algorithm string           `json:"algorithm"`
+	N         int              `json:"n"`
+	M         int              `json:"m"`
+	MaxDegree int              `json:"maxDegree"`
+	Palette   int64            `json:"palette"`
+	Used      int              `json:"colorsUsed"`
+	Rounds    int              `json:"rounds"`
+	Messages  int64            `json:"messages"`
+	Target    string           `json:"target"` // "edges" or "vertices"
+	Params    distcolor.Params `json:"params,omitempty"`
+}
+
+// aliases maps the pre-registry CLI names onto registry names; cdline
+// additionally implies -line.
+var aliases = map[string]struct {
+	name string
+	line bool
+}{
+	"star":   {name: distcolor.AlgoEdgeStar},
+	"greedy": {name: distcolor.AlgoEdgeGreedy},
+	"sparse": {name: distcolor.AlgoEdgeSparse},
+	"delta1": {name: distcolor.AlgoVertexDelta1},
+	"cdline": {name: distcolor.AlgoVertexCD, line: true},
+}
+
+// paramFlags collects repeated -param name=value flags.
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (p paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %w", s, err)
+	}
+	p[k] = f
+	return nil
 }
 
 func main() {
-	algo := flag.String("algo", "star", "algorithm: star, greedy, sparse, delta1, cdline")
-	x := flag.Int("x", 1, "recursion depth for star/cdline")
-	arb := flag.Int("arboricity", 0, "arboricity bound for sparse (0: estimate from degeneracy)")
+	params := paramFlags{}
+	algo := flag.String("algo", "edge/star", "registered algorithm name (see -list) or legacy alias (star, greedy, sparse, delta1, cdline)")
+	x := flag.Int("x", 0, "recursion depth (shorthand for -param x=…; 0 = algorithm default)")
+	arb := flag.Int("arboricity", 0, "arboricity bound (shorthand for -param arboricity=…; 0 = estimate from degeneracy)")
+	q := flag.Float64("q", 0, "Section 5 threshold multiplier (shorthand for -param q=…; 0 = default)")
+	flag.Var(params, "param", "algorithm parameter as name=value, repeatable (schema: localsim -list)")
+	line := flag.Bool("line", false, "run a vertex algorithm on the line graph of the input (edge-colors the input graph)")
 	in := flag.String("in", "", "input edge list (default stdin)")
 	colorsOut := flag.String("colors", "", "optional file to write the coloring (one color per line)")
 	parallel := flag.Bool("parallel", false, "use the goroutine engine")
+	list := flag.Bool("list", false, "list the registered algorithms with their parameter schemas and exit")
 	flag.Parse()
 
-	if err := run(*algo, *x, *arb, *in, *colorsOut, *parallel); err != nil {
+	if *list {
+		printRegistry(os.Stdout)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	shorthand := distcolor.Params{"x": float64(*x), "arboricity": float64(*arb), "q": *q}
+	if err := run(ctx, *algo, distcolor.Params(params), shorthand, *in, *colorsOut, *parallel, *line); err != nil {
 		fmt.Fprintf(os.Stderr, "localsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo string, x, arb int, in, colorsOut string, parallel bool) error {
+// printRegistry renders the algorithm registry as a discovery table.
+func printRegistry(w io.Writer) {
+	for _, a := range distcolor.DescribeAlgorithms() {
+		fmt.Fprintf(w, "%-22s %-6s palette %s\n", a.Name, a.Kind, a.Palette)
+		if a.Doc != "" {
+			fmt.Fprintf(w, "    %s\n", a.Doc)
+		}
+		if a.NeedsCover {
+			fmt.Fprintf(w, "    needs a clique cover (use -line to derive one from the line graph)\n")
+		}
+		for _, p := range a.Params {
+			fmt.Fprintf(w, "    -param %s=<%s>  default %v, range [%v, %v]  %s\n",
+				p.Name, p.Type, p.Default, p.Min, p.Max, p.Doc)
+		}
+	}
+}
+
+func run(ctx context.Context, algo string, params, shorthand distcolor.Params, in, colorsOut string, parallel, line bool) error {
+	if al, ok := aliases[algo]; ok {
+		line = line || al.line
+		algo = al.name
+	}
+	a, ok := distcolor.LookupAlgorithm(algo)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (try -list)", algo)
+	}
+	// Like the wire codec, the shorthand flags (-x, -arboricity, -q) keep
+	// their pre-registry tolerance: merged only when the algorithm's
+	// schema declares the parameter, ignored otherwise. Explicit -param
+	// entries stay strict.
+	declared := map[string]bool{}
+	for _, p := range a.Params {
+		declared[p.Name] = true
+	}
+	for name, v := range shorthand {
+		if v != 0 && declared[name] {
+			params[name] = v
+		}
+	}
+
 	var r io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -67,73 +168,42 @@ func run(algo string, x, arb int, in, colorsOut string, parallel bool) error {
 	if err != nil {
 		return err
 	}
+
 	opt := distcolor.Options{Parallel: parallel}
 	out := output{N: g.N(), M: g.M(), MaxDegree: g.MaxDegree()}
-	var colors []int64
+	target := map[distcolor.Kind]string{distcolor.KindEdge: "edges", distcolor.KindVertex: "vertices"}[a.Kind]
 
-	switch algo {
-	case "star":
-		res, err := distcolor.EdgeColorStar(g, x, opt)
-		if err != nil {
-			return err
+	// -line lifts the workload onto the line graph: any vertex algorithm
+	// then edge-colors the input, and the canonical diversity-2 clique
+	// cover satisfies cover-requiring algorithms.
+	runGraph := g
+	if line {
+		if a.Kind != distcolor.KindVertex {
+			return fmt.Errorf("-line needs a vertex algorithm, %s colors %s", algo, a.Kind)
 		}
-		fill(&out, res.Algorithm, res.Palette, res.Stats.Rounds, res.Stats.Messages, "edges")
-		colors = res.Colors
-		if err := distcolor.CheckEdgeColoring(g, colors, res.Palette); err != nil {
-			return err
-		}
-	case "greedy":
-		res, err := distcolor.EdgeColorGreedy(g, opt)
-		if err != nil {
-			return err
-		}
-		fill(&out, res.Algorithm, res.Palette, res.Stats.Rounds, res.Stats.Messages, "edges")
-		colors = res.Colors
-		if err := distcolor.CheckEdgeColoring(g, colors, res.Palette); err != nil {
-			return err
-		}
-	case "sparse":
-		if arb <= 0 {
-			arb = distcolor.ArboricityUpperBound(g)
-		}
-		res, err := distcolor.EdgeColorSparse(g, arb, opt)
-		if err != nil {
-			return err
-		}
-		fill(&out, res.Algorithm, res.Palette, res.Stats.Rounds, res.Stats.Messages, "edges")
-		colors = res.Colors
-		if err := distcolor.CheckEdgeColoring(g, colors, res.Palette); err != nil {
-			return err
-		}
-	case "delta1":
-		res, err := distcolor.VertexColor(g, opt)
-		if err != nil {
-			return err
-		}
-		fill(&out, res.Algorithm, res.Palette, res.Stats.Rounds, res.Stats.Messages, "vertices")
-		colors = res.Colors
-		if err := distcolor.CheckVertexColoring(g, colors, res.Palette); err != nil {
-			return err
-		}
-	case "cdline":
 		lg, cov, _, err := distcolor.LineCover(g)
 		if err != nil {
 			return err
 		}
-		res, err := distcolor.VertexColorCD(lg, cov, x, opt)
-		if err != nil {
-			return err
-		}
-		fill(&out, res.Algorithm, res.Palette, res.Stats.Rounds, res.Stats.Messages, "edges (via line graph)")
-		colors = res.Colors
-		if err := distcolor.CheckVertexColoring(lg, colors, res.Palette); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		runGraph = lg
+		opt.Cover = cov
+		target = "edges (via line graph)"
+	} else if a.NeedsCover {
+		return fmt.Errorf("%s requires a clique cover: pass -line to derive one from the line graph", algo)
 	}
 
-	out.Used = countDistinct(colors)
+	col, err := distcolor.Run(ctx, runGraph, algo, params, opt)
+	if err != nil {
+		return err
+	}
+	out.Algorithm = col.Algorithm
+	out.Palette = col.Palette
+	out.Rounds = col.Stats.Rounds
+	out.Messages = col.Stats.Messages
+	out.Target = target
+	out.Params = col.Params
+	out.Used = countDistinct(col.Colors)
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -141,21 +211,13 @@ func run(algo string, x, arb int, in, colorsOut string, parallel bool) error {
 	}
 	if colorsOut != "" {
 		var sb strings.Builder
-		for _, c := range colors {
+		for _, c := range col.Colors {
 			sb.WriteString(strconv.FormatInt(c, 10))
 			sb.WriteByte('\n')
 		}
 		return os.WriteFile(colorsOut, []byte(sb.String()), 0o644)
 	}
 	return nil
-}
-
-func fill(o *output, algo string, palette int64, rounds int, messages int64, target string) {
-	o.Algorithm = algo
-	o.Palette = palette
-	o.Rounds = rounds
-	o.Messages = messages
-	o.Target = target
 }
 
 func countDistinct(colors []int64) int {

@@ -1,55 +1,30 @@
 package distcolor
 
 import (
+	"context"
 	"fmt"
 )
 
 // This file is the stable wire codec of the library: a JSON-friendly
-// Request/Response pair that names every entry point, plus Execute, which
-// dispatches a Request to the matching algorithm and verifies the produced
-// coloring before returning it. The colord service (internal/service,
-// cmd/colord) speaks exactly these types over HTTP; keeping them here makes
-// the same codec usable in-process, which is how cmd/colorbench can target
-// either a live daemon or the library with one workload description.
-
-// Algorithm names accepted in Request.Algorithm.
-const (
-	// AlgoEdgeGreedy is the folklore (2Δ−1)-edge-coloring baseline.
-	AlgoEdgeGreedy = "edge/greedy"
-	// AlgoEdgeStar is the §4 star-partition (2^{x+1}Δ)-edge-coloring
-	// (parameter X, default 1).
-	AlgoEdgeStar = "edge/star"
-	// AlgoEdgeSparse is the adaptive Corollary 5.5 (Δ+o(Δ))-edge-coloring
-	// (parameters Arboricity — 0 means "estimate" — and Q).
-	AlgoEdgeSparse = "edge/sparse"
-	// AlgoEdgeSparse52/53/54x2/54x3 pin a specific Section 5 theorem.
-	AlgoEdgeSparse52   = "edge/sparse/thm5.2"
-	AlgoEdgeSparse53   = "edge/sparse/thm5.3"
-	AlgoEdgeSparse54x2 = "edge/sparse/thm5.4x2"
-	AlgoEdgeSparse54x3 = "edge/sparse/thm5.4x3"
-	// AlgoVertexDelta1 is the classical deterministic (Δ+1)-vertex-coloring.
-	AlgoVertexDelta1 = "vertex/delta1"
-	// AlgoVertexCD is the §3 clique-decomposition coloring; the Request must
-	// carry the clique cover (Graph.Cliques) and may set X (default 1).
-	AlgoVertexCD = "vertex/cd"
-)
-
-// Algorithms lists every Request.Algorithm value Execute accepts.
-func Algorithms() []string {
-	return []string{
-		AlgoEdgeGreedy, AlgoEdgeStar,
-		AlgoEdgeSparse, AlgoEdgeSparse52, AlgoEdgeSparse53, AlgoEdgeSparse54x2, AlgoEdgeSparse54x3,
-		AlgoVertexDelta1, AlgoVertexCD,
-	}
-}
+// Request/Response pair, plus Execute, which dispatches a Request through
+// the algorithm registry (registry.go). The codec holds no per-algorithm
+// knowledge: algorithm names, parameter validation, and applicability all
+// come from the registered descriptors, so a newly registered algorithm is
+// wire-reachable with no codec changes. The colord service
+// (internal/service, cmd/colord) speaks exactly these types over HTTP;
+// keeping them here makes the same codec usable in-process, which is how
+// cmd/colorbench can target either a live daemon or the library with one
+// workload description.
 
 // GraphSpec is the wire form of a graph: a vertex count and an edge list.
-// For AlgoVertexCD it additionally carries the clique cover.
+// For cover-requiring algorithms (vertex/cd) it additionally carries the
+// clique cover.
 type GraphSpec struct {
 	N     int      `json:"n"`
 	Edges [][2]int `json:"edges"`
-	// Cliques is the clique cover for AlgoVertexCD (each list is one
-	// clique's vertices); ignored by every other algorithm.
+	// Cliques is the clique cover for algorithms registered with
+	// NeedsCover (each list is one clique's vertices); ignored by every
+	// other algorithm.
 	Cliques [][]int32 `json:"cliques,omitempty"`
 }
 
@@ -80,26 +55,74 @@ func (s GraphSpec) Build() (*Graph, error) {
 // Request describes one coloring workload in a stable, JSON-serializable
 // form.
 type Request struct {
-	// Algorithm is one of the Algo* constants.
+	// Algorithm is a registered algorithm name (see Algorithms, or the
+	// colord /v1/algorithms endpoint for the full schemas).
 	Algorithm string    `json:"algorithm"`
 	Graph     GraphSpec `json:"graph"`
-	// X is the recursion-depth parameter of AlgoEdgeStar / AlgoVertexCD
-	// (default 1).
+	// Params carries algorithm parameters by schema name, validated
+	// strictly against the registered parameter schema (unknown names,
+	// NaN, and out-of-range values are rejected). The legacy shorthand
+	// fields below overlay it when nonzero.
+	Params Params `json:"params,omitempty"`
+	// X is the legacy shorthand for Params["x"], the recursion-depth
+	// parameter of edge/star and vertex/cd (0 selects the default). Like
+	// all shorthand fields it keeps its pre-registry tolerance: an
+	// algorithm whose schema has no such parameter ignores it instead of
+	// rejecting the request.
 	X int `json:"x,omitempty"`
-	// Arboricity is the bound fed to the sparse algorithms; 0 means
-	// "estimate with ArboricityUpperBound".
+	// Arboricity is the legacy shorthand for Params["arboricity"] fed to
+	// the sparse algorithms; 0 means "estimate with ArboricityUpperBound".
 	Arboricity int `json:"arboricity,omitempty"`
-	// Q is the Section 5 threshold multiplier (0 → default 3).
+	// Q is the legacy shorthand for Params["q"], the Section 5 threshold
+	// multiplier (0 selects the default 3).
 	Q float64 `json:"q,omitempty"`
 	// Parallel selects the goroutine-sharded engine.
 	Parallel bool `json:"parallel,omitempty"`
+}
+
+// params merges the legacy shorthand fields over the Params map into one
+// schema-keyed parameter set for algorithm a. Shorthand fields merge only
+// when a's schema declares the parameter: pre-registry clients set them on
+// requests whose algorithm ignored them (e.g. one batch template swept
+// across algorithms), and the stable codec keeps tolerating that. Entries
+// of the Params map itself are strict — resolution rejects unknown names.
+func (r *Request) params(a Algorithm) Params {
+	p := make(Params, len(r.Params)+3)
+	for k, v := range r.Params {
+		p[k] = v
+	}
+	merge := func(name string, v float64) {
+		if v == 0 {
+			return
+		}
+		if _, ok := a.param(name); ok {
+			p[name] = v
+		}
+	}
+	merge("x", float64(r.X))
+	merge("arboricity", float64(r.Arboricity))
+	merge("q", r.Q)
+	return p
+}
+
+// ResolvedParams returns the request's parameter set exactly as the
+// registry resolves it: the legacy shorthand fields merged over Params,
+// schema defaults applied, and clamps performed. Requests that provably
+// run identically resolve to equal parameter sets, which is what the
+// colord result cache keys on.
+func (r *Request) ResolvedParams() (Params, error) {
+	a, ok := LookupAlgorithm(r.Algorithm)
+	if !ok {
+		return nil, &UnknownAlgorithmError{Name: r.Algorithm}
+	}
+	return a.resolve(r.params(a))
 }
 
 // Response is the result of executing a Request. Kind tells whether Colors
 // is indexed by edge identifiers or by vertices.
 type Response struct {
 	// Kind is "edge" or "vertex".
-	Kind string `json:"kind"`
+	Kind Kind `json:"kind"`
 	// Algorithm echoes the procedure that actually ran (for the adaptive
 	// sparse entry point this is the chosen plan, e.g. "thm5.3").
 	Algorithm string  `json:"algorithm"`
@@ -111,42 +134,40 @@ type Response struct {
 	Arboricity int `json:"arboricity,omitempty"`
 }
 
-// Validate checks a Request without running it.
+// Validate checks a Request without running it: the algorithm must be
+// registered, the graph well-formed, and the parameters valid under the
+// algorithm's schema.
 func (r *Request) Validate() error {
-	switch r.Algorithm {
-	case AlgoEdgeGreedy, AlgoEdgeStar, AlgoEdgeSparse, AlgoEdgeSparse52, AlgoEdgeSparse53,
-		AlgoEdgeSparse54x2, AlgoEdgeSparse54x3, AlgoVertexDelta1, AlgoVertexCD:
-	default:
-		return fmt.Errorf("distcolor: unknown algorithm %q", r.Algorithm)
+	a, ok := LookupAlgorithm(r.Algorithm)
+	if !ok {
+		return &UnknownAlgorithmError{Name: r.Algorithm}
 	}
 	if r.Graph.N < 0 {
 		return fmt.Errorf("distcolor: negative vertex count %d", r.Graph.N)
 	}
+	// Shorthand fields are range-checked even when the algorithm ignores
+	// them (pre-registry behavior); schema validation covers the rest.
 	if r.X < 0 {
 		return fmt.Errorf("distcolor: negative x %d", r.X)
 	}
 	if r.Arboricity < 0 {
 		return fmt.Errorf("distcolor: negative arboricity %d", r.Arboricity)
 	}
-	if r.Algorithm == AlgoVertexCD && len(r.Graph.Cliques) == 0 {
-		return fmt.Errorf("distcolor: %s requires a clique cover", AlgoVertexCD)
+	if _, err := a.resolve(r.params(a)); err != nil {
+		return err
+	}
+	if a.NeedsCover && len(r.Graph.Cliques) == 0 {
+		return fmt.Errorf("distcolor: %s requires a clique cover", r.Algorithm)
 	}
 	return nil
 }
 
-// x returns the recursion depth with its default.
-func (r *Request) x() int {
-	if r.X == 0 {
-		return 1
-	}
-	return r.X
-}
-
-// Execute runs the Request against the library and verifies the coloring
+// Execute runs the Request against the registry and verifies the coloring
 // before returning; a Response from Execute is always a proper coloring
-// within its declared palette. opt supplies execution extras (Observer);
-// the Request's own Parallel/Q fields take precedence over opt's.
-func Execute(r *Request, opt Options) (*Response, error) {
+// within its declared palette. ctx cancels or deadlines the simulation at
+// round granularity. opt supplies execution extras (Observer); the
+// Request's own Parallel and parameter fields take precedence over opt's.
+func Execute(ctx context.Context, r *Request, opt Options) (*Response, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,83 +175,42 @@ func Execute(r *Request, opt Options) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ExecuteOn(r, g, opt)
+	return ExecuteOn(ctx, r, g, opt)
 }
 
 // ExecuteOn is Execute for callers that already built r.Graph (the colord
 // service builds it at submission for validation and canonicalization and
 // reuses it here); g must be the graph r.Graph describes.
-func ExecuteOn(r *Request, g *Graph, opt Options) (*Response, error) {
+func ExecuteOn(ctx context.Context, r *Request, g *Graph, opt Options) (*Response, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
+	a, _ := LookupAlgorithm(r.Algorithm)
 	opt.Parallel = r.Parallel
-	opt.Q = r.Q
-	resp := &Response{Delta: g.MaxDegree()}
-	var err error
-
-	arb := func() int {
-		if r.Arboricity > 0 {
-			return r.Arboricity
+	if a.NeedsCover {
+		cover, err := NewCliqueCover(g, r.Graph.Cliques)
+		if err != nil {
+			return nil, err
 		}
-		return ArboricityUpperBound(g)
+		opt.Cover = cover
 	}
-
-	var (
-		ec *EdgeColoring
-		vc *VertexColoring
-	)
-	switch r.Algorithm {
-	case AlgoEdgeGreedy:
-		ec, err = EdgeColorGreedy(g, opt)
-	case AlgoEdgeStar:
-		ec, err = EdgeColorStar(g, r.x(), opt)
-	case AlgoEdgeSparse:
-		resp.Arboricity = arb()
-		ec, err = EdgeColorSparse(g, resp.Arboricity, opt)
-	case AlgoEdgeSparse52:
-		resp.Arboricity = arb()
-		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseHPartition, opt)
-	case AlgoEdgeSparse53:
-		resp.Arboricity = arb()
-		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseSqrt, opt)
-	case AlgoEdgeSparse54x2:
-		resp.Arboricity = arb()
-		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseRecursive2, opt)
-	case AlgoEdgeSparse54x3:
-		resp.Arboricity = arb()
-		ec, err = EdgeColorSparseWith(g, resp.Arboricity, SparseRecursive3, opt)
-	case AlgoVertexDelta1:
-		vc, err = VertexColor(g, opt)
-	case AlgoVertexCD:
-		var cover *CliqueCover
-		cover, err = NewCliqueCover(g, r.Graph.Cliques)
-		if err == nil {
-			vc, err = VertexColorCD(g, cover, r.x(), opt)
-		}
-	}
+	col, err := Run(ctx, g, r.Algorithm, r.params(a), opt)
 	if err != nil {
 		return nil, err
 	}
-	switch {
-	case ec != nil:
-		if err := CheckEdgeColoring(g, ec.Colors, ec.Palette); err != nil {
-			return nil, fmt.Errorf("distcolor: %s produced an invalid coloring: %w", r.Algorithm, err)
-		}
-		resp.Kind = "edge"
-		resp.Algorithm = ec.Algorithm
-		resp.Colors = ec.Colors
-		resp.Palette = ec.Palette
-		resp.Stats = ec.Stats
-	case vc != nil:
-		if err := CheckVertexColoring(g, vc.Colors, vc.Palette); err != nil {
-			return nil, fmt.Errorf("distcolor: %s produced an invalid coloring: %w", r.Algorithm, err)
-		}
-		resp.Kind = "vertex"
-		resp.Algorithm = vc.Algorithm
-		resp.Colors = vc.Colors
-		resp.Palette = vc.Palette
-		resp.Stats = vc.Stats
+	resp := &Response{
+		Kind:      col.Kind,
+		Algorithm: col.Algorithm,
+		Colors:    col.Colors,
+		Palette:   col.Palette,
+		Stats:     col.Stats,
+		Delta:     g.MaxDegree(),
+	}
+	// Report dynamically resolved structural parameters without knowing
+	// which algorithms have them: the resolved parameter set carries the
+	// estimate back.
+	if arb, ok := col.Params["arboricity"]; ok {
+		resp.Arboricity = int(arb)
 	}
 	return resp, nil
 }

@@ -5,25 +5,32 @@
 //
 // Every algorithm runs as genuine node programs on a synchronous
 // message-passing simulator of the LOCAL model; reported Stats carry the
-// executed communication rounds and message counts. The headline entry
-// points are
+// executed communication rounds and message counts.
 //
-//   - EdgeColorStar: (2^{x+1}Δ)-edge-coloring via star partitions (§4,
-//     Theorem 4.1) — 4Δ colors at x=1, 8Δ at x=2, …
-//   - EdgeColorSparse: (Δ+o(Δ))-edge-coloring for graphs whose arboricity
-//     is bounded away from Δ (§5, Theorems 5.2–5.4, Corollary 5.5).
-//   - VertexColorCD: (D^{x+1}·S)-vertex-coloring of bounded-diversity
-//     graphs via clique decomposition (§§2–3, Algorithm 1, Theorem 3.3).
-//   - VertexColor: the classical deterministic (Δ+1)-coloring used as the
-//     black box (Linial + Kuhn–Wattenhofer).
+// The package is organized around a self-describing algorithm registry
+// (registry.go): every algorithm — the §4 star partition, the §5 sparse
+// family, the §3 CD-coloring, and the Δ+1 / 2Δ−1 baselines — registers one
+// descriptor carrying its name, kind (edge or vertex), declared palette
+// formula, and parameter schema with defaults and bounds (algorithms.go).
+// The primary entry point is context-first and uniform across the family:
 //
-// Beyond the one-shot entry points, the package defines the stable wire
-// codec (Request/Response and Execute in codec.go) spoken by the colord
-// coloring service: cmd/colord serves these algorithms over HTTP behind a
-// job queue, a worker pool, and a content-addressed result cache keyed by
-// canonical graph hashes (CanonicalHash), with per-round streaming traces
-// powered by Options.Observer. See internal/service, and README.md for a
-// curl quickstart (submit a graph, poll status, fetch the colored result).
+//	col, err := distcolor.Run(ctx, g, "edge/sparse",
+//	        distcolor.Params{"arboricity": 3}, distcolor.Options{})
+//
+// Run resolves parameters against the schema, checks applicability,
+// executes on the simulator (ctx cancels or times out the run at round
+// granularity), verifies the produced coloring, and returns a unified
+// Coloring. The legacy one-shot entry points (EdgeColorStar,
+// EdgeColorSparse, VertexColor, VertexColorCD, …) remain as thin wrappers
+// over Run.
+//
+// The package also defines the stable wire codec (Request/Response and
+// Execute in codec.go) spoken by the colord coloring service: cmd/colord
+// serves every registered algorithm over HTTP behind a job queue, a worker
+// pool, and a content-addressed result cache keyed by canonical graph
+// hashes (CanonicalHash), with per-round streaming traces powered by
+// Options.Observer and registry discovery at /v1/algorithms. See
+// internal/service, and README.md for a curl quickstart.
 //
 // See DESIGN.md for the system inventory (§6 covers the service) and
 // EXPERIMENTS.md for the paper-versus-measured record of every table and
@@ -31,15 +38,14 @@
 package distcolor
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/arbor"
-	"repro/internal/cd"
 	"repro/internal/cliques"
 	"repro/internal/graph"
 	"repro/internal/sim"
-	"repro/internal/star"
 	"repro/internal/vc"
 	"repro/internal/verify"
 )
@@ -78,13 +84,23 @@ type Options struct {
 	// Parallel runs node programs on the goroutine-sharded engine instead
 	// of the sequential one. Results are identical; wall-clock differs.
 	Parallel bool
-	// Q is the Section 5 threshold multiplier (default 3; clamped ≥ 2.05).
+	// Q is the Section 5 threshold multiplier used by the legacy sparse
+	// wrappers (EdgeColorSparse, EdgeColorSparseWith): 0 selects the
+	// default 3, positive values below 2.05 run as 2.05, and NaN or
+	// negative values are rejected with *ParamError. Run callers pass
+	// Params{"q": …} instead — see the "q" entry of the edge/sparse
+	// parameter schema for the authoritative contract.
 	Q float64
 	// Observer, when non-nil, receives a RoundEvent after every executed
 	// round of every constituent distributed execution (composed algorithms
-	// run many). Returning a non-nil error from the observer aborts the run
-	// with that error — the cancellation mechanism for long jobs.
-	Observer func(RoundEvent) error
+	// run many). It is purely for tracing: to abort a long run, cancel the
+	// context passed to Run (the legacy Observer-error cancellation is
+	// gone).
+	Observer func(RoundEvent)
+	// Cover supplies the clique cover required by algorithms registered
+	// with NeedsCover (vertex/cd). The one-shot VertexColorCD wrapper fills
+	// it from its argument; wire requests carry it as GraphSpec.Cliques.
+	Cover *CliqueCover
 }
 
 func (o Options) engine() sim.Exec {
@@ -97,7 +113,9 @@ func (o Options) engine() sim.Exec {
 
 func (o Options) vc() vc.Options { return vc.Options{Exec: o.engine()} }
 
-// EdgeColoring is the result of a distributed edge-coloring run.
+// EdgeColoring is the result of a distributed edge-coloring run. It is the
+// edge-kind view of the unified Coloring returned by Run, kept for the
+// legacy one-shot entry points.
 type EdgeColoring struct {
 	// Colors is indexed by the graph's edge identifiers.
 	Colors []int64
@@ -109,7 +127,8 @@ type EdgeColoring struct {
 	Algorithm string
 }
 
-// VertexColoring is the result of a distributed vertex-coloring run.
+// VertexColoring is the result of a distributed vertex-coloring run (the
+// vertex-kind view of Coloring).
 type VertexColoring struct {
 	Colors    []int64
 	Palette   int64
@@ -117,43 +136,44 @@ type VertexColoring struct {
 	Algorithm string
 }
 
-// EdgeColorGreedy computes the classical distributed (2Δ−1)-edge-coloring
-// (the folklore baseline the paper improves on).
-func EdgeColorGreedy(g *Graph, opt Options) (*EdgeColoring, error) {
-	res, err := vc.EdgeColor(g, nil, vc.EdgeIDBound(g), opt.vc())
+// runEdge adapts Run for the legacy edge-coloring wrappers.
+func runEdge(g *Graph, algo string, p Params, opt Options) (*EdgeColoring, error) {
+	col, err := Run(context.Background(), g, algo, p, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &EdgeColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: "2Δ−1"}, nil
+	return &EdgeColoring{Colors: col.Colors, Palette: col.Palette, Stats: col.Stats, Algorithm: col.Algorithm}, nil
+}
+
+// runVertex adapts Run for the legacy vertex-coloring wrappers.
+func runVertex(g *Graph, algo string, p Params, opt Options) (*VertexColoring, error) {
+	col, err := Run(context.Background(), g, algo, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &VertexColoring{Colors: col.Colors, Palette: col.Palette, Stats: col.Stats, Algorithm: col.Algorithm}, nil
+}
+
+// EdgeColorGreedy computes the classical distributed (2Δ−1)-edge-coloring
+// (the folklore baseline the paper improves on). It wraps Run(AlgoEdgeGreedy).
+func EdgeColorGreedy(g *Graph, opt Options) (*EdgeColoring, error) {
+	return runEdge(g, AlgoEdgeGreedy, nil, opt)
 }
 
 // EdgeColorStar computes the (2^{x+1}Δ)-edge-coloring of Theorem 4.1 with
-// x ≥ 1 star-partition levels (x=1: 4Δ colors). Requires Δ ≥ 2^{x+1}.
+// x ≥ 1 star-partition levels (x=1: 4Δ colors). Requires Δ ≥ 2^{x+1}. It
+// wraps Run(AlgoEdgeStar).
 func EdgeColorStar(g *Graph, x int, opt Options) (*EdgeColoring, error) {
-	t, err := star.ChooseT(g.MaxDegree(), x)
-	if err != nil {
-		return nil, err
-	}
-	res, err := star.EdgeColor(g, t, x, star.Options{Exec: opt.engine(), VC: opt.vc()})
-	if err != nil {
-		return nil, err
-	}
-	return &EdgeColoring{
-		Colors: res.Colors, Palette: res.Palette, Stats: res.Stats,
-		Algorithm: fmt.Sprintf("star-partition/x=%d", x),
-	}, nil
+	return runEdge(g, AlgoEdgeStar, Params{"x": float64(x)}, opt)
 }
 
 // EdgeColorSparse computes a (Δ+o(Δ))-edge-coloring for a graph with
 // arboricity at most a (Corollary 5.5): it selects the Section 5
 // parameterization with the smallest palette for this (Δ, a) and runs it.
-// The chosen plan is reported in the Algorithm field.
+// The chosen plan is reported in the Algorithm field. It wraps
+// Run(AlgoEdgeSparse).
 func EdgeColorSparse(g *Graph, a int, opt Options) (*EdgeColoring, error) {
-	res, plan, err := arbor.ColorAdaptive(g, a, arbor.Options{Exec: opt.engine(), VC: opt.vc(), Q: opt.Q})
-	if err != nil {
-		return nil, err
-	}
-	return &EdgeColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: plan.Name}, nil
+	return runEdge(g, AlgoEdgeSparse, Params{"arboricity": float64(a), "q": opt.Q}, opt)
 }
 
 // SparseAlgorithm selects a fixed Section 5 procedure for
@@ -170,60 +190,37 @@ const (
 	SparseRecursive3
 )
 
-// EdgeColorSparseWith runs a specific Section 5 algorithm.
+// sparseAlgoName maps the legacy enum to registry names.
+var sparseAlgoName = map[SparseAlgorithm]string{
+	SparseHPartition: AlgoEdgeSparse52,
+	SparseSqrt:       AlgoEdgeSparse53,
+	SparseRecursive2: AlgoEdgeSparse54x2,
+	SparseRecursive3: AlgoEdgeSparse54x3,
+}
+
+// EdgeColorSparseWith runs a specific Section 5 algorithm. It wraps Run.
 func EdgeColorSparseWith(g *Graph, a int, alg SparseAlgorithm, opt Options) (*EdgeColoring, error) {
-	aOpt := arbor.Options{Exec: opt.engine(), VC: opt.vc(), Q: opt.Q}
-	var (
-		res  *arbor.Result
-		name string
-		err  error
-	)
-	switch alg {
-	case SparseHPartition:
-		res, err = arbor.ColorHPartition(g, a, aOpt)
-		name = "thm5.2"
-	case SparseSqrt:
-		res, err = arbor.ColorSqrt(g, a, aOpt)
-		name = "thm5.3"
-	case SparseRecursive2:
-		res, err = arbor.ColorRecursive(g, a, 2, aOpt)
-		name = "thm5.4/x=2"
-	case SparseRecursive3:
-		res, err = arbor.ColorRecursive(g, a, 3, aOpt)
-		name = "thm5.4/x=3"
-	default:
+	name, ok := sparseAlgoName[alg]
+	if !ok {
 		return nil, fmt.Errorf("distcolor: unknown sparse algorithm %d", alg)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &EdgeColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: name}, nil
+	return runEdge(g, name, Params{"arboricity": float64(a), "q": opt.Q}, opt)
 }
 
 // VertexColor computes the classical deterministic (Δ+1)-vertex-coloring
-// (the paper's black box, in our Linial+KW realization).
+// (the paper's black box, in our Linial+KW realization). It wraps
+// Run(AlgoVertexDelta1).
 func VertexColor(g *Graph, opt Options) (*VertexColoring, error) {
-	res, err := vc.Delta1(sim.NewTopology(g), int64(g.N()), opt.vc())
-	if err != nil {
-		return nil, err
-	}
-	return &VertexColoring{Colors: res.Colors, Palette: res.Palette, Stats: res.Stats, Algorithm: "Δ+1"}, nil
+	return runVertex(g, AlgoVertexDelta1, nil, opt)
 }
 
 // VertexColorCD computes the (D^{x+1}·S)-vertex-coloring of Theorem 3.3(i)
 // for a graph with the given clique cover (D = cover diversity, S = max
 // clique size), using x ≥ 1 clique-decomposition levels and the parameter
-// choice t = ⌊S^{1/(x+1)}⌋.
+// choice t = ⌊S^{1/(x+1)}⌋. It wraps Run(AlgoVertexCD).
 func VertexColorCD(g *Graph, cover *CliqueCover, x int, opt Options) (*VertexColoring, error) {
-	t := cd.ChooseT(cover.MaxCliqueSize(), x)
-	res, err := cd.Color(g, cover, t, x, cd.Options{Exec: opt.engine(), VC: opt.vc()})
-	if err != nil {
-		return nil, err
-	}
-	return &VertexColoring{
-		Colors: res.Colors, Palette: res.Palette, Stats: res.Stats,
-		Algorithm: fmt.Sprintf("cd-coloring/x=%d", x),
-	}, nil
+	opt.Cover = cover
+	return runVertex(g, AlgoVertexCD, Params{"x": float64(x)}, opt)
 }
 
 // LineCover builds the line graph of g together with its canonical

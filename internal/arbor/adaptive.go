@@ -1,6 +1,7 @@
 package arbor
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -68,7 +69,7 @@ func BestPlan(delta, a int) Plan {
 // for the given Δ and a — which for a polynomially below Δ yields
 // Δ·(1+o(1)) colors — and runs it. The chosen plan is returned alongside
 // the coloring.
-func ColorAdaptive(g *graph.Graph, a int, opt Options) (*Result, Plan, error) {
+func ColorAdaptive(ctx context.Context, g *graph.Graph, a int, opt Options) (*Result, Plan, error) {
 	delta := g.MaxDegree()
 	if opt.DeclaredDelta > 0 {
 		delta = opt.DeclaredDelta
@@ -82,11 +83,11 @@ func ColorAdaptive(g *graph.Graph, a int, opt Options) (*Result, Plan, error) {
 	)
 	switch plan.Name {
 	case "thm5.2":
-		res, err = ColorHPartition(g, a, runOpt)
+		res, err = ColorHPartition(ctx, g, a, runOpt)
 	case "thm5.3":
-		res, err = ColorSqrt(g, a, runOpt)
+		res, err = ColorSqrt(ctx, g, a, runOpt)
 	default:
-		res, err = ColorRecursive(g, a, plan.X, runOpt)
+		res, err = ColorRecursive(ctx, g, a, plan.X, runOpt)
 	}
 	if err != nil {
 		return nil, plan, err

@@ -1,6 +1,7 @@
 package arbor
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -25,7 +26,7 @@ func bounded(t *testing.T, n, a, hub int, seed int64) (*graph.Graph, int) {
 func TestHPartition(t *testing.T) {
 	g, a := bounded(t, 400, 3, 150, 7)
 	theta := Threshold(a, 3)
-	hp, err := HPartition(sim.Sequential, g, theta)
+	hp, err := HPartition(context.Background(), sim.Sequential, g, theta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +52,14 @@ func TestHPartition(t *testing.T) {
 func TestHPartitionTooSmallThresholdErrors(t *testing.T) {
 	// K10 has arboricity 5; threshold 1 cannot peel anything after the
 	// first phase check.
-	_, err := HPartition(sim.Sequential, graph.Complete(10), 1)
+	_, err := HPartition(context.Background(), sim.Sequential, graph.Complete(10), 1)
 	if !errors.Is(err, sim.ErrRoundLimit) {
 		t.Fatalf("want round-limit error, got %v", err)
 	}
 }
 
 func TestHPartitionValidation(t *testing.T) {
-	if _, err := HPartition(sim.Sequential, graph.Path(3), 0); err == nil {
+	if _, err := HPartition(context.Background(), sim.Sequential, graph.Path(3), 0); err == nil {
 		t.Fatal("expected threshold error")
 	}
 }
@@ -79,7 +80,7 @@ func TestMergeBipartite(t *testing.T) {
 	for e := range colors {
 		colors[e] = -1
 	}
-	res, err := Merge(sim.Sequential, MergeSpec{
+	res, err := Merge(context.Background(), sim.Sequential, MergeSpec{
 		G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: 6, Palette: 9,
 	})
 	if err != nil {
@@ -107,7 +108,7 @@ func TestMergeRespectsPrecoloredEdges(t *testing.T) {
 	colors := []int64{0, -1}
 	roleA := []bool{true, true, false}
 	roleB := []bool{false, false, true}
-	_, err := Merge(sim.Sequential, MergeSpec{
+	_, err := Merge(context.Background(), sim.Sequential, MergeSpec{
 		G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: 1, Palette: 4,
 	})
 	if err != nil {
@@ -125,13 +126,13 @@ func TestMergeValidation(t *testing.T) {
 	g := graph.Path(3)
 	col := []int64{-1, -1}
 	both := []bool{true, true, true}
-	if _, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: both, RoleB: both, EdgeColors: col, D: 1, Palette: 3}); err == nil {
+	if _, err := Merge(context.Background(), sim.Sequential, MergeSpec{G: g, RoleA: both, RoleB: both, EdgeColors: col, D: 1, Palette: 3}); err == nil {
 		t.Fatal("expected both-roles error")
 	}
-	if _, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: []bool{true}, RoleB: both, EdgeColors: col, D: 1, Palette: 3}); err == nil {
+	if _, err := Merge(context.Background(), sim.Sequential, MergeSpec{G: g, RoleA: []bool{true}, RoleB: both, EdgeColors: col, D: 1, Palette: 3}); err == nil {
 		t.Fatal("expected role length error")
 	}
-	if _, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: make([]bool, 3), RoleB: make([]bool, 3), EdgeColors: []int64{0}, D: 1, Palette: 3}); err == nil {
+	if _, err := Merge(context.Background(), sim.Sequential, MergeSpec{G: g, RoleA: make([]bool, 3), RoleB: make([]bool, 3), EdgeColors: []int64{0}, D: 1, Palette: 3}); err == nil {
 		t.Fatal("expected edge color length error")
 	}
 }
@@ -142,7 +143,7 @@ func TestMergeDegreeBoundViolation(t *testing.T) {
 	roleA := []bool{true, false, false, false}
 	roleB := []bool{false, true, true, true}
 	colors := []int64{-1, -1, -1}
-	_, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: 2, Palette: 10})
+	_, err := Merge(context.Background(), sim.Sequential, MergeSpec{G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: 2, Palette: 10})
 	if err == nil {
 		t.Fatal("expected crossing-degree error")
 	}
@@ -150,7 +151,7 @@ func TestMergeDegreeBoundViolation(t *testing.T) {
 
 func TestColorHPartition(t *testing.T) {
 	g, a := bounded(t, 500, 3, 200, 3)
-	res, err := ColorHPartition(g, a, Options{})
+	res, err := ColorHPartition(context.Background(), g, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestColorHPartitionOnConstantArboricity(t *testing.T) {
 		"grid": {gen.Grid(20, 25), 2},
 		"tree": {gen.Tree(300, 5), 1},
 	} {
-		res, err := ColorHPartition(tc.g, tc.a, Options{})
+		res, err := ColorHPartition(context.Background(), tc.g, tc.a, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -188,7 +189,7 @@ func TestColorHPartitionOnConstantArboricity(t *testing.T) {
 
 func TestColorSqrt(t *testing.T) {
 	g, a := bounded(t, 600, 2, 250, 11)
-	res, err := ColorSqrt(g, a, Options{})
+	res, err := ColorSqrt(context.Background(), g, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestColorSqrtBeatsGreedyAtScale(t *testing.T) {
 	// term is genuinely sublinear: use a single tree plus a large hub
 	// (arboricity bound 2, Δ ≈ 4000) and the paper's lean q = 2+ε.
 	g, a := bounded(t, 4500, 1, 4000, 11)
-	res, err := ColorSqrt(g, a, Options{Q: 2.2})
+	res, err := ColorSqrt(context.Background(), g, a, Options{Q: 2.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestColorSqrtBeatsGreedyAtScale(t *testing.T) {
 func TestColorRecursive(t *testing.T) {
 	g, a := bounded(t, 500, 2, 180, 13)
 	for _, x := range []int{1, 2, 3} {
-		res, err := ColorRecursive(g, a, x, Options{})
+		res, err := ColorRecursive(context.Background(), g, a, x, Options{})
 		if err != nil {
 			t.Fatalf("x=%d: %v", x, err)
 		}
@@ -236,34 +237,34 @@ func TestColorRecursive(t *testing.T) {
 
 func TestColorRecursiveValidation(t *testing.T) {
 	g := graph.Path(4)
-	if _, err := ColorRecursive(g, 1, 0, Options{}); err == nil {
+	if _, err := ColorRecursive(context.Background(), g, 1, 0, Options{}); err == nil {
 		t.Fatal("expected x<1 error")
 	}
 }
 
 func TestEmptyGraphs(t *testing.T) {
 	g := graph.NewBuilder(5).MustBuild()
-	if res, err := ColorHPartition(g, 1, Options{}); err != nil || res.Palette != 1 {
+	if res, err := ColorHPartition(context.Background(), g, 1, Options{}); err != nil || res.Palette != 1 {
 		t.Fatal("empty 5.2 failed")
 	}
-	if res, err := ColorSqrt(g, 1, Options{}); err != nil || res.Palette != 1 {
+	if res, err := ColorSqrt(context.Background(), g, 1, Options{}); err != nil || res.Palette != 1 {
 		t.Fatal("empty 5.3 failed")
 	}
-	if res, err := ColorRecursive(g, 1, 2, Options{}); err != nil || res.Palette != 1 {
+	if res, err := ColorRecursive(context.Background(), g, 1, 2, Options{}); err != nil || res.Palette != 1 {
 		t.Fatal("empty 5.4 failed")
 	}
 }
 
 func TestDeclaredDeltaValidation(t *testing.T) {
 	g := graph.Complete(6)
-	if _, err := ColorHPartition(g, 3, Options{DeclaredDelta: 2}); err == nil {
+	if _, err := ColorHPartition(context.Background(), g, 3, Options{DeclaredDelta: 2}); err == nil {
 		t.Fatal("expected declared<actual error")
 	}
 }
 
 func TestAdaptivePicksSmallPalette(t *testing.T) {
 	g, a := bounded(t, 600, 2, 250, 17)
-	res, plan, err := ColorAdaptive(g, a, Options{})
+	res, plan, err := ColorAdaptive(context.Background(), g, a, Options{})
 	if err != nil {
 		t.Fatalf("plan %s: %v", plan.Name, err)
 	}
@@ -360,7 +361,7 @@ func TestMergeQuick(t *testing.T) {
 			}
 		}
 		palette := int64(g.MaxDegree() + d + 1)
-		res, err := Merge(sim.Sequential, MergeSpec{G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: d, Palette: palette})
+		res, err := Merge(context.Background(), sim.Sequential, MergeSpec{G: g, RoleA: roleA, RoleB: roleB, EdgeColors: colors, D: d, Palette: palette})
 		if err != nil {
 			return false
 		}
@@ -378,11 +379,11 @@ func TestMergeQuick(t *testing.T) {
 
 func TestEnginesAgreeOnThm52(t *testing.T) {
 	g, a := bounded(t, 200, 2, 80, 23)
-	r1, err := ColorHPartition(g, a, Options{Exec: sim.Sequential})
+	r1, err := ColorHPartition(context.Background(), g, a, Options{Exec: sim.Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := ColorHPartition(g, a, Options{Exec: sim.Parallel})
+	r2, err := ColorHPartition(context.Background(), g, a, Options{Exec: sim.Parallel})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package arbor
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/connector"
@@ -75,7 +76,7 @@ func Palette52Star(delta, a int, q float64) int64 {
 // O(a·log n) rounds. Internal edges of the parts are colored with the black
 // box in a reserved O(a)-color block; crossing edges are colored stage by
 // stage (highest part downward) with Merge.
-func ColorHPartition(g *graph.Graph, a int, opt Options) (*Result, error) {
+func ColorHPartition(ctx context.Context, g *graph.Graph, a int, opt Options) (*Result, error) {
 	if g.M() == 0 {
 		return &Result{Colors: make([]int64, 0), Palette: 1}, nil
 	}
@@ -88,7 +89,7 @@ func ColorHPartition(g *graph.Graph, a int, opt Options) (*Result, error) {
 		}
 		delta = opt.DeclaredDelta
 	}
-	hp, err := HPartition(opt.Exec, g, theta)
+	hp, err := HPartition(ctx, opt.Exec, g, theta)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +122,7 @@ func ColorHPartition(g *graph.Graph, a int, opt Options) (*Result, error) {
 		if internal.G.MaxDegree() > theta {
 			return nil, fmt.Errorf("arbor: internal: same-part degree %d exceeds θ=%d", internal.G.MaxDegree(), theta)
 		}
-		icColors, icStats, err := colorInternal(internal.G, theta, opt)
+		icColors, icStats, err := colorInternal(ctx, internal.G, theta, opt)
 		if err != nil {
 			return nil, fmt.Errorf("arbor: internal edges: %w", err)
 		}
@@ -148,7 +149,7 @@ func ColorHPartition(g *graph.Graph, a int, opt Options) (*Result, error) {
 		if !active {
 			continue
 		}
-		mr, err := Merge(opt.Exec, MergeSpec{
+		mr, err := Merge(ctx, opt.Exec, MergeSpec{
 			G:          g,
 			RoleA:      roleA,
 			RoleB:      roleB,
@@ -180,10 +181,10 @@ func ColorHPartition(g *graph.Graph, a int, opt Options) (*Result, error) {
 // the reserved internal block: the black box (2θ−1 colors) by default, or
 // the §4 star partition at x=1 (≤ 4θ colors, fewer rounds for large θ)
 // when InternalStar is set.
-func colorInternal(internal *graph.Graph, theta int, opt Options) ([]int64, sim.Stats, error) {
+func colorInternal(ctx context.Context, internal *graph.Graph, theta int, opt Options) ([]int64, sim.Stats, error) {
 	if opt.InternalStar {
 		if t, err := star.ChooseT(internal.MaxDegree(), 1); err == nil {
-			res, err := star.EdgeColor(internal, t, 1, star.Options{Exec: opt.Exec, VC: opt.VC})
+			res, err := star.EdgeColor(ctx, internal, t, 1, star.Options{Exec: opt.Exec, VC: opt.VC})
 			if err != nil {
 				return nil, sim.Stats{}, err
 			}
@@ -194,7 +195,7 @@ func colorInternal(internal *graph.Graph, theta int, opt Options) ([]int64, sim.
 		}
 		// Degenerate degree: fall through to the black box.
 	}
-	res, err := vc.EdgeColor(internal, nil, vc.EdgeIDBound(internal), opt.VC)
+	res, err := vc.EdgeColor(ctx, internal, nil, vc.EdgeIDBound(internal), opt.VC)
 	if err != nil {
 		return nil, sim.Stats{}, err
 	}
@@ -219,7 +220,7 @@ func Palette53(delta, a int, q float64) int64 {
 // reduces both Δ and the arboricity to about their square roots, each side
 // is colored with Theorem 5.2, and the two colorings compose to
 // Δ + O(√(Δ·a)) + O(a) colors in O(√a·log n) rounds.
-func ColorSqrt(g *graph.Graph, a int, opt Options) (*Result, error) {
+func ColorSqrt(ctx context.Context, g *graph.Graph, a int, opt Options) (*Result, error) {
 	if g.M() == 0 {
 		return &Result{Colors: make([]int64, 0), Palette: 1}, nil
 	}
@@ -232,7 +233,7 @@ func ColorSqrt(g *graph.Graph, a int, opt Options) (*Result, error) {
 		}
 		delta = opt.DeclaredDelta
 	}
-	hp, err := HPartition(opt.Exec, g, theta)
+	hp, err := HPartition(ctx, opt.Exec, g, theta)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +252,7 @@ func ColorSqrt(g *graph.Graph, a int, opt Options) (*Result, error) {
 	// palette independent of the sample.
 	connDelta := inGroup + outGroup
 	connArb := outGroup
-	phiRes, err := ColorHPartition(vg.G, connArb, Options{
+	phiRes, err := ColorHPartition(ctx, vg.G, connArb, Options{
 		Exec: opt.Exec, VC: opt.VC, Q: opt.Q, DeclaredDelta: connDelta,
 	})
 	if err != nil {
@@ -283,7 +284,7 @@ func ColorSqrt(g *graph.Graph, a int, opt Options) (*Result, error) {
 		if sub.G.MaxDegree() > classDelta {
 			return nil, fmt.Errorf("arbor: internal: class degree %d exceeds declared %d", sub.G.MaxDegree(), classDelta)
 		}
-		psi, err := ColorHPartition(sub.G, classArb, Options{
+		psi, err := ColorHPartition(ctx, sub.G, classArb, Options{
 			Exec: opt.Exec, VC: opt.VC, Q: opt.Q, DeclaredDelta: classDelta,
 		})
 		if err != nil {

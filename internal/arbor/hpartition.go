@@ -19,6 +19,7 @@
 package arbor
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,7 +60,7 @@ type HPartitionResult struct {
 // When the true arboricity a(G) satisfies θ ≥ (2+ε)a the number of phases
 // is O(log n); the round budget is n+4, so a threshold below the peeling
 // requirement surfaces as ErrRoundLimit rather than nontermination.
-func HPartition(eng sim.Exec, g *graph.Graph, threshold int) (*HPartitionResult, error) {
+func HPartition(ctx context.Context, eng sim.Exec, g *graph.Graph, threshold int) (*HPartitionResult, error) {
 	eng = sim.OrSequential(eng)
 	if threshold < 1 {
 		return nil, fmt.Errorf("arbor: threshold %d < 1", threshold)
@@ -69,7 +70,7 @@ func HPartition(eng sim.Exec, g *graph.Graph, threshold int) (*HPartitionResult,
 	factory := func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
 		return &peelMachine{threshold: threshold, sink: &part[info.V]}
 	}
-	stats, err := eng.Run(sim.NewTopology(g), factory, n+4)
+	stats, err := eng.Run(ctx, sim.NewTopology(g), factory, n+4)
 	if err != nil {
 		return nil, fmt.Errorf("arbor: peeling (is the arboricity bound too small?): %w", err)
 	}

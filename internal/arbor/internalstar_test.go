@@ -1,6 +1,7 @@
 package arbor
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/verify"
@@ -8,11 +9,11 @@ import (
 
 func TestInternalStarOption(t *testing.T) {
 	g, a := bounded(t, 500, 3, 200, 31)
-	plain, err := ColorHPartition(g, a, Options{})
+	plain, err := ColorHPartition(context.Background(), g, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := ColorHPartition(g, a, Options{InternalStar: true})
+	fast, err := ColorHPartition(context.Background(), g, a, Options{InternalStar: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestInternalStarFallbackOnTinyTheta(t *testing.T) {
 	// θ small enough that the star partition degenerates: the option must
 	// silently fall back to the black box and still succeed.
 	g, a := bounded(t, 200, 1, 80, 5)
-	res, err := ColorHPartition(g, a, Options{InternalStar: true})
+	res, err := ColorHPartition(context.Background(), g, a, Options{InternalStar: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package arbor
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -43,7 +44,7 @@ type MergeResult struct {
 // single vertex, all assignments are conflict-free. Our message-passing
 // realization spends two rounds per sub-phase (offer, reply) plus one role
 // exchange: 2D+2 rounds, matching the paper's O(d).
-func Merge(eng sim.Exec, spec MergeSpec) (*MergeResult, error) {
+func Merge(ctx context.Context, eng sim.Exec, spec MergeSpec) (*MergeResult, error) {
 	eng = sim.OrSequential(eng)
 	g := spec.G
 	if len(spec.RoleA) != g.N() || len(spec.RoleB) != g.N() {
@@ -83,7 +84,7 @@ func Merge(eng sim.Exec, spec MergeSpec) (*MergeResult, error) {
 			cntSink: &assigned[v],
 		}
 	}
-	stats, err := eng.Run(sim.NewTopology(g), factory, 2*spec.D+4)
+	stats, err := eng.Run(ctx, sim.NewTopology(g), factory, 2*spec.D+4)
 	if err != nil {
 		return nil, fmt.Errorf("arbor: merge: %w", err)
 	}

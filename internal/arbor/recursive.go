@@ -1,6 +1,7 @@
 package arbor
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/connector"
@@ -51,7 +52,7 @@ func nextDelta(dDelta, dTheta, inG, outG int) int {
 // orientation connectors — each colored with the Lemma 5.1 procedure in
 // O(θ^{1/x}) rounds — followed by Theorem 5.2 on the final classes, for a
 // total of ≈ (Δ^{1/x} + (q·a)^{1/x} + 3)^x colors.
-func ColorRecursive(g *graph.Graph, a, x int, opt Options) (*Result, error) {
+func ColorRecursive(ctx context.Context, g *graph.Graph, a, x int, opt Options) (*Result, error) {
 	if x < 1 {
 		return nil, fmt.Errorf("arbor: recursion depth x=%d < 1", x)
 	}
@@ -59,7 +60,7 @@ func ColorRecursive(g *graph.Graph, a, x int, opt Options) (*Result, error) {
 		return &Result{Colors: make([]int64, 0), Palette: 1}, nil
 	}
 	if x == 1 {
-		return ColorHPartition(g, a, opt)
+		return ColorHPartition(ctx, g, a, opt)
 	}
 	q := opt.q()
 	theta := Threshold(a, q)
@@ -70,12 +71,12 @@ func ColorRecursive(g *graph.Graph, a, x int, opt Options) (*Result, error) {
 		}
 		delta = opt.DeclaredDelta
 	}
-	hp, err := HPartition(opt.Exec, g, theta)
+	hp, err := HPartition(ctx, opt.Exec, g, theta)
 	if err != nil {
 		return nil, err
 	}
 	inG, outG := Groups54(delta, theta, x)
-	colors, stats, err := rec54(g, hp.Orient, delta, theta, inG, outG, x, opt)
+	colors, stats, err := rec54(ctx, g, hp.Orient, delta, theta, inG, outG, x, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -90,13 +91,13 @@ func ColorRecursive(g *graph.Graph, a, x int, opt Options) (*Result, error) {
 
 // rec54 colors the current level's subgraph. dDelta and dTheta are the
 // declared degree and out-degree bounds (actuals never exceed them).
-func rec54(g *graph.Graph, orient *graph.Orientation, dDelta, dTheta, inG, outG, lvl int, opt Options) ([]int64, sim.Stats, error) {
+func rec54(ctx context.Context, g *graph.Graph, orient *graph.Orientation, dDelta, dTheta, inG, outG, lvl int, opt Options) ([]int64, sim.Stats, error) {
 	q := opt.q()
 	if g.M() == 0 {
 		return make([]int64, 0), sim.Stats{}, nil
 	}
 	if lvl == 1 {
-		res, err := ColorHPartition(g, util.Max(1, dTheta), Options{
+		res, err := ColorHPartition(ctx, g, util.Max(1, dTheta), Options{
 			Exec: opt.Exec, VC: opt.VC, Q: opt.Q, DeclaredDelta: dDelta,
 		})
 		if err != nil {
@@ -127,7 +128,7 @@ func rec54(g *graph.Graph, orient *graph.Orientation, dDelta, dTheta, inG, outG,
 		connColors[e] = -1
 	}
 	connPal := int64(inG + outG - 1)
-	mr, err := Merge(opt.Exec, MergeSpec{
+	mr, err := Merge(ctx, opt.Exec, MergeSpec{
 		G:          vg.G,
 		RoleA:      roleA,
 		RoleB:      roleB,
@@ -165,7 +166,7 @@ func rec54(g *graph.Graph, orient *graph.Orientation, dDelta, dTheta, inG, outG,
 		if err != nil {
 			return nil, sim.Stats{}, err
 		}
-		psi, st, err := rec54(sub.G, subOrient, dDeltaNext, dThetaNext, inG, outG, lvl-1, opt)
+		psi, st, err := rec54(ctx, sub.G, subOrient, dDeltaNext, dThetaNext, inG, outG, lvl-1, opt)
 		if err != nil {
 			return nil, sim.Stats{}, err
 		}

@@ -1,6 +1,7 @@
 package arbor
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/sim"
@@ -15,7 +16,7 @@ import (
 func TestMergeSchedulingIndependence(t *testing.T) {
 	g, a := bounded(t, 300, 2, 120, 41)
 	run := func(eng sim.Engine) *Result {
-		res, err := ColorHPartition(g, a, Options{Exec: eng})
+		res, err := ColorHPartition(context.Background(), g, a, Options{Exec: eng})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,11 +37,11 @@ func TestMergeSchedulingIndependence(t *testing.T) {
 
 func TestRecursiveSchedulingIndependence(t *testing.T) {
 	g, a := bounded(t, 250, 2, 90, 43)
-	fwd, err := ColorRecursive(g, a, 2, Options{Exec: sim.Sequential})
+	fwd, err := ColorRecursive(context.Background(), g, a, 2, Options{Exec: sim.Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rev, err := ColorRecursive(g, a, 2, Options{Exec: sim.ReverseSequential})
+	rev, err := ColorRecursive(context.Background(), g, a, 2, Options{Exec: sim.ReverseSequential})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cd"
@@ -81,8 +82,8 @@ func GreedyEdge(g *graph.Graph) []int64 {
 }
 
 // TwoDeltaMinusOne is the classical distributed (2Δ−1)-edge-coloring.
-func TwoDeltaMinusOne(g *graph.Graph, opt vc.Options) (*vc.Result, error) {
-	return vc.EdgeColor(g, nil, vc.EdgeIDBound(g), opt)
+func TwoDeltaMinusOne(ctx context.Context, g *graph.Graph, opt vc.Options) (*vc.Result, error) {
+	return vc.EdgeColor(ctx, g, nil, vc.EdgeIDBound(g), opt)
 }
 
 // BE11Palette is the emulated [7]+[17] color bound (2^{x+1}+ε)Δ with the
@@ -106,13 +107,13 @@ func BE11T(delta, x int) (int, error) {
 // BE11EdgeColor runs the emulated previous-best (2^{x+1}+ε)Δ-edge-coloring:
 // x star-partition levels with the coarser t = Δ^{1/(x+2)}, which leaves
 // the black box final stars of size ≈ Δ^{2/(x+2)}.
-func BE11EdgeColor(g *graph.Graph, x int, opt star.Options) (*star.Result, error) {
+func BE11EdgeColor(ctx context.Context, g *graph.Graph, x int, opt star.Options) (*star.Result, error) {
 	t, err := BE11T(g.MaxDegree(), x)
 	if err != nil {
 		return nil, err
 	}
 	opt.SkipTrim = true // the ε-slack palette is the declared one
-	res, err := star.EdgeColor(g, t, x, opt)
+	res, err := star.EdgeColor(ctx, g, t, x, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -125,9 +126,9 @@ func BE11EdgeColor(g *graph.Graph, x int, opt star.Options) (*star.Result, error
 // BE11VertexColor runs the emulated previous-best (D^{x+1}+ε)Δ-vertex-
 // coloring on a bounded-diversity graph: CD-Coloring with the coarser
 // parameter profile t = S^{1/(x+2)}.
-func BE11VertexColor(g *graph.Graph, cover *cliques.Cover, x int, opt cd.Options) (*cd.Result, error) {
+func BE11VertexColor(ctx context.Context, g *graph.Graph, cover *cliques.Cover, x int, opt cd.Options) (*cd.Result, error) {
 	s := cover.MaxCliqueSize()
 	t := util.Max(2, util.IRoot(s, x+2))
 	opt.SkipTrim = true
-	return cd.Color(g, cover, t, x, opt)
+	return cd.Color(ctx, g, cover, t, x, opt)
 }

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -45,7 +46,7 @@ func TestGreedyQuick(t *testing.T) {
 
 func TestTwoDeltaMinusOne(t *testing.T) {
 	g := gen.GNP(60, 0.15, 7)
-	res, err := TwoDeltaMinusOne(g, vc.Options{})
+	res, err := TwoDeltaMinusOne(context.Background(), g, vc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestBE11EdgeColor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BE11EdgeColor(g, 1, star.Options{})
+	res, err := BE11EdgeColor(context.Background(), g, 1, star.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestBE11VertexColor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BE11VertexColor(lg.L, cov, 1, cd.Options{})
+	res, err := BE11VertexColor(context.Background(), lg.L, cov, 1, cd.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arbor"
@@ -26,14 +27,14 @@ type BE08Result struct {
 // 2Δ−1, which is always feasible because an edge has at most 2Δ−2
 // neighbors. Our staged realization costs O(a·log n) rounds (the pipelined
 // O(a+log n) schedule of [4] is not reproduced; the palette is exact).
-func BE08EdgeColor(g *graph.Graph, a int, opt vc.Options) (*BE08Result, error) {
+func BE08EdgeColor(ctx context.Context, g *graph.Graph, a int, opt vc.Options) (*BE08Result, error) {
 	if g.M() == 0 {
 		return &BE08Result{Colors: make([]int64, 0), Palette: 1}, nil
 	}
 	delta := g.MaxDegree()
 	palette := int64(2*delta - 1)
 	theta := arbor.Threshold(a, 3)
-	hp, err := arbor.HPartition(opt.Exec, g, theta)
+	hp, err := arbor.HPartition(ctx, opt.Exec, g, theta)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: be08: %w", err)
 	}
@@ -54,7 +55,7 @@ func BE08EdgeColor(g *graph.Graph, a int, opt vc.Options) (*BE08Result, error) {
 		return nil, err
 	}
 	if internal.G.M() > 0 {
-		ic, err := vc.EdgeColor(internal.G, nil, vc.EdgeIDBound(internal.G), opt)
+		ic, err := vc.EdgeColor(ctx, internal.G, nil, vc.EdgeIDBound(internal.G), opt)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: be08 internal: %w", err)
 		}
@@ -82,7 +83,7 @@ func BE08EdgeColor(g *graph.Graph, a int, opt vc.Options) (*BE08Result, error) {
 		if !active {
 			continue
 		}
-		mr, err := arbor.Merge(opt.Exec, arbor.MergeSpec{
+		mr, err := arbor.Merge(ctx, opt.Exec, arbor.MergeSpec{
 			G:          g,
 			RoleA:      roleA,
 			RoleB:      roleB,

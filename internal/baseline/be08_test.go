@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -14,7 +15,7 @@ func TestBE08EdgeColor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BE08EdgeColor(g, 3, vc.Options{})
+	res, err := BE08EdgeColor(context.Background(), g, 3, vc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestBE08OnConstantArboricity(t *testing.T) {
 		"grid": {gen.Grid(15, 20), 2},
 		"tree": {gen.Tree(250, 3), 1},
 	} {
-		res, err := BE08EdgeColor(tc.g, tc.a, vc.Options{})
+		res, err := BE08EdgeColor(context.Background(), tc.g, tc.a, vc.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -54,11 +55,11 @@ func TestBE08FasterThanLineGraphBaselineOnSparse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	be08, err := BE08EdgeColor(g, 3, vc.Options{})
+	be08, err := BE08EdgeColor(context.Background(), g, 3, vc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	classic, err := TwoDeltaMinusOne(g, vc.Options{})
+	classic, err := TwoDeltaMinusOne(context.Background(), g, vc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestBE08FasterThanLineGraphBaselineOnSparse(t *testing.T) {
 
 func TestBE08Empty(t *testing.T) {
 	g := graph.NewBuilder(3).MustBuild()
-	res, err := BE08EdgeColor(g, 1, vc.Options{})
+	res, err := BE08EdgeColor(context.Background(), g, 1, vc.Options{})
 	if err != nil || res.Palette != 1 {
 		t.Fatal("empty graph failed")
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"repro/internal/arbor"
 	"repro/internal/graph"
 )
@@ -8,19 +9,19 @@ import (
 // Thin indirections keep the arbor dependency in one place and give the
 // harness a uniform signature set.
 
-func arborColorHPartition(g *graph.Graph, a int) (*arbor.Result, error) {
-	return arbor.ColorHPartition(g, a, arbor.Options{})
+func arborColorHPartition(ctx context.Context, g *graph.Graph, a int) (*arbor.Result, error) {
+	return arbor.ColorHPartition(ctx, g, a, arbor.Options{})
 }
 
-func arborColorSqrt(g *graph.Graph, a int) (*arbor.Result, error) {
-	return arbor.ColorSqrt(g, a, arbor.Options{})
+func arborColorSqrt(ctx context.Context, g *graph.Graph, a int) (*arbor.Result, error) {
+	return arbor.ColorSqrt(ctx, g, a, arbor.Options{})
 }
 
-func arborColorRecursive(g *graph.Graph, a, x int) (*arbor.Result, error) {
-	return arbor.ColorRecursive(g, a, x, arbor.Options{})
+func arborColorRecursive(ctx context.Context, g *graph.Graph, a, x int) (*arbor.Result, error) {
+	return arbor.ColorRecursive(ctx, g, a, x, arbor.Options{})
 }
 
-func arborColorAdaptive(g *graph.Graph, a int) (*arbor.Result, arbor.Plan, error) {
-	res, plan, err := arbor.ColorAdaptive(g, a, arbor.Options{})
+func arborColorAdaptive(ctx context.Context, g *graph.Graph, a int) (*arbor.Result, arbor.Plan, error) {
+	res, plan, err := arbor.ColorAdaptive(ctx, g, a, arbor.Options{})
 	return res, plan, err
 }

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -48,7 +49,7 @@ type Table1Row struct {
 }
 
 // RunTable1Row builds the workload and produces one verified row.
-func RunTable1Row(n, delta, x int, seed int64) (*Table1Row, error) {
+func RunTable1Row(ctx context.Context, n, delta, x int, seed int64) (*Table1Row, error) {
 	g, err := gen.NearRegular(n, delta, seed)
 	if err != nil {
 		return nil, err
@@ -59,7 +60,7 @@ func RunTable1Row(n, delta, x int, seed int64) (*Table1Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: table1 Δ=%d x=%d: %w", delta, x, err)
 	}
-	ours, err := star.EdgeColor(g, t, x, star.Options{})
+	ours, err := star.EdgeColor(ctx, g, t, x, star.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +73,7 @@ func RunTable1Row(n, delta, x int, seed int64) (*Table1Row, error) {
 		Rounds: ours.Stats.Rounds, Messages: ours.Stats.Messages,
 	}
 
-	prev, err := baseline.BE11EdgeColor(g, x, star.Options{})
+	prev, err := baseline.BE11EdgeColor(ctx, g, x, star.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +86,7 @@ func RunTable1Row(n, delta, x int, seed int64) (*Table1Row, error) {
 		Rounds: prev.Stats.Rounds, Messages: prev.Stats.Messages,
 	}
 
-	td, err := baseline.TwoDeltaMinusOne(g, vc.Options{})
+	td, err := baseline.TwoDeltaMinusOne(ctx, g, vc.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +115,7 @@ type Table2Row struct {
 
 // RunTable2Row builds a diversity-D instance with clique size ≈ s and
 // produces one verified row.
-func RunTable2Row(nv, rank, ne, x int, seed int64) (*Table2Row, error) {
+func RunTable2Row(ctx context.Context, nv, rank, ne, x int, seed int64) (*Table2Row, error) {
 	h, err := gen.UniformHypergraph(nv, rank, ne, seed)
 	if err != nil {
 		return nil, err
@@ -134,7 +135,7 @@ func RunTable2Row(nv, rank, ne, x int, seed int64) (*Table2Row, error) {
 	d, s := cov.Diversity(), cov.MaxCliqueSize()
 	row := &Table2Row{N: g.N(), D: d, S: s, X: x}
 
-	ours, err := cd.Color(g, cov, cd.ChooseT(s, x), x, cd.Options{})
+	ours, err := cd.Color(ctx, g, cov, cd.ChooseT(s, x), x, cd.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +148,7 @@ func RunTable2Row(nv, rank, ne, x int, seed int64) (*Table2Row, error) {
 		Rounds: ours.Stats.Rounds, Messages: ours.Stats.Messages,
 	}
 
-	prev, err := baseline.BE11VertexColor(g, cov, x, cd.Options{})
+	prev, err := baseline.BE11VertexColor(ctx, g, cov, x, cd.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +218,7 @@ type SparseRow struct {
 }
 
 // RunSparseRow measures Theorems 5.2/5.3/5.4(x=2) and the adaptive choice.
-func RunSparseRow(n, a, hub int, seed int64) (*SparseRow, error) {
+func RunSparseRow(ctx context.Context, n, a, hub int, seed int64) (*SparseRow, error) {
 	g, err := gen.ForestUnionHub(n, a, hub, seed)
 	if err != nil {
 		return nil, err
@@ -230,35 +231,35 @@ func RunSparseRow(n, a, hub int, seed int64) (*SparseRow, error) {
 	}
 	runners := []runner{
 		{"thm5.2", func() ([]int64, int64, sim.Stats, error) {
-			r, err := arborColorHPartition(g, bound)
+			r, err := arborColorHPartition(ctx, g, bound)
 			if err != nil {
 				return nil, 0, sim.Stats{}, err
 			}
 			return r.Colors, r.Palette, r.Stats, nil
 		}},
 		{"thm5.3", func() ([]int64, int64, sim.Stats, error) {
-			r, err := arborColorSqrt(g, bound)
+			r, err := arborColorSqrt(ctx, g, bound)
 			if err != nil {
 				return nil, 0, sim.Stats{}, err
 			}
 			return r.Colors, r.Palette, r.Stats, nil
 		}},
 		{"thm5.4/x=2", func() ([]int64, int64, sim.Stats, error) {
-			r, err := arborColorRecursive(g, bound, 2)
+			r, err := arborColorRecursive(ctx, g, bound, 2)
 			if err != nil {
 				return nil, 0, sim.Stats{}, err
 			}
 			return r.Colors, r.Palette, r.Stats, nil
 		}},
 		{"adaptive", func() ([]int64, int64, sim.Stats, error) {
-			r, _, err := arborColorAdaptive(g, bound)
+			r, _, err := arborColorAdaptive(ctx, g, bound)
 			if err != nil {
 				return nil, 0, sim.Stats{}, err
 			}
 			return r.Colors, r.Palette, r.Stats, nil
 		}},
 		{"2Δ−1/BE08", func() ([]int64, int64, sim.Stats, error) {
-			r, err := baseline.BE08EdgeColor(g, bound, vc.Options{})
+			r, err := baseline.BE08EdgeColor(ctx, g, bound, vc.Options{})
 			if err != nil {
 				return nil, 0, sim.Stats{}, err
 			}
@@ -271,7 +272,7 @@ func RunSparseRow(n, a, hub int, seed int64) (*SparseRow, error) {
 		// finishes in reasonable wall-clock time; BE08 provides the same
 		// palette at every scale.
 		runners = append(runners, runner{"2Δ−1/line", func() ([]int64, int64, sim.Stats, error) {
-			r, err := baseline.TwoDeltaMinusOne(g, vc.Options{})
+			r, err := baseline.TwoDeltaMinusOne(ctx, g, vc.Options{})
 			if err != nil {
 				return nil, 0, sim.Stats{}, err
 			}

@@ -2,13 +2,14 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
 )
 
 func TestRunTable1Row(t *testing.T) {
-	row, err := RunTable1Row(256, 16, 1, 7)
+	row, err := RunTable1Row(context.Background(), 256, 16, 1, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestRunTable1Row(t *testing.T) {
 }
 
 func TestRunTable2Row(t *testing.T) {
-	row, err := RunTable2Row(50, 3, 90, 1, 5)
+	row, err := RunTable2Row(context.Background(), 50, 3, 90, 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRunTable2Row(t *testing.T) {
 }
 
 func TestRunSparseRow(t *testing.T) {
-	row, err := RunSparseRow(400, 2, 150, 3)
+	row, err := RunSparseRow(context.Background(), 400, 2, 150, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package cd
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cliques"
@@ -82,7 +83,7 @@ func DeclaredPalette(d, s, t, x int) int64 {
 // Color runs CD-Coloring on g with the given clique cover, connector
 // parameter t ≥ 2 and recursion depth x ≥ 0. The bound D^{x+1}·S uses the
 // cover's diversity D and maximal clique size S.
-func Color(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Result, error) {
+func Color(ctx context.Context, g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Result, error) {
 	if t < 2 {
 		return nil, fmt.Errorf("cd: parameter t=%d < 2", t)
 	}
@@ -102,7 +103,7 @@ func Color(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Result
 	var stats sim.Stats
 	seed, seedPalette := opt.Seed, opt.SeedPalette
 	if seed == nil {
-		lin, err := linial.Reduce(opt.Exec, sim.NewTopology(g), int64(g.N()))
+		lin, err := linial.Reduce(ctx, opt.Exec, sim.NewTopology(g), int64(g.N()))
 		if err != nil {
 			return nil, fmt.Errorf("cd: initial seed coloring: %w", err)
 		}
@@ -116,7 +117,7 @@ func Color(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Result
 	for v := range ids {
 		ids[v] = int64(v)
 	}
-	colors, recStats, err := colorRec(g, ids, seed, seedPalette, cover, d, s, t, x, opt)
+	colors, recStats, err := colorRec(ctx, g, ids, seed, seedPalette, cover, d, s, t, x, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +131,7 @@ func Color(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Result
 	palette := declared
 	if !opt.SkipTrim && declared > bound {
 		topo := &sim.Topology{G: g, IDs: ids, Labels: colors}
-		red, err := reduce.TrimClasses(opt.Exec, topo, declared, bound)
+		red, err := reduce.TrimClasses(ctx, opt.Exec, topo, declared, bound)
 		if err != nil {
 			return nil, fmt.Errorf("cd: final trim: %w", err)
 		}
@@ -144,7 +145,7 @@ func Color(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Result
 // colorRec is one level of Algorithm 1 on the current subgraph. ids and
 // seed are indexed by the subgraph's vertices; s is the declared clique-size
 // bound at this level (actual sizes are no larger).
-func colorRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliques.Cover, d, s, t, x int, opt Options) ([]int64, sim.Stats, error) {
+func colorRec(ctx context.Context, g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliques.Cover, d, s, t, x int, opt Options) ([]int64, sim.Stats, error) {
 	if g.M() == 0 {
 		// Every color is legal; take 0 and pay nothing (the palette the
 		// parent reserves for this class is unaffected).
@@ -158,7 +159,7 @@ func colorRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliqu
 			// Cannot happen when the cover bound s is valid; guard anyway.
 			return nil, sim.Stats{}, fmt.Errorf("cd: direct palette %d below Δ+1=%d (invalid clique bound)", target, min)
 		}
-		res, err := vc.Target(topo, seedPalette, target, opt.VC)
+		res, err := vc.Target(ctx, topo, seedPalette, target, opt.VC)
 		if err != nil {
 			return nil, sim.Stats{}, fmt.Errorf("cd: direct stage: %w", err)
 		}
@@ -173,7 +174,7 @@ func colorRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliqu
 	stats := cc.Stats
 	gamma := int64(d*(t-1) + 1)
 	connTopo := &sim.Topology{G: cc.Sub.G, IDs: ids, Labels: seed}
-	phi, err := vc.Target(connTopo, seedPalette, gamma, opt.VC)
+	phi, err := vc.Target(ctx, connTopo, seedPalette, gamma, opt.VC)
 	if err != nil {
 		return nil, sim.Stats{}, fmt.Errorf("cd: connector coloring: %w", err)
 	}
@@ -204,7 +205,7 @@ func colorRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliqu
 			subSeed[w] = seed[sub.OrigVertex(w)]
 		}
 		subCover := cover.Restrict(sub)
-		psi, st, err := colorRec(sub.G, subIDs, subSeed, seedPalette, subCover, d, k, t, x-1, opt)
+		psi, st, err := colorRec(ctx, sub.G, subIDs, subSeed, seedPalette, subCover, d, k, t, x-1, opt)
 		if err != nil {
 			return nil, sim.Stats{}, err
 		}

@@ -1,6 +1,7 @@
 package cd
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -49,7 +50,7 @@ func hyperInstance(t *testing.T, seed int64, nv, rank, ne int) (*graph.Graph, *c
 func TestColorLineGraphX1(t *testing.T) {
 	g, cov := lineInstance(t, 3, 30, 0.25)
 	d, s := cov.Diversity(), cov.MaxCliqueSize()
-	res, err := Color(g, cov, ChooseT(s, 1), 1, Options{})
+	res, err := Color(context.Background(), g, cov, ChooseT(s, 1), 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestColorDepths(t *testing.T) {
 	g, cov := lineInstance(t, 7, 40, 0.2)
 	d, s := cov.Diversity(), cov.MaxCliqueSize()
 	for x := 0; x <= 3; x++ {
-		res, err := Color(g, cov, ChooseT(s, x), x, Options{})
+		res, err := Color(context.Background(), g, cov, ChooseT(s, x), x, Options{})
 		if err != nil {
 			t.Fatalf("x=%d: %v", x, err)
 		}
@@ -94,7 +95,7 @@ func TestColorHypergraphDiversity3(t *testing.T) {
 		t.Fatalf("hypergraph line cover diversity %d > rank 3", d)
 	}
 	for x := 1; x <= 2; x++ {
-		res, err := Color(g, cov, ChooseT(s, x), x, Options{})
+		res, err := Color(context.Background(), g, cov, ChooseT(s, x), x, Options{})
 		if err != nil {
 			t.Fatalf("x=%d: %v", x, err)
 		}
@@ -120,7 +121,7 @@ func TestColorGeneralCoverGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Color(g, cov, ChooseT(cov.MaxCliqueSize(), 1), 1, Options{})
+	res, err := Color(context.Background(), g, cov, ChooseT(cov.MaxCliqueSize(), 1), 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestColorWithExternalSeed(t *testing.T) {
 	g, cov := lineInstance(t, 5, 30, 0.3)
 	// Precompute a seed as the façade would and pass it down: same palette
 	// guarantee, fewer rounds than recomputing per level.
-	pre, err := Color(g, cov, 2, 1, Options{})
+	pre, err := Color(context.Background(), g, cov, 2, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Color(g, cov, 2, 1, Options{Seed: pre.Colors, SeedPalette: pre.Palette})
+	res, err := Color(context.Background(), g, cov, 2, 1, Options{Seed: pre.Colors, SeedPalette: pre.Palette})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,17 +149,17 @@ func TestColorWithExternalSeed(t *testing.T) {
 
 func TestColorSeedLengthValidated(t *testing.T) {
 	g, cov := lineInstance(t, 5, 20, 0.3)
-	if _, err := Color(g, cov, 2, 1, Options{Seed: []int64{0}, SeedPalette: 5}); err == nil {
+	if _, err := Color(context.Background(), g, cov, 2, 1, Options{Seed: []int64{0}, SeedPalette: 5}); err == nil {
 		t.Fatal("expected seed length error")
 	}
 }
 
 func TestColorParameterValidation(t *testing.T) {
 	g, cov := lineInstance(t, 5, 20, 0.3)
-	if _, err := Color(g, cov, 1, 1, Options{}); err == nil {
+	if _, err := Color(context.Background(), g, cov, 1, 1, Options{}); err == nil {
 		t.Fatal("expected t<2 error")
 	}
-	if _, err := Color(g, cov, 2, -1, Options{}); err == nil {
+	if _, err := Color(context.Background(), g, cov, 2, -1, Options{}); err == nil {
 		t.Fatal("expected x<0 error")
 	}
 }
@@ -169,7 +170,7 @@ func TestColorEdgelessGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Color(g, cov, 2, 1, Options{})
+	res, err := Color(context.Background(), g, cov, 2, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,11 +211,11 @@ func TestTrimAblation(t *testing.T) {
 	// Pick parameters that force declared > bound so the trim matters:
 	// large t at x=1 gives declared ≈ (D(t−1)+1)(D(⌈s/t⌉−1)+1).
 	tt := util.Max(2, s-1)
-	with, err := Color(g, cov, tt, 1, Options{})
+	with, err := Color(context.Background(), g, cov, tt, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Color(g, cov, tt, 1, Options{SkipTrim: true})
+	without, err := Color(context.Background(), g, cov, tt, 1, Options{SkipTrim: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestColorQuick(t *testing.T) {
 		if cov.MaxCliqueSize() < 2 {
 			return true
 		}
-		res, err := Color(lg.L, cov, 2, 1, Options{})
+		res, err := Color(context.Background(), lg.L, cov, 2, 1, Options{})
 		if err != nil {
 			return false
 		}
@@ -255,11 +256,11 @@ func TestColorQuick(t *testing.T) {
 
 func TestEnginesAgreeOnCD(t *testing.T) {
 	g, cov := lineInstance(t, 21, 25, 0.3)
-	r1, err := Color(g, cov, 2, 1, Options{Exec: sim.Sequential})
+	r1, err := Color(context.Background(), g, cov, 2, 1, Options{Exec: sim.Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Color(g, cov, 2, 1, Options{Exec: sim.Parallel})
+	r2, err := Color(context.Background(), g, cov, 2, 1, Options{Exec: sim.Parallel})
 	if err != nil {
 		t.Fatal(err)
 	}

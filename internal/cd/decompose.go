@@ -1,6 +1,7 @@
 package cd
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cliques"
@@ -28,7 +29,7 @@ type Decomposition struct {
 // Decompose computes the ((t·D)^x, S/tˣ+2)-clique-decomposition of
 // Theorem 2.4 by running x levels of clique connectors (the first x levels
 // of Algorithm 1, without the final coloring stage).
-func Decompose(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Decomposition, error) {
+func Decompose(ctx context.Context, g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*Decomposition, error) {
 	if t < 2 {
 		return nil, fmt.Errorf("cd: parameter t=%d < 2", t)
 	}
@@ -46,7 +47,7 @@ func Decompose(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*De
 	var stats sim.Stats
 	seed, seedPalette := opt.Seed, opt.SeedPalette
 	if seed == nil {
-		lin, err := linial.Reduce(opt.Exec, sim.NewTopology(g), int64(g.N()))
+		lin, err := linial.Reduce(ctx, opt.Exec, sim.NewTopology(g), int64(g.N()))
 		if err != nil {
 			return nil, fmt.Errorf("cd: decompose seed: %w", err)
 		}
@@ -57,7 +58,7 @@ func Decompose(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*De
 	for v := range ids {
 		ids[v] = int64(v)
 	}
-	class, parts, recStats, err := decomposeRec(g, ids, seed, seedPalette, cover, d, s, t, x, opt)
+	class, parts, recStats, err := decomposeRec(ctx, g, ids, seed, seedPalette, cover, d, s, t, x, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +76,7 @@ func Decompose(g *graph.Graph, cover *cliques.Cover, t, x int, opt Options) (*De
 }
 
 // decomposeRec returns per-vertex class indices in [0, parts).
-func decomposeRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliques.Cover, d, s, t, x int, opt Options) ([]int64, int64, sim.Stats, error) {
+func decomposeRec(ctx context.Context, g *graph.Graph, ids, seed []int64, seedPalette int64, cover *cliques.Cover, d, s, t, x int, opt Options) ([]int64, int64, sim.Stats, error) {
 	gamma := int64(d*(t-1) + 1)
 	if g.M() == 0 {
 		// All classes collapse to 0; parts bookkeeping still multiplies so
@@ -92,7 +93,7 @@ func decomposeRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *c
 	}
 	stats := cc.Stats
 	connTopo := &sim.Topology{G: cc.Sub.G, IDs: ids, Labels: seed}
-	phi, err := vc.Target(connTopo, seedPalette, gamma, opt.VC)
+	phi, err := vc.Target(ctx, connTopo, seedPalette, gamma, opt.VC)
 	if err != nil {
 		return nil, 0, sim.Stats{}, fmt.Errorf("cd: decompose connector: %w", err)
 	}
@@ -123,7 +124,7 @@ func decomposeRec(g *graph.Graph, ids, seed []int64, seedPalette int64, cover *c
 			subIDs[w] = ids[sub.OrigVertex(w)]
 			subSeed[w] = seed[sub.OrigVertex(w)]
 		}
-		subClass, sp, st, err := decomposeRec(sub.G, subIDs, subSeed, seedPalette, cover.Restrict(sub), d, k, t, x-1, opt)
+		subClass, sp, st, err := decomposeRec(ctx, sub.G, subIDs, subSeed, seedPalette, cover.Restrict(sub), d, k, t, x-1, opt)
 		if err != nil {
 			return nil, 0, sim.Stats{}, err
 		}

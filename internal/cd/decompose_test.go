@@ -1,6 +1,7 @@
 package cd
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -15,7 +16,7 @@ func TestDecomposeTheorem24(t *testing.T) {
 	g, cov := lineInstance(t, 5, 35, 0.3)
 	d, s := cov.Diversity(), cov.MaxCliqueSize()
 	for x := 1; x <= 3; x++ {
-		dec, err := Decompose(g, cov, 2, x, Options{})
+		dec, err := Decompose(context.Background(), g, cov, 2, x, Options{})
 		if err != nil {
 			t.Fatalf("x=%d: %v", x, err)
 		}
@@ -48,7 +49,7 @@ func TestDecomposeLemma22ClassDegree(t *testing.T) {
 	g, cov := lineInstance(t, 9, 40, 0.25)
 	d, s := cov.Diversity(), cov.MaxCliqueSize()
 	tt := 3
-	dec, err := Decompose(g, cov, tt, 1, Options{})
+	dec, err := Decompose(context.Background(), g, cov, tt, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,10 +83,10 @@ func TestDecomposeLemma22ClassDegree(t *testing.T) {
 
 func TestDecomposeValidation(t *testing.T) {
 	g, cov := lineInstance(t, 5, 20, 0.3)
-	if _, err := Decompose(g, cov, 1, 1, Options{}); err == nil {
+	if _, err := Decompose(context.Background(), g, cov, 1, 1, Options{}); err == nil {
 		t.Fatal("expected t error")
 	}
-	if _, err := Decompose(g, cov, 2, 0, Options{}); err == nil {
+	if _, err := Decompose(context.Background(), g, cov, 2, 0, Options{}); err == nil {
 		t.Fatal("expected x error")
 	}
 }
@@ -96,7 +97,7 @@ func TestDecomposeEdgeless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := Decompose(g, cov, 2, 2, Options{})
+	dec, err := Decompose(context.Background(), g, cov, 2, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestDecomposeQuick(t *testing.T) {
 		if err != nil || cov.MaxCliqueSize() < 2 {
 			return err == nil
 		}
-		dec, err := Decompose(lg.L, cov, 2, 2, Options{})
+		dec, err := Decompose(context.Background(), lg.L, cov, 2, 2, Options{})
 		if err != nil {
 			return false
 		}
@@ -131,7 +132,7 @@ func TestDecomposeConsistentWithColoring(t *testing.T) {
 	// parts · (D(q−1)+1) colors by running the greedy within classes.
 	g, cov := lineInstance(t, 17, 30, 0.3)
 	d := cov.Diversity()
-	dec, err := Decompose(g, cov, 2, 2, Options{})
+	dec, err := Decompose(context.Background(), g, cov, 2, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cd
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -36,7 +37,7 @@ func TestColorArbitraryCoversQuick(t *testing.T) {
 		}
 		x := 1 + rng.Intn(2)
 		tt := 2 + rng.Intn(3)
-		res, err := Color(g, cov, tt, x, Options{})
+		res, err := Color(context.Background(), g, cov, tt, x, Options{})
 		if err != nil {
 			return false
 		}
@@ -56,11 +57,11 @@ func TestColorArbitraryCoversQuick(t *testing.T) {
 // is cheap and binding).
 func TestColorSchedulingIndependence(t *testing.T) {
 	g, cov := lineInstance(t, 29, 30, 0.3)
-	fwd, err := Color(g, cov, 3, 2, Options{Exec: sim.Sequential})
+	fwd, err := Color(context.Background(), g, cov, 3, 2, Options{Exec: sim.Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rev, err := Color(g, cov, 3, 2, Options{Exec: sim.ReverseSequential})
+	rev, err := Color(context.Background(), g, cov, 3, 2, Options{Exec: sim.ReverseSequential})
 	if err != nil {
 		t.Fatal(err)
 	}

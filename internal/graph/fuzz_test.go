@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList drives the edge-list parser with arbitrary input (run
+// via `make fuzz`). Invariants on accepted input: the graph is well-formed
+// (non-negative n, endpoints in range — the parser, not the int32-narrowing
+// Builder, must enforce this) and WriteEdgeList∘ReadEdgeList is the
+// identity on the edge multiset.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("n 5\n# comment\n0 1\n")
+	f.Add("")
+	f.Add("n -1\n")
+	f.Add("n 3\n0 99\n")
+	f.Add("4294967299 1\n")
+	f.Add("0 1\n0 1\n1 0\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		// Bound the memory a single input can demand: a tiny input can
+		// declare a huge vertex count, which is legal but allocates O(n).
+		for _, field := range strings.Fields(s) {
+			if v, err := strconv.Atoi(field); err == nil && (v > 1<<20 || v < -(1<<20)) {
+				t.Skip("declared size out of fuzz bounds")
+			}
+		}
+		g, err := ReadEdgeList(strings.NewReader(s))
+		if err != nil {
+			return // rejected input is fine; crashing or wrapping is not
+		}
+		if g.N() < 0 {
+			t.Fatalf("accepted graph with negative vertex count %d", g.N())
+		}
+		for _, e := range g.Edges() {
+			if e.U < 0 || e.V < 0 || int(e.U) >= g.N() || int(e.V) >= g.N() {
+				t.Fatalf("accepted out-of-range edge {%d,%d} with n=%d", e.U, e.V, g.N())
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("WriteEdgeList on accepted graph: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written edge list: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: n %d→%d, m %d→%d", g.N(), g2.N(), g.M(), g2.M())
+		}
+		for e := 0; e < g.M(); e++ {
+			u1, v1 := g.Endpoints(e)
+			u2, v2 := g2.Endpoints(e)
+			if u1 != u2 || v1 != v2 {
+				t.Fatalf("round trip changed edge %d: {%d,%d}→{%d,%d}", e, u1, v1, u2, v2)
+			}
+		}
+	})
+}

@@ -8,6 +8,10 @@ import (
 	"strings"
 )
 
+// maxVertexID bounds vertex identifiers accepted from edge-list input: the
+// Builder stores endpoints as int32, so anything larger would silently wrap.
+const maxVertexID = 1<<31 - 2
+
 // ReadEdgeList parses the simple whitespace edge-list format:
 //
 //	# comment
@@ -39,6 +43,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", line, err)
 			}
+			if v < 0 || v > maxVertexID+1 {
+				return nil, fmt.Errorf("graph: line %d: vertex count %d outside [0, %d]", line, v, maxVertexID+1)
+			}
 			n = v
 			continue
 		}
@@ -52,6 +59,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		// Range-check here, before the Builder narrows endpoints to int32,
+		// so hostile inputs fail instead of silently wrapping onto a
+		// different vertex.
+		if u < 0 || u > maxVertexID || v < 0 || v > maxVertexID {
+			return nil, fmt.Errorf("graph: line %d: endpoint outside [0, %d]", line, maxVertexID)
 		}
 		pairs = append(pairs, [2]int{u, v})
 		if u > maxV {

@@ -21,6 +21,7 @@
 package linial
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -126,7 +127,7 @@ type Result struct {
 // Reduce runs the schedule on topology t. The starting coloring is the
 // topology's seed labels when present (they must form a proper coloring
 // with palette m0), otherwise the identifiers (with m0 > every ID).
-func Reduce(eng sim.Exec, t *sim.Topology, m0 int64) (*Result, error) {
+func Reduce(ctx context.Context, eng sim.Exec, t *sim.Topology, m0 int64) (*Result, error) {
 	eng = sim.OrSequential(eng)
 	if m0 < 1 {
 		return nil, fmt.Errorf("linial: palette bound %d < 1", m0)
@@ -137,7 +138,7 @@ func Reduce(eng sim.Exec, t *sim.Topology, m0 int64) (*Result, error) {
 	factory := func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
 		return newMachine(info, schedule, &colors[info.V])
 	}
-	stats, err := eng.Run(t, factory, len(schedule)+2)
+	stats, err := eng.Run(ctx, t, factory, len(schedule)+2)
 	if err != nil {
 		return nil, fmt.Errorf("linial: %w", err)
 	}

@@ -1,6 +1,7 @@
 package linial
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -69,7 +70,7 @@ func TestScheduleFixpointPalette(t *testing.T) {
 func TestReduceProducesProperColoring(t *testing.T) {
 	g := rg(5, 120, 0.08)
 	topo := sim.NewTopology(g)
-	res, err := Reduce(sim.Sequential, topo, int64(g.N()))
+	res, err := Reduce(context.Background(), sim.Sequential, topo, int64(g.N()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestReduceWithSeedLabels(t *testing.T) {
 	}
 	m0 := int64(g.N()) * 1_000_003
 	topo := &sim.Topology{G: g, Labels: seed}
-	res, err := Reduce(sim.Sequential, topo, m0)
+	res, err := Reduce(context.Background(), sim.Sequential, topo, m0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestReduceSeedShorterThanIDs(t *testing.T) {
 
 func TestReduceOnEdgelessGraph(t *testing.T) {
 	g := graph.NewBuilder(5).MustBuild()
-	res, err := Reduce(sim.Sequential, sim.NewTopology(g), 5)
+	res, err := Reduce(context.Background(), sim.Sequential, sim.NewTopology(g), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestReduceSingleColorSeed(t *testing.T) {
 	// Palette of size 1 on an edgeless graph: schedule empty, nothing to do.
 	g := graph.NewBuilder(3).MustBuild()
 	topo := &sim.Topology{G: g, Labels: []int64{0, 0, 0}}
-	res, err := Reduce(sim.Sequential, topo, 1)
+	res, err := Reduce(context.Background(), sim.Sequential, topo, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestReduceSingleColorSeed(t *testing.T) {
 
 func TestReduceRejectsBadPalette(t *testing.T) {
 	g := graph.Path(3)
-	if _, err := Reduce(sim.Sequential, sim.NewTopology(g), 0); err == nil {
+	if _, err := Reduce(context.Background(), sim.Sequential, sim.NewTopology(g), 0); err == nil {
 		t.Fatal("expected palette error")
 	}
 }
@@ -151,7 +152,7 @@ func TestReduceQuickOverFamilies(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 20 + rng.Intn(60)
 		g := rg(seed, n, 0.15)
-		res, err := Reduce(sim.Sequential, sim.NewTopology(g), int64(n))
+		res, err := Reduce(context.Background(), sim.Sequential, sim.NewTopology(g), int64(n))
 		if err != nil {
 			return false
 		}
@@ -164,11 +165,11 @@ func TestReduceQuickOverFamilies(t *testing.T) {
 
 func TestReduceEnginesAgree(t *testing.T) {
 	g := rg(13, 150, 0.06)
-	r1, err := Reduce(sim.Sequential, sim.NewTopology(g), int64(g.N()))
+	r1, err := Reduce(context.Background(), sim.Sequential, sim.NewTopology(g), int64(g.N()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Reduce(sim.Parallel, sim.NewTopology(g), int64(g.N()))
+	r2, err := Reduce(context.Background(), sim.Parallel, sim.NewTopology(g), int64(g.N()))
 	if err != nil {
 		t.Fatal(err)
 	}

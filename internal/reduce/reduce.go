@@ -12,6 +12,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -30,7 +31,7 @@ type Result struct {
 // c = m-1 … target, every vertex colored c simultaneously recolors to the
 // smallest color in [0, target) unused by its neighbors. Requires
 // target ≥ Δ+1. Cost: m − target + 1 rounds.
-func TrimClasses(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
+func TrimClasses(ctx context.Context, eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
 	eng = sim.OrSequential(eng)
 	if err := checkArgs(t, m, target); err != nil {
 		return nil, err
@@ -42,7 +43,7 @@ func TrimClasses(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error
 	factory := func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
 		return &trimMachine{color: info.Label, m: m, target: target, sink: &colors[info.V]}
 	}
-	stats, err := eng.Run(t, factory, int(m-target)+3)
+	stats, err := eng.Run(ctx, t, factory, int(m-target)+3)
 	if err != nil {
 		return nil, fmt.Errorf("reduce: trim: %w", err)
 	}
@@ -115,7 +116,7 @@ func smallestFree(in []sim.Message, limit int64, scratch *[]int32, stamp int32) 
 // rounds, by repeatedly splitting the palette into blocks of 2·target and
 // reducing each block to target in parallel [Kuhn & Wattenhofer, PODC'06].
 // Requires target ≥ Δ+1.
-func KuhnWattenhofer(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
+func KuhnWattenhofer(ctx context.Context, eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
 	eng = sim.OrSequential(eng)
 	if err := checkArgs(t, m, target); err != nil {
 		return nil, err
@@ -128,7 +129,7 @@ func KuhnWattenhofer(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, e
 	factory := func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
 		return &kwMachine{color: info.Label, schedule: schedule, sink: &colors[info.V]}
 	}
-	stats, err := eng.Run(t, factory, len(schedule)+3)
+	stats, err := eng.Run(ctx, t, factory, len(schedule)+3)
 	if err != nil {
 		return nil, fmt.Errorf("reduce: kw: %w", err)
 	}
@@ -235,16 +236,16 @@ func smallestFreeInBlock(in []sim.Message, base, t int64, scratch *[]int32, stam
 
 // Auto reduces m → target choosing the cheaper of TrimClasses
 // (m−target rounds) and KuhnWattenhofer (≈ target·log₂(m/target) rounds).
-func Auto(eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
+func Auto(ctx context.Context, eng sim.Exec, t *sim.Topology, m, target int64) (*Result, error) {
 	if m <= target {
 		return passThrough(t, m)
 	}
 	trimCost := m - target
 	kwCost := int64(len(kwSchedule(m, target)))
 	if kwCost < trimCost {
-		return KuhnWattenhofer(eng, t, m, target)
+		return KuhnWattenhofer(ctx, eng, t, m, target)
 	}
-	return TrimClasses(eng, t, m, target)
+	return TrimClasses(ctx, eng, t, m, target)
 }
 
 func checkArgs(t *sim.Topology, m, target int64) error {

@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -54,7 +55,7 @@ func TestTrimClasses(t *testing.T) {
 	seed, m := greedySeed(g, 7)
 	target := int64(g.MaxDegree()) + 1
 	topo := &sim.Topology{G: g, Labels: seed}
-	res, err := TrimClasses(sim.Sequential, topo, m, target)
+	res, err := TrimClasses(context.Background(), sim.Sequential, topo, m, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestTrimClasses(t *testing.T) {
 func TestTrimNoopWhenAlreadyBelowTarget(t *testing.T) {
 	g := graph.Path(5)
 	topo := &sim.Topology{G: g, Labels: []int64{0, 1, 0, 1, 0}}
-	res, err := TrimClasses(sim.Sequential, topo, 2, 3)
+	res, err := TrimClasses(context.Background(), sim.Sequential, topo, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,14 +84,14 @@ func TestTrimRejectsLowTarget(t *testing.T) {
 	g := graph.Star(5)
 	seed, m := greedySeed(g, 1)
 	topo := &sim.Topology{G: g, Labels: seed}
-	if _, err := TrimClasses(sim.Sequential, topo, m, int64(g.MaxDegree())); err == nil {
+	if _, err := TrimClasses(context.Background(), sim.Sequential, topo, m, int64(g.MaxDegree())); err == nil {
 		t.Fatal("expected target<Δ+1 error")
 	}
 }
 
 func TestTrimRejectsMissingLabels(t *testing.T) {
 	g := graph.Path(3)
-	if _, err := TrimClasses(sim.Sequential, sim.NewTopology(g), 5, 3); err == nil {
+	if _, err := TrimClasses(context.Background(), sim.Sequential, sim.NewTopology(g), 5, 3); err == nil {
 		t.Fatal("expected missing-labels error")
 	}
 }
@@ -98,7 +99,7 @@ func TestTrimRejectsMissingLabels(t *testing.T) {
 func TestTrimRejectsOutOfRangeLabels(t *testing.T) {
 	g := graph.Path(3)
 	topo := &sim.Topology{G: g, Labels: []int64{0, 9, 0}}
-	if _, err := TrimClasses(sim.Sequential, topo, 5, 3); err == nil {
+	if _, err := TrimClasses(context.Background(), sim.Sequential, topo, 5, 3); err == nil {
 		t.Fatal("expected label range error")
 	}
 }
@@ -108,7 +109,7 @@ func TestKuhnWattenhofer(t *testing.T) {
 	seed, m := greedySeed(g, 97) // large, wasteful palette
 	target := int64(g.MaxDegree()) + 1
 	topo := &sim.Topology{G: g, Labels: seed}
-	res, err := KuhnWattenhofer(sim.Sequential, topo, m, target)
+	res, err := KuhnWattenhofer(context.Background(), sim.Sequential, topo, m, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestKWQuick(t *testing.T) {
 		sd, m := greedySeed(g, 13)
 		target := int64(g.MaxDegree()) + 1
 		topo := &sim.Topology{G: g, Labels: sd}
-		res, err := KuhnWattenhofer(sim.Sequential, topo, m, target)
+		res, err := KuhnWattenhofer(context.Background(), sim.Sequential, topo, m, target)
 		if err != nil {
 			return false
 		}
@@ -172,7 +173,7 @@ func TestTrimQuick(t *testing.T) {
 		sd, m := greedySeed(g, 3)
 		target := int64(g.MaxDegree()) + 1
 		topo := &sim.Topology{G: g, Labels: sd}
-		res, err := TrimClasses(sim.Sequential, topo, m, target)
+		res, err := TrimClasses(context.Background(), sim.Sequential, topo, m, target)
 		if err != nil {
 			return false
 		}
@@ -190,7 +191,7 @@ func TestAutoPicksFaster(t *testing.T) {
 	// Small palette gap: trim should win.
 	seedSmall, _ := greedySeed(g, 1)
 	topo := &sim.Topology{G: g, Labels: seedSmall}
-	resSmall, err := Auto(sim.Sequential, topo, target+3, target)
+	resSmall, err := Auto(context.Background(), sim.Sequential, topo, target+3, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestAutoPicksFaster(t *testing.T) {
 	// Huge palette: KW should win; verify the result is still proper.
 	seedBig, m := greedySeed(g, 1009)
 	topo = &sim.Topology{G: g, Labels: seedBig}
-	resBig, err := Auto(sim.Sequential, topo, m, target)
+	resBig, err := Auto(context.Background(), sim.Sequential, topo, m, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +233,11 @@ func TestKWEnginesAgree(t *testing.T) {
 	target := int64(g.MaxDegree()) + 1
 	t1 := &sim.Topology{G: g, Labels: sd}
 	t2 := &sim.Topology{G: g, Labels: sd}
-	r1, err := KuhnWattenhofer(sim.Sequential, t1, m, target)
+	r1, err := KuhnWattenhofer(context.Background(), sim.Sequential, t1, m, target)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := KuhnWattenhofer(sim.Parallel, t2, m, target)
+	r2, err := KuhnWattenhofer(context.Background(), sim.Parallel, t2, m, target)
 	if err != nil {
 		t.Fatal(err)
 	}

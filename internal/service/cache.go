@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	distcolor "repro"
@@ -16,7 +17,7 @@ import (
 
 // The result cache is content-addressed: the key is the canonical hash of
 // the submitted graph (isomorphic relabelings collapse to one key) combined
-// with the algorithm name and its palette-determining parameters. Colorings
+// with the algorithm name and its registry-resolved parameter set. Colorings
 // are stored in canonical coordinates — edge colors in canonical edge
 // order, vertex colors in canonical vertex order — so a hit for a
 // *relabeled* resubmission is served by mapping the stored coloring through
@@ -87,51 +88,35 @@ func coverHash(cliques [][]int32, perm []int32) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// cacheKey combines the canonical structure hash with every request field
-// that can change the served coloring or its declared palette. Parameters
-// the algorithm ignores are zeroed and defaulted forms are normalized
-// (X: 0→1 mirroring Request.x; Q: 0→3 and clamping mirroring arbor), so
-// requests that provably run identically share one key.
+// cacheKey combines the canonical structure hash with the algorithm name
+// and its registry-resolved parameter set (shorthand fields merged with
+// Params, schema defaults applied, clamps performed), so requests that
+// provably run identically share one key and requests differing in any
+// coloring-relevant parameter never collide. Parameters the algorithm's
+// schema does not know cannot reach the key — they fail validation before
+// the cache is consulted.
 func cacheKey(c *canonForm, req *distcolor.Request) string {
-	var (
-		x int
-		a int
-		q float64
-	)
-	switch req.Algorithm {
-	case distcolor.AlgoEdgeStar:
-		x = effX(req.X)
-	case distcolor.AlgoVertexCD:
-		x = effX(req.X)
-	case distcolor.AlgoEdgeSparse, distcolor.AlgoEdgeSparse52, distcolor.AlgoEdgeSparse53,
-		distcolor.AlgoEdgeSparse54x2, distcolor.AlgoEdgeSparse54x3:
-		a = req.Arboricity
-		q = effQ(req.Q)
+	p, err := req.ResolvedParams()
+	if err != nil {
+		// Unreachable: Submit validates (which resolves) before any cache
+		// work. Keep the key collision-free anyway.
+		return fmt.Sprintf("%s|%s|unresolvable:%s|cover=%s", c.hash, req.Algorithm, err, c.coverHash)
 	}
-	return fmt.Sprintf("%s|%s|x=%d|a=%d|q=%g|cover=%s",
-		c.hash, req.Algorithm, x, a, q, c.coverHash)
-}
-
-func effX(x int) int {
-	if x == 0 {
-		return 1
+	names := make([]string, 0, len(p))
+	for name := range p {
+		names = append(names, name)
 	}
-	return x
-}
-
-func effQ(q float64) float64 {
-	if q == 0 {
-		return 3
+	sort.Strings(names)
+	var params strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&params, "|%s=%g", name, p[name])
 	}
-	if q < 2.05 {
-		return 2.05
-	}
-	return q
+	return fmt.Sprintf("%s|%s%s|cover=%s", c.hash, req.Algorithm, params.String(), c.coverHash)
 }
 
 // cacheEntry is a verified coloring in canonical coordinates.
 type cacheEntry struct {
-	kind        string // "edge" | "vertex"
+	kind        distcolor.Kind // "edge" | "vertex"
 	algorithm   string
 	palette     int64
 	stats       distcolor.Stats

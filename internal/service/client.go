@@ -122,6 +122,15 @@ func (c *Client) Metrics() (Metrics, error) {
 	return m, err
 }
 
+// Algorithms fetches the server's algorithm registry metadata: every
+// registered algorithm with its kind and parameter schema, so clients can
+// discover and validate workloads without hardcoding algorithm knowledge.
+func (c *Client) Algorithms() ([]distcolor.AlgorithmInfo, error) {
+	var out []distcolor.AlgorithmInfo
+	err := c.do(http.MethodGet, "/v1/algorithms", nil, &out)
+	return out, err
+}
+
 // Wait polls until the job is terminal or the timeout elapses, returning
 // the last observed status.
 func (c *Client) Wait(id string, poll, timeout time.Duration) (JobStatus, error) {

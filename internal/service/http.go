@@ -22,7 +22,7 @@ import (
 //	POST /v1/batch             BatchRequest           → BatchResponse
 //	POST /v1/generate          GenerateRequest        → BatchResponse (graphs built server-side)
 //	GET  /v1/metrics           —                      → Metrics
-//	GET  /v1/algorithms        —                      → [names]
+//	GET  /v1/algorithms        —                      → [AlgorithmInfo] (registry metadata: names, kinds, parameter schemas)
 //	GET  /v1/healthz           —                      → {"ok":true}
 
 // BatchRequest submits many workloads in one call.
@@ -225,7 +225,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, Algorithms())
+		writeJSON(w, http.StatusOK, distcolor.DescribeAlgorithms())
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})

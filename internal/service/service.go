@@ -194,7 +194,9 @@ var ErrClosed = errors.New("service: server closed")
 // ErrNotFound is returned for unknown (or already-forgotten) job IDs.
 var ErrNotFound = errors.New("service: no such job")
 
-// errJobCanceled aborts a running job from its round observer.
+// errJobCanceled is the cancellation cause of a job's context; it surfaces
+// from the simulator's ctx-abort error chain, so a canceled run is
+// distinguishable from a failed one.
 var errJobCanceled = errors.New("service: job canceled")
 
 // job is the unit of scheduled work.
@@ -203,6 +205,13 @@ type job struct {
 	req        *distcolor.Request
 	g          *distcolor.Graph // built once at submission, reused by the worker
 	traceDepth int
+
+	// ctx governs the job's execution; cancel (with errJobCanceled as the
+	// cause) aborts a running simulation at its next round boundary. The
+	// context is created at submission so Cancel works in every state
+	// without racing the worker.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
 
 	// canon carries the submission-time canonicalization, reused to store
 	// the result; nil when caching is disabled.
@@ -231,6 +240,9 @@ type job struct {
 func (j *job) finishLocked(st State, errMsg string) {
 	j.state = st
 	j.err = errMsg
+	if j.cancel != nil {
+		j.cancel(nil) // release the job context's resources
+	}
 	close(j.done)
 	j.cond.Broadcast()
 }
@@ -333,6 +345,7 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 
 	j := &job{req: req, g: g, state: StateQueued, traceDepth: s.cfg.TraceDepth, done: make(chan struct{})}
 	j.cond = sync.NewCond(&j.mu)
+	j.ctx, j.cancel = context.WithCancelCause(context.Background())
 
 	var hit *distcolor.Response
 	cacheable := s.cache != nil &&
@@ -361,6 +374,7 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		j.state = StateDone
 		j.resp = hit
 		j.cacheHit = true
+		j.cancel(nil)
 		close(j.done)
 		s.metrics.cacheHits++
 		s.metrics.submitted++
@@ -456,8 +470,8 @@ func (s *Server) Result(id string) (*distcolor.Response, JobStatus, error) {
 }
 
 // Cancel requests cancellation: a queued job is removed from the queue
-// (freeing its slot immediately) and never runs; a running job is aborted
-// at its next round boundary.
+// (freeing its slot immediately) and never runs; a running job's context
+// is canceled, aborting the simulation at its next round boundary.
 func (s *Server) Cancel(id string) (JobStatus, error) {
 	j, err := s.job(id)
 	if err != nil {
@@ -478,6 +492,7 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	j.mu.Lock()
 	if !j.state.Terminal() {
 		j.cancelReq = true
+		j.cancel(errJobCanceled)
 		if removed {
 			j.finishLocked(StateCanceled, errJobCanceled.Error())
 		}
@@ -619,7 +634,7 @@ func (s *Server) runJob(j *job) {
 		req = &cp
 	}
 	start := time.Now()
-	resp, err := distcolor.ExecuteOn(req, j.g, distcolor.Options{Observer: j.observe})
+	resp, err := distcolor.ExecuteOn(j.ctx, req, j.g, distcolor.Options{Observer: j.observe})
 	wall := time.Since(start).Milliseconds()
 
 	// Store into the cache before the job turns terminal: a waiter that
@@ -630,7 +645,9 @@ func (s *Server) runJob(j *job) {
 
 	j.mu.Lock()
 	j.wallMS = wall
-	canceled := err != nil && (errors.Is(err, errJobCanceled) || j.cancelReq)
+	// A canceled job's error chain carries the context cancellation (the
+	// simulator wraps context.Cause, i.e. errJobCanceled).
+	canceled := err != nil && (errors.Is(err, errJobCanceled) || errors.Is(err, context.Canceled) || j.cancelReq)
 	switch {
 	case canceled:
 		j.finishLocked(StateCanceled, errJobCanceled.Error())
@@ -658,15 +675,13 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 }
 
-// observe is the job's sim round hook: it records the bounded trace history
-// and aborts the run once cancellation was requested. A new execution is
-// detected by its round counter restarting at 0.
-func (j *job) observe(ev distcolor.RoundEvent) error {
+// observe is the job's sim round hook: it records the bounded trace
+// history (cancellation is ctx-native now and no longer flows through the
+// observer). A new execution is detected by its round counter restarting
+// at 0.
+func (j *job) observe(ev distcolor.RoundEvent) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.cancelReq {
-		return errJobCanceled
-	}
 	if ev.Round == 0 || !j.sawRound || ev.N != j.lastN {
 		j.lastExec++
 	}
@@ -693,8 +708,7 @@ func (j *job) observe(ev distcolor.RoundEvent) error {
 		j.trace = append(j.trace[:0], j.trace[drop:]...)
 	}
 	j.cond.Broadcast()
-	return nil
 }
 
-// Algorithms re-exports the codec's algorithm list for the HTTP layer.
+// Algorithms re-exports the registry's algorithm name list.
 func Algorithms() []string { return distcolor.Algorithms() }

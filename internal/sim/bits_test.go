@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -29,7 +30,7 @@ func TestBitAccounting(t *testing.T) {
 			return true
 		})
 	}
-	stats, err := RunSequential(NewTopology(g), f, 5)
+	stats, err := RunSequential(context.Background(), NewTopology(g), f, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +69,11 @@ func TestBitAccountingEnginesAgree(t *testing.T) {
 			return true
 		})
 	}
-	s1, err := RunSequential(NewTopology(g), f, 5)
+	s1, err := RunSequential(context.Background(), NewTopology(g), f, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := RunParallel(NewTopology(g), f, 5)
+	s2, err := RunParallel(context.Background(), NewTopology(g), f, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

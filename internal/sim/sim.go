@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -187,10 +188,15 @@ var ErrRoundLimit = errors.New("sim: round limit exceeded")
 
 // Exec runs a node program to global termination. Engine values implement
 // it; Observed wraps an Engine with a per-round hook. Algorithm packages
-// accept an Exec so callers can observe (or abort) every constituent
-// execution of a composed algorithm without the algorithms knowing.
+// accept an Exec so callers can observe every constituent execution of a
+// composed algorithm without the algorithms knowing.
+//
+// Cancellation is ctx-native: every engine checks ctx at each round
+// boundary and aborts with an error wrapping context.Cause(ctx), so
+// deadlines and cancellation propagate through arbitrarily deep algorithm
+// compositions without observer-based plumbing.
 type Exec interface {
-	Run(t *Topology, f Factory, maxRounds int) (Stats, error)
+	Run(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error)
 }
 
 // OrSequential normalizes a possibly-nil Exec (the zero value of an Options
@@ -217,10 +223,10 @@ type RoundEvent struct {
 	Stats Stats
 }
 
-// RoundHook observes rounds as they execute. Returning a non-nil error
-// aborts the execution immediately with that error — the cancellation
-// mechanism for long runs.
-type RoundHook func(RoundEvent) error
+// RoundHook observes rounds as they execute. It is purely a tracing
+// mechanism: hooks cannot abort a run (cancel the execution's context to do
+// that).
+type RoundHook func(RoundEvent)
 
 // Observed returns an Exec that runs like base but calls hook after every
 // executed round. A nil hook returns base unchanged.
@@ -236,8 +242,8 @@ type observedExec struct {
 	hook RoundHook
 }
 
-func (o observedExec) Run(t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return o.base.run(t, f, maxRounds, o.hook)
+func (o observedExec) Run(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return o.base.run(ctx, t, f, maxRounds, o.hook)
 }
 
 // instance holds the shared execution state of one run.
@@ -377,13 +383,31 @@ func (inst *instance) clearOutbox(v int) {
 	}
 }
 
-// RunSequential executes the algorithm to global termination, advancing
-// vertices in index order within each round.
-func RunSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return runSequential(t, f, maxRounds, nil)
+// orBackground normalizes a nil ctx (tolerated for robustness) to the
+// background context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
-func runSequential(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+// abortErr is the engine's error for a run cut short by its context; it
+// wraps context.Cause(ctx) so errors.Is(err, context.Canceled) (and
+// DeadlineExceeded, and any WithCancelCause cause) keep working through the
+// algorithm layers above.
+func abortErr(ctx context.Context, round, remaining int) error {
+	return fmt.Errorf("sim: aborted at round %d (%d vertices still running): %w", round, remaining, context.Cause(ctx))
+}
+
+// RunSequential executes the algorithm to global termination, advancing
+// vertices in index order within each round.
+func RunSequential(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return runSequential(ctx, t, f, maxRounds, nil)
+}
+
+func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+	ctx = orBackground(ctx)
 	inst, err := newInstance(t, f)
 	if err != nil {
 		return Stats{}, err
@@ -393,6 +417,9 @@ func runSequential(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats
 	for round := 0; ; round++ {
 		if inst.remaining == 0 {
 			break
+		}
+		if ctx.Err() != nil {
+			return stats, abortErr(ctx, round, inst.remaining)
 		}
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
@@ -421,9 +448,7 @@ func runSequential(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats
 		}
 		stats.Rounds++
 		if hook != nil {
-			if err := hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats}); err != nil {
-				return stats, err
-			}
+			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
 		}
 	}
 	return stats, nil
@@ -435,11 +460,12 @@ func runSequential(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats
 // that — any program whose results depend on intra-round scheduling (e.g.
 // by leaking state through shared memory mid-round) will diverge from
 // RunSequential under test.
-func RunReverseSequential(t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return runReverseSequential(t, f, maxRounds, nil)
+func RunReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return runReverseSequential(ctx, t, f, maxRounds, nil)
 }
 
-func runReverseSequential(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+	ctx = orBackground(ctx)
 	inst, err := newInstance(t, f)
 	if err != nil {
 		return Stats{}, err
@@ -449,6 +475,9 @@ func runReverseSequential(t *Topology, f Factory, maxRounds int, hook RoundHook)
 	for round := 0; ; round++ {
 		if inst.remaining == 0 {
 			break
+		}
+		if ctx.Err() != nil {
+			return stats, abortErr(ctx, round, inst.remaining)
 		}
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
@@ -475,9 +504,7 @@ func runReverseSequential(t *Topology, f Factory, maxRounds int, hook RoundHook)
 		}
 		stats.Rounds++
 		if hook != nil {
-			if err := hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats}); err != nil {
-				return stats, err
-			}
+			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
 		}
 	}
 	return stats, nil
@@ -485,11 +512,12 @@ func runReverseSequential(t *Topology, f Factory, maxRounds int, hook RoundHook)
 
 // RunParallel executes the algorithm with shard-per-goroutine concurrency.
 // The execution is bit-identical to RunSequential.
-func RunParallel(t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return runParallel(t, f, maxRounds, nil)
+func RunParallel(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return runParallel(ctx, t, f, maxRounds, nil)
 }
 
-func runParallel(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+	ctx = orBackground(ctx)
 	inst, err := newInstance(t, f)
 	if err != nil {
 		return Stats{}, err
@@ -508,6 +536,9 @@ func runParallel(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, 
 	for round := 0; ; round++ {
 		if inst.remaining == 0 {
 			break
+		}
+		if ctx.Err() != nil {
+			return stats, abortErr(ctx, round, inst.remaining)
 		}
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
@@ -544,9 +575,7 @@ func runParallel(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, 
 		})
 		stats.Rounds++
 		if hook != nil {
-			if err := hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats}); err != nil {
-				return stats, err
-			}
+			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
 		}
 	}
 	return stats, nil
@@ -589,20 +618,20 @@ const (
 )
 
 // Run dispatches to the selected engine.
-func (e Engine) Run(t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return e.run(t, f, maxRounds, nil)
+func (e Engine) Run(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
+	return e.run(ctx, t, f, maxRounds, nil)
 }
 
 // run is the single engine-dispatch point, shared by Engine.Run and
 // Observed wrappers.
-func (e Engine) run(t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+func (e Engine) run(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
 	switch e {
 	case Parallel:
-		return runParallel(t, f, maxRounds, hook)
+		return runParallel(ctx, t, f, maxRounds, hook)
 	case ReverseSequential:
-		return runReverseSequential(t, f, maxRounds, hook)
+		return runReverseSequential(ctx, t, f, maxRounds, hook)
 	default:
-		return runSequential(t, f, maxRounds, hook)
+		return runSequential(ctx, t, f, maxRounds, hook)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -46,7 +47,7 @@ func TestNeighborSum(t *testing.T) {
 	g := rg(1, 40, 0.2)
 	results := make([]int64, g.N())
 	topo := NewTopology(g)
-	stats, err := RunSequential(topo, neighborSumProgram(results), 10)
+	stats, err := RunSequential(context.Background(), topo, neighborSumProgram(results), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestBFSDistances(t *testing.T) {
 	topo := NewTopology(g)
 	// Unreachable vertices never halt; bound rounds and expect the error if
 	// the graph is disconnected.
-	_, err := RunSequential(topo, bfsProgram(dist), g.N()+2)
+	_, err := RunSequential(context.Background(), topo, bfsProgram(dist), g.N()+2)
 	disconnected := false
 	for _, d := range want {
 		if d == -1 {
@@ -153,11 +154,11 @@ func TestEnginesProduceIdenticalExecutions(t *testing.T) {
 	g := rg(3, 200, 0.05)
 	r1 := make([]int64, g.N())
 	r2 := make([]int64, g.N())
-	s1, err := RunSequential(NewTopology(g), neighborSumProgram(r1), 10)
+	s1, err := RunSequential(context.Background(), NewTopology(g), neighborSumProgram(r1), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := RunParallel(NewTopology(g), neighborSumProgram(r2), 10)
+	s2, err := RunParallel(context.Background(), NewTopology(g), neighborSumProgram(r2), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestEngineDispatch(t *testing.T) {
 	g := graph.Path(4)
 	res := make([]int64, 4)
 	for _, e := range []Engine{Sequential, Parallel} {
-		if _, err := e.Run(NewTopology(g), neighborSumProgram(res), 10); err != nil {
+		if _, err := e.Run(context.Background(), NewTopology(g), neighborSumProgram(res), 10); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -188,7 +189,7 @@ func TestRoundLimitError(t *testing.T) {
 			return false
 		})
 	}
-	_, err := RunSequential(NewTopology(g), forever, 5)
+	_, err := RunSequential(context.Background(), NewTopology(g), forever, 5)
 	if !errors.Is(err, ErrRoundLimit) {
 		t.Fatalf("want ErrRoundLimit, got %v", err)
 	}
@@ -236,7 +237,7 @@ func TestNodeInfoAndNeighborKnowledge(t *testing.T) {
 		got[info.V] = seen{info, append([]int64(nil), nbrIDs...), append([]int64(nil), nbrLabels...)}
 		return FuncMachine(func(round int, in []Message, out []Message) bool { return true })
 	}
-	if _, err := RunSequential(topo, f, 5); err != nil {
+	if _, err := RunSequential(context.Background(), topo, f, 5); err != nil {
 		t.Fatal(err)
 	}
 	center := got[0]
@@ -298,7 +299,7 @@ func TestHaltedVertexStopsSending(t *testing.T) {
 			return false
 		})
 	}
-	if _, err := RunSequential(NewTopology(g), f, 10); err != nil {
+	if _, err := RunSequential(context.Background(), NewTopology(g), f, 10); err != nil {
 		t.Fatal(err)
 	}
 	if !sawRound1 {
@@ -320,5 +321,25 @@ func TestInt64sHelper(t *testing.T) {
 func TestDefaultMaxRounds(t *testing.T) {
 	if DefaultMaxRounds(NewTopology(graph.Complete(10))) <= 0 {
 		t.Fatal("round budget must be positive")
+	}
+}
+
+// TestContextAbortsRun: engines check the context at every round boundary
+// and abort with an error wrapping the cancellation cause.
+func TestContextAbortsRun(t *testing.T) {
+	g := rg(7, 40, 0.2)
+	forever := func(info NodeInfo, nbrIDs, nbrLabels []int64) Machine {
+		return FuncMachine(func(round int, in, out []Message) bool { return false })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range []Engine{Sequential, Parallel, ReverseSequential} {
+		stats, err := e.Run(ctx, NewTopology(g), forever, 1000)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %v: want context.Canceled, got %v", e, err)
+		}
+		if stats.Rounds != 0 {
+			t.Fatalf("engine %v ran %d rounds under a canceled context", e, stats.Rounds)
+		}
 	}
 }

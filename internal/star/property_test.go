@@ -1,6 +1,7 @@
 package star
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -23,7 +24,7 @@ func TestEdgeColorParameterSpaceQuick(t *testing.T) {
 		}
 		x := rng.Intn(3) // 0..2
 		tt := 2 + rng.Intn(4)
-		res, err := EdgeColor(g, tt, x, Options{})
+		res, err := EdgeColor(context.Background(), g, tt, x, Options{})
 		if err != nil {
 			return false
 		}
@@ -47,11 +48,11 @@ func TestEdgeColorSchedulingIndependence(t *testing.T) {
 	if err != nil {
 		t.Skip("degenerate Δ")
 	}
-	fwd, err := EdgeColor(g, tt, 1, Options{Exec: sim.Sequential})
+	fwd, err := EdgeColor(context.Background(), g, tt, 1, Options{Exec: sim.Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rev, err := EdgeColor(g, tt, 1, Options{Exec: sim.ReverseSequential})
+	rev, err := EdgeColor(context.Background(), g, tt, 1, Options{Exec: sim.ReverseSequential})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestDeclaredDominatesMeasured(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := EdgeColor(g, tt, 1, Options{SkipTrim: true})
+		res, err := EdgeColor(context.Background(), g, tt, 1, Options{SkipTrim: true})
 		if err != nil {
 			t.Fatal(err)
 		}

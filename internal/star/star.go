@@ -14,6 +14,7 @@
 package star
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/connector"
@@ -88,7 +89,7 @@ func Bound(delta, x int) int64 {
 // EdgeColor runs the star-partition algorithm with x ≥ 0 recursion levels
 // and parameter t ≥ 2 (use ChooseT for the paper's choice). x = 0 degrades
 // to the direct (2Δ−1)-edge-coloring.
-func EdgeColor(g *graph.Graph, t, x int, opt Options) (*Result, error) {
+func EdgeColor(ctx context.Context, g *graph.Graph, t, x int, opt Options) (*Result, error) {
 	if x < 0 {
 		return nil, fmt.Errorf("star: recursion depth x=%d < 0", x)
 	}
@@ -104,7 +105,7 @@ func EdgeColor(g *graph.Graph, t, x int, opt Options) (*Result, error) {
 	seed, seedPalette := opt.Seed, opt.SeedPalette
 	if seed == nil {
 		topo, _ := vc.LineTopology(g, nil)
-		lin, err := linial.Reduce(opt.Exec, topo, vc.EdgeIDBound(g))
+		lin, err := linial.Reduce(ctx, opt.Exec, topo, vc.EdgeIDBound(g))
 		if err != nil {
 			return nil, fmt.Errorf("star: initial edge seed: %w", err)
 		}
@@ -114,7 +115,7 @@ func EdgeColor(g *graph.Graph, t, x int, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("star: seed has %d entries for %d edges", len(seed), g.M())
 	}
 
-	colors, recStats, err := colorRec(g, seed, seedPalette, delta, t, x, opt)
+	colors, recStats, err := colorRec(ctx, g, seed, seedPalette, delta, t, x, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +126,7 @@ func EdgeColor(g *graph.Graph, t, x int, opt Options) (*Result, error) {
 	palette := declared
 	if !opt.SkipTrim && declared > bound {
 		topo, _ := vc.LineTopology(g, colors)
-		red, err := reduce.TrimClasses(opt.Exec, topo, declared, bound)
+		red, err := reduce.TrimClasses(ctx, opt.Exec, topo, declared, bound)
 		if err != nil {
 			return nil, fmt.Errorf("star: final trim: %w", err)
 		}
@@ -139,12 +140,12 @@ func EdgeColor(g *graph.Graph, t, x int, opt Options) (*Result, error) {
 // colorRec colors the edges of the current (spanning-subgraph) level. seed
 // is indexed by the current graph's edge identifiers; declaredDeg is the
 // level's degree bound (actual Δ is never larger).
-func colorRec(g *graph.Graph, seed []int64, seedPalette int64, declaredDeg, t, x int, opt Options) ([]int64, sim.Stats, error) {
+func colorRec(ctx context.Context, g *graph.Graph, seed []int64, seedPalette int64, declaredDeg, t, x int, opt Options) ([]int64, sim.Stats, error) {
 	if g.M() == 0 {
 		return nil, sim.Stats{}, nil
 	}
 	if x == 0 {
-		res, err := vc.EdgeColor(g, seed, seedPalette, opt.VC)
+		res, err := vc.EdgeColor(ctx, g, seed, seedPalette, opt.VC)
 		if err != nil {
 			return nil, sim.Stats{}, fmt.Errorf("star: direct stage: %w", err)
 		}
@@ -164,7 +165,7 @@ func colorRec(g *graph.Graph, seed []int64, seedPalette int64, declaredDeg, t, x
 	for ce := 0; ce < vg.G.M(); ce++ {
 		connSeed[ce] = seed[vg.EOrig[ce]]
 	}
-	phiRes, err := vc.EdgeColor(vg.G, connSeed, seedPalette, opt.VC)
+	phiRes, err := vc.EdgeColor(ctx, vg.G, connSeed, seedPalette, opt.VC)
 	if err != nil {
 		return nil, sim.Stats{}, fmt.Errorf("star: connector coloring: %w", err)
 	}
@@ -195,7 +196,7 @@ func colorRec(g *graph.Graph, seed []int64, seedPalette int64, declaredDeg, t, x
 		for e := 0; e < sub.G.M(); e++ {
 			subSeed[e] = seed[sub.OrigEdge(e)]
 		}
-		psi, st, err := colorRec(sub.G, subSeed, seedPalette, k, t, x-1, opt)
+		psi, st, err := colorRec(ctx, sub.G, subSeed, seedPalette, k, t, x-1, opt)
 		if err != nil {
 			return nil, sim.Stats{}, err
 		}

@@ -1,6 +1,7 @@
 package star
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -19,7 +20,7 @@ func TestEdgeColor4Delta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EdgeColor(g, tt, 1, Options{})
+	res, err := EdgeColor(context.Background(), g, tt, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestEdgeColorDepths(t *testing.T) {
 				t.Skip("degenerate t for this Δ")
 			}
 		}
-		res, err := EdgeColor(g, tt, x, Options{})
+		res, err := EdgeColor(context.Background(), g, tt, x, Options{})
 		if err != nil {
 			t.Fatalf("x=%d: %v", x, err)
 		}
@@ -62,7 +63,7 @@ func TestEdgeColorDepths(t *testing.T) {
 
 func TestEdgeColorX0IsTwoDeltaMinus1(t *testing.T) {
 	g := gen.GNP(60, 0.15, 4)
-	res, err := EdgeColor(g, 2, 0, Options{})
+	res, err := EdgeColor(context.Background(), g, 2, 0, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestEdgeColorStructuredGraphs(t *testing.T) {
 		tt, err := ChooseT(g.MaxDegree(), 1)
 		if err != nil {
 			// Tiny Δ (cycle): fall back to x=0.
-			res, err := EdgeColor(g, 2, 0, Options{})
+			res, err := EdgeColor(context.Background(), g, 2, 0, Options{})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -93,7 +94,7 @@ func TestEdgeColorStructuredGraphs(t *testing.T) {
 			}
 			continue
 		}
-		res, err := EdgeColor(g, tt, 1, Options{})
+		res, err := EdgeColor(context.Background(), g, tt, 1, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -147,7 +148,7 @@ func TestDeclaredPaletteFormula(t *testing.T) {
 
 func TestSeedReuse(t *testing.T) {
 	g := gen.GNP(80, 0.12, 5)
-	first, err := EdgeColor(g, 2, 0, Options{})
+	first, err := EdgeColor(context.Background(), g, 2, 0, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,14 +156,14 @@ func TestSeedReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seeded, err := EdgeColor(g, tt, 1, Options{Seed: first.Colors, SeedPalette: first.Palette})
+	seeded, err := EdgeColor(context.Background(), g, tt, 1, Options{Seed: first.Colors, SeedPalette: first.Palette})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := verify.EdgeColoring(g, seeded.Colors, seeded.Palette); err != nil {
 		t.Fatal(err)
 	}
-	unseeded, err := EdgeColor(g, tt, 1, Options{})
+	unseeded, err := EdgeColor(context.Background(), g, tt, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,20 +174,20 @@ func TestSeedReuse(t *testing.T) {
 
 func TestParameterValidation(t *testing.T) {
 	g := gen.GNP(20, 0.3, 1)
-	if _, err := EdgeColor(g, 1, 1, Options{}); err == nil {
+	if _, err := EdgeColor(context.Background(), g, 1, 1, Options{}); err == nil {
 		t.Fatal("expected t<2 error")
 	}
-	if _, err := EdgeColor(g, 2, -1, Options{}); err == nil {
+	if _, err := EdgeColor(context.Background(), g, 2, -1, Options{}); err == nil {
 		t.Fatal("expected x<0 error")
 	}
-	if _, err := EdgeColor(g, 2, 1, Options{Seed: []int64{1}, SeedPalette: 4}); err == nil {
+	if _, err := EdgeColor(context.Background(), g, 2, 1, Options{Seed: []int64{1}, SeedPalette: 4}); err == nil {
 		t.Fatal("expected seed length error")
 	}
 }
 
 func TestEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(5).MustBuild()
-	res, err := EdgeColor(g, 2, 1, Options{})
+	res, err := EdgeColor(context.Background(), g, 2, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestEdgeColorQuick(t *testing.T) {
 		if err != nil {
 			return true
 		}
-		res, err := EdgeColor(g, tt, 1, Options{})
+		res, err := EdgeColor(context.Background(), g, tt, 1, Options{})
 		if err != nil {
 			return false
 		}
@@ -223,11 +224,11 @@ func TestEnginesAgree(t *testing.T) {
 	if err != nil {
 		t.Skip("degenerate")
 	}
-	r1, err := EdgeColor(g, tt, 1, Options{Exec: sim.Sequential})
+	r1, err := EdgeColor(context.Background(), g, tt, 1, Options{Exec: sim.Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := EdgeColor(g, tt, 1, Options{Exec: sim.Parallel})
+	r2, err := EdgeColor(context.Background(), g, tt, 1, Options{Exec: sim.Parallel})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package vc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -62,18 +63,18 @@ type Result struct {
 // paper's §3 reuse trick: recursive calls pass the one O(Δ²)-coloring
 // computed up front as seed, paying log* of the seed palette rather than
 // log* n at every level.
-func Delta1(t *sim.Topology, m0 int64, opt Options) (*Result, error) {
+func Delta1(ctx context.Context, t *sim.Topology, m0 int64, opt Options) (*Result, error) {
 	target := int64(t.G.MaxDegree()) + 1
-	return Target(t, m0, target, opt)
+	return Target(ctx, t, m0, target, opt)
 }
 
 // Target computes a proper vertex coloring of t.G with the given palette
 // target ≥ Δ+1.
-func Target(t *sim.Topology, m0, target int64, opt Options) (*Result, error) {
+func Target(ctx context.Context, t *sim.Topology, m0, target int64, opt Options) (*Result, error) {
 	if target < int64(t.G.MaxDegree())+1 {
 		return nil, fmt.Errorf("vc: target %d below Δ+1 = %d", target, t.G.MaxDegree()+1)
 	}
-	lin, err := linial.Reduce(opt.Exec, t, m0)
+	lin, err := linial.Reduce(ctx, opt.Exec, t, m0)
 	if err != nil {
 		return nil, err
 	}
@@ -84,11 +85,11 @@ func Target(t *sim.Topology, m0, target int64, opt Options) (*Result, error) {
 	var red *reduce.Result
 	switch opt.Reducer {
 	case ReducerKW:
-		red, err = reduce.KuhnWattenhofer(opt.Exec, t2, lin.Palette, target)
+		red, err = reduce.KuhnWattenhofer(ctx, opt.Exec, t2, lin.Palette, target)
 	case ReducerTrim:
-		red, err = reduce.TrimClasses(opt.Exec, t2, lin.Palette, target)
+		red, err = reduce.TrimClasses(ctx, opt.Exec, t2, lin.Palette, target)
 	default:
-		red, err = reduce.Auto(opt.Exec, t2, lin.Palette, target)
+		red, err = reduce.Auto(ctx, opt.Exec, t2, lin.Palette, target)
 	}
 	if err != nil {
 		return nil, err
@@ -131,14 +132,14 @@ func EdgePalette(d int) int64 {
 // vertex pipeline on the line graph. Seed, when non-nil, must be a proper
 // edge coloring of g with palette m0; otherwise pass m0 = EdgeIDBound(g).
 // Colors are indexed by g's edge identifiers.
-func EdgeColor(g *graph.Graph, seed []int64, m0 int64, opt Options) (*Result, error) {
+func EdgeColor(ctx context.Context, g *graph.Graph, seed []int64, m0 int64, opt Options) (*Result, error) {
 	if g.M() == 0 {
 		return &Result{Colors: nil, Palette: 1}, nil
 	}
 	t, _ := LineTopology(g, seed)
 	// Δ(L(G)) ≤ 2Δ(G)−2, so Δ(L)+1 ≤ the contractual 2Δ−1; color as low as
 	// the line graph allows but report the 2Δ−1 contract.
-	res, err := Delta1(t, m0, opt)
+	res, err := Delta1(ctx, t, m0, opt)
 	if err != nil {
 		return nil, fmt.Errorf("vc: edge color: %w", err)
 	}

@@ -1,6 +1,7 @@
 package vc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -25,7 +26,7 @@ func rg(seed int64, n int, p float64) *graph.Graph {
 
 func TestDelta1(t *testing.T) {
 	g := rg(1, 150, 0.06)
-	res, err := Delta1(sim.NewTopology(g), int64(g.N()), Options{})
+	res, err := Delta1(context.Background(), sim.NewTopology(g), int64(g.N()), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestDelta1OnStructuredGraphs(t *testing.T) {
 		"star":     graph.Star(40),
 		"bipart":   graph.CompleteBipartite(9, 13),
 	} {
-		res, err := Delta1(sim.NewTopology(g), int64(g.N()), Options{})
+		res, err := Delta1(context.Background(), sim.NewTopology(g), int64(g.N()), Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -61,7 +62,7 @@ func TestDelta1OnStructuredGraphs(t *testing.T) {
 
 func TestTargetRejectsLowPalette(t *testing.T) {
 	g := graph.Complete(5)
-	if _, err := Target(sim.NewTopology(g), 5, 4, Options{}); err == nil {
+	if _, err := Target(context.Background(), sim.NewTopology(g), 5, 4, Options{}); err == nil {
 		t.Fatal("expected error for target < Δ+1")
 	}
 }
@@ -69,7 +70,7 @@ func TestTargetRejectsLowPalette(t *testing.T) {
 func TestTargetLargerPalette(t *testing.T) {
 	g := rg(3, 60, 0.1)
 	target := int64(g.MaxDegree()) + 10
-	res, err := Target(sim.NewTopology(g), int64(g.N()), target, Options{})
+	res, err := Target(context.Background(), sim.NewTopology(g), int64(g.N()), target, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,14 +82,14 @@ func TestTargetLargerPalette(t *testing.T) {
 func TestDelta1WithSeedColoringIsFaster(t *testing.T) {
 	g := rg(7, 200, 0.05)
 	// First compute a Δ+1 coloring from scratch.
-	fromScratch, err := Delta1(sim.NewTopology(g), int64(g.N()), Options{})
+	fromScratch, err := Delta1(context.Background(), sim.NewTopology(g), int64(g.N()), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Now seed with a proper small-palette coloring (the §3 trick): the
 	// pipeline must still be correct and take no more rounds.
 	topo := &sim.Topology{G: g, Labels: fromScratch.Colors}
-	seeded, err := Delta1(topo, fromScratch.Palette, Options{})
+	seeded, err := Delta1(context.Background(), topo, fromScratch.Palette, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestDelta1WithSeedColoringIsFaster(t *testing.T) {
 func TestReducerVariantsAllProper(t *testing.T) {
 	g := rg(11, 70, 0.12)
 	for _, r := range []Reducer{ReducerAuto, ReducerKW, ReducerTrim} {
-		res, err := Delta1(sim.NewTopology(g), int64(g.N()), Options{Reducer: r})
+		res, err := Delta1(context.Background(), sim.NewTopology(g), int64(g.N()), Options{Reducer: r})
 		if err != nil {
 			t.Fatalf("reducer %d: %v", r, err)
 		}
@@ -115,7 +116,7 @@ func TestReducerVariantsAllProper(t *testing.T) {
 
 func TestEdgeColor(t *testing.T) {
 	g := rg(2, 80, 0.08)
-	res, err := EdgeColor(g, nil, EdgeIDBound(g), Options{})
+	res, err := EdgeColor(context.Background(), g, nil, EdgeIDBound(g), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestEdgeColor(t *testing.T) {
 
 func TestEdgeColorEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(4).MustBuild()
-	res, err := EdgeColor(g, nil, EdgeIDBound(g), Options{})
+	res, err := EdgeColor(context.Background(), g, nil, EdgeIDBound(g), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestEdgeColorStructured(t *testing.T) {
 		"cycle":    graph.Cycle(15),
 		"grid-ish": graph.CompleteBipartite(6, 6),
 	} {
-		res, err := EdgeColor(g, nil, EdgeIDBound(g), Options{})
+		res, err := EdgeColor(context.Background(), g, nil, EdgeIDBound(g), Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -158,12 +159,12 @@ func TestEdgeColorStructured(t *testing.T) {
 
 func TestEdgeColorWithSeed(t *testing.T) {
 	g := rg(5, 50, 0.15)
-	first, err := EdgeColor(g, nil, EdgeIDBound(g), Options{})
+	first, err := EdgeColor(context.Background(), g, nil, EdgeIDBound(g), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Seeding with a proper edge coloring must work and cost no more.
-	seeded, err := EdgeColor(g, first.Colors, first.Palette, Options{})
+	seeded, err := EdgeColor(context.Background(), g, first.Colors, first.Palette, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestDelta1Quick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 20 + rng.Intn(60)
 		g := rg(seed, n, 0.12)
-		res, err := Delta1(sim.NewTopology(g), int64(n), Options{})
+		res, err := Delta1(context.Background(), sim.NewTopology(g), int64(n), Options{})
 		if err != nil {
 			return false
 		}
@@ -196,7 +197,7 @@ func TestEdgeColorQuick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 15 + rng.Intn(40)
 		g := rg(seed, n, 0.15)
-		res, err := EdgeColor(g, nil, EdgeIDBound(g), Options{})
+		res, err := EdgeColor(context.Background(), g, nil, EdgeIDBound(g), Options{})
 		if err != nil {
 			return false
 		}

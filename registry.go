@@ -1,0 +1,332 @@
+package distcolor
+
+// This file is the algorithm registry, the single extensible surface behind
+// every way of invoking the library: the Run entry point, the wire codec
+// (codec.go), the colord service (internal/service, /v1/algorithms), and
+// the CLIs. An Algorithm value is a self-describing descriptor — name, kind
+// (edge or vertex), declared palette formula, and a parameter schema with
+// defaults and bounds — plus the function that runs it. Registering one
+// descriptor makes the algorithm reachable from every surface at once;
+// nothing else in the codebase enumerates algorithms.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Kind says what a coloring's Colors slice is indexed by.
+type Kind string
+
+const (
+	// KindEdge colorings are indexed by the graph's edge identifiers.
+	KindEdge Kind = "edge"
+	// KindVertex colorings are indexed by vertices.
+	KindVertex Kind = "vertex"
+)
+
+// Params carries an algorithm's numeric parameters by schema name. Integer
+// parameters travel as float64 values (they are range-checked against the
+// schema, which also pins their Type). A missing key — or an explicit zero,
+// matching the wire codec's omitempty semantics — selects the schema
+// default.
+type Params map[string]float64
+
+// ParamSpec describes one parameter of a registered algorithm: its wire
+// name, type, default, and accepted range. It is served verbatim by the
+// colord /v1/algorithms endpoint so clients can discover and validate
+// parameters without hardcoding algorithm knowledge.
+type ParamSpec struct {
+	Name string `json:"name"`
+	// Type is "int" or "float".
+	Type string `json:"type"`
+	// Default is substituted for a missing (or zero) value.
+	Default float64 `json:"default"`
+	// Min and Max bound accepted values (inclusive).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// ClampMin, when positive, raises in-range values below it up to
+	// ClampMin instead of rejecting them. It expresses the Section 5
+	// threshold multiplier's documented behavior: any positive q is
+	// accepted, but values below 2.05 run as 2.05.
+	ClampMin float64 `json:"clamp_min,omitempty"`
+	Doc      string  `json:"doc,omitempty"`
+}
+
+// UnknownAlgorithmError reports a name with no registered algorithm.
+type UnknownAlgorithmError struct {
+	Name string
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("distcolor: unknown algorithm %q", e.Name)
+}
+
+// ParamError reports a parameter value rejected by an algorithm's schema.
+type ParamError struct {
+	Algorithm string
+	Param     string
+	Value     float64
+	Reason    string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("distcolor: %s: parameter %q = %v %s", e.Algorithm, e.Param, e.Value, e.Reason)
+}
+
+// Coloring is the unified result of any registered algorithm: one type for
+// edge and vertex colorings, distinguished by Kind.
+type Coloring struct {
+	// Kind says whether Colors is indexed by edge identifiers or vertices.
+	Kind Kind
+	// Colors holds the computed coloring.
+	Colors []int64
+	// Palette is the guaranteed bound: all colors are < Palette.
+	Palette int64
+	// Stats reports the executed rounds and messages.
+	Stats Stats
+	// Algorithm names the procedure that actually ran — for the adaptive
+	// sparse algorithm this is the chosen plan (e.g. "thm5.3"), for the
+	// recursive families it includes the depth (e.g. "star-partition/x=2").
+	Algorithm string
+	// Params echoes the resolved parameters of the run: schema defaults
+	// applied, clamps applied, and dynamic values (an estimated arboricity)
+	// filled in.
+	Params Params
+}
+
+// AlgorithmFunc executes a registered algorithm. It receives the resolved
+// parameters (defaults applied and bounds checked against the schema) and
+// may write back dynamically resolved values (e.g. an estimated
+// arboricity), which Run then reports in Coloring.Params.
+type AlgorithmFunc func(ctx context.Context, g *Graph, p Params, opt Options) (*Coloring, error)
+
+// Algorithm is a self-describing registry entry.
+type Algorithm struct {
+	// Name is the stable wire identifier (e.g. "edge/star").
+	Name string
+	// Kind is what the produced coloring is indexed by.
+	Kind Kind
+	// Doc is a one-line description.
+	Doc string
+	// Palette is the declared palette formula, human-readable (e.g.
+	// "2^{x+1}·Δ").
+	Palette string
+	// Params is the parameter schema. Parameters not listed here are
+	// rejected by Run.
+	Params []ParamSpec
+	// NeedsCover marks algorithms that require Options.Cover (a clique
+	// cover; on the wire, GraphSpec.Cliques).
+	NeedsCover bool
+	// Applicable, when non-nil, checks structural preconditions against the
+	// concrete graph (e.g. Δ ≥ 2^{x+1} for the star partition) after
+	// parameter resolution.
+	Applicable func(g *Graph, p Params) error
+	// Run executes the algorithm. Run (the package-level entry point)
+	// verifies the produced coloring, so implementations do not.
+	Run AlgorithmFunc
+}
+
+// param returns the schema entry for name.
+func (a *Algorithm) param(name string) (ParamSpec, bool) {
+	for _, s := range a.Params {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ParamSpec{}, false
+}
+
+// resolve validates p against the schema and returns a fresh Params with
+// defaults applied and clamps performed. Unknown names, NaN, and
+// out-of-range values are rejected with *ParamError.
+func (a *Algorithm) resolve(p Params) (Params, error) {
+	out := make(Params, len(a.Params))
+	for name, v := range p {
+		spec, ok := a.param(name)
+		if !ok {
+			return nil, &ParamError{Algorithm: a.Name, Param: name, Value: v, Reason: "is not a parameter of this algorithm"}
+		}
+		if math.IsNaN(v) {
+			return nil, &ParamError{Algorithm: a.Name, Param: name, Value: v, Reason: "is NaN"}
+		}
+		if v == 0 {
+			continue // zero selects the default, like a missing key
+		}
+		if spec.Type == "int" && v != math.Trunc(v) {
+			return nil, &ParamError{Algorithm: a.Name, Param: name, Value: v, Reason: "must be an integer"}
+		}
+		if v < spec.Min || v > spec.Max {
+			return nil, &ParamError{
+				Algorithm: a.Name, Param: name, Value: v,
+				Reason: fmt.Sprintf("outside [%v, %v]", spec.Min, spec.Max),
+			}
+		}
+		if spec.ClampMin > 0 && v < spec.ClampMin {
+			v = spec.ClampMin
+		}
+		out[name] = v
+	}
+	for _, spec := range a.Params {
+		if _, ok := out[spec.Name]; !ok && spec.Default != 0 {
+			out[spec.Name] = spec.Default
+		}
+	}
+	return out, nil
+}
+
+// registry is the process-wide algorithm table. Registration happens in
+// init (algorithms.go) but stays open: an external package can register its
+// own algorithm and it becomes reachable through Run, the codec, the
+// service, and the CLIs with no further wiring.
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Algorithm
+}{byName: make(map[string]Algorithm)}
+
+// RegisterAlgorithm adds an algorithm to the registry. It panics on a
+// duplicate name or a malformed descriptor — registration is programmer
+// intent, not input.
+func RegisterAlgorithm(a Algorithm) {
+	if a.Name == "" || a.Run == nil {
+		panic("distcolor: RegisterAlgorithm: descriptor needs Name and Run")
+	}
+	if a.Kind != KindEdge && a.Kind != KindVertex {
+		panic(fmt.Sprintf("distcolor: RegisterAlgorithm %q: bad kind %q", a.Name, a.Kind))
+	}
+	for _, s := range a.Params {
+		if s.Name == "" || (s.Type != "int" && s.Type != "float") {
+			panic(fmt.Sprintf("distcolor: RegisterAlgorithm %q: bad param spec %+v", a.Name, s))
+		}
+		if s.Min > s.Max {
+			panic(fmt.Sprintf("distcolor: RegisterAlgorithm %q: param %q has Min > Max", a.Name, s.Name))
+		}
+	}
+	// Copy the schema on the way in and out (copySchema in the accessors),
+	// so neither the registrant nor a descriptor consumer can mutate the
+	// live schema that resolve() validates against.
+	a.Params = append([]ParamSpec(nil), a.Params...)
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[a.Name]; dup {
+		panic(fmt.Sprintf("distcolor: RegisterAlgorithm: duplicate %q", a.Name))
+	}
+	registry.byName[a.Name] = a
+}
+
+// copySchema returns the descriptor with its Params slice copied, so
+// callers cannot alias the registry's backing array.
+func (a Algorithm) copySchema() Algorithm {
+	a.Params = append([]ParamSpec(nil), a.Params...)
+	return a
+}
+
+// LookupAlgorithm returns the registered descriptor for name.
+func LookupAlgorithm(name string) (Algorithm, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	a, ok := registry.byName[name]
+	if !ok {
+		return Algorithm{}, false
+	}
+	return a.copySchema(), true
+}
+
+// RegisteredAlgorithms returns every registered descriptor, sorted by name.
+func RegisteredAlgorithms() []Algorithm {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Algorithm, 0, len(registry.byName))
+	for _, a := range registry.byName {
+		out = append(out, a.copySchema())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Algorithms lists the registered algorithm names, sorted.
+func Algorithms() []string {
+	all := RegisteredAlgorithms()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AlgorithmInfo is the wire form of a registry entry, served by the colord
+// /v1/algorithms endpoint.
+type AlgorithmInfo struct {
+	Name       string      `json:"name"`
+	Kind       Kind        `json:"kind"`
+	Doc        string      `json:"doc,omitempty"`
+	Palette    string      `json:"palette,omitempty"`
+	NeedsCover bool        `json:"needs_cover,omitempty"`
+	Params     []ParamSpec `json:"params"`
+}
+
+// DescribeAlgorithms returns the wire metadata of every registered
+// algorithm, sorted by name.
+func DescribeAlgorithms() []AlgorithmInfo {
+	all := RegisteredAlgorithms()
+	out := make([]AlgorithmInfo, len(all))
+	for i, a := range all {
+		params := a.Params
+		if params == nil {
+			params = []ParamSpec{}
+		}
+		out[i] = AlgorithmInfo{
+			Name: a.Name, Kind: a.Kind, Doc: a.Doc, Palette: a.Palette,
+			NeedsCover: a.NeedsCover, Params: params,
+		}
+	}
+	return out
+}
+
+// Run executes a registered algorithm on g and returns its verified
+// coloring: the single context-first entry point behind the wire codec, the
+// colord service, and the CLIs.
+//
+// params are validated against the algorithm's schema — defaults applied,
+// bounds enforced, NaN and out-of-range values rejected with *ParamError —
+// and the resolved values are echoed in Coloring.Params. ctx cancellation
+// and deadlines abort the underlying simulation at the next round boundary
+// with an error wrapping context.Cause(ctx). The returned coloring is
+// always proper within its declared palette; Run re-verifies it before
+// returning.
+func Run(ctx context.Context, g *Graph, algo string, params Params, opt Options) (*Coloring, error) {
+	a, ok := LookupAlgorithm(algo)
+	if !ok {
+		return nil, &UnknownAlgorithmError{Name: algo}
+	}
+	p, err := a.resolve(params)
+	if err != nil {
+		return nil, err
+	}
+	if a.NeedsCover && opt.Cover == nil {
+		return nil, fmt.Errorf("distcolor: %s requires a clique cover (Options.Cover)", a.Name)
+	}
+	if a.Applicable != nil {
+		if err := a.Applicable(g, p); err != nil {
+			return nil, err
+		}
+	}
+	col, err := a.Run(ctx, g, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	col.Kind = a.Kind
+	col.Params = p
+	switch a.Kind {
+	case KindEdge:
+		err = CheckEdgeColoring(g, col.Colors, col.Palette)
+	case KindVertex:
+		err = CheckVertexColoring(g, col.Colors, col.Palette)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distcolor: %s produced an invalid coloring: %w", a.Name, err)
+	}
+	return col, nil
+}

@@ -8,6 +8,7 @@ package distcolor
 // polynomially below the previous best's.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baseline"
@@ -30,11 +31,11 @@ func TestTable1RoundExponents(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ours, err := star.EdgeColor(g, tt, 1, star.Options{})
+		ours, err := star.EdgeColor(context.Background(), g, tt, 1, star.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		prev, err := baseline.BE11EdgeColor(g, 1, star.Options{})
+		prev, err := baseline.BE11EdgeColor(context.Background(), g, 1, star.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestSection5RoundGrowthIsLogarithmic(t *testing.T) {
 	// must grow far slower than n: the slope of rounds vs n must be ≪ 1/2.
 	var ns, rounds []float64
 	for _, hub := range []int{100, 200, 400, 800} {
-		row, err := bench.RunSparseRow(3*hub, 2, hub, 2017)
+		row, err := bench.RunSparseRow(context.Background(), 3*hub, 2, hub, 2017)
 		if err != nil {
 			t.Fatal(err)
 		}
