@@ -4,8 +4,12 @@
 
 GO ?= go
 FUZZTIME ?= 30s
+# Allowed fractional ns/op and allocs/op regression in bench-check;
+# deterministic metrics (rounds/messages/colors) are always compared
+# exactly and the sequential engines' allocs/round is always pinned at 0.
+BENCH_TOLERANCE ?= 0.15
 
-.PHONY: build test vet fmt-check race bench tables fuzz ci
+.PHONY: build test vet fmt-check race bench bench-baseline bench-check tables fuzz ci
 
 build:
 	$(GO) build ./...
@@ -29,8 +33,22 @@ fmt-check:
 race:
 	$(GO) test -race ./internal/service/ ./internal/sim/ ./internal/graph/
 
+# One pass over every benchmark in the repository (root tables suite,
+# internal/sim data-plane benchmarks, ...). -benchtime 1x keeps it a smoke
+# run; see README for benchstat-grade measurement instructions.
 bench:
-	$(GO) test -bench . -benchtime 1x -run XXX .
+	$(GO) test -bench . -benchtime 1x -run XXX ./...
+
+# Regenerate the committed simulator-core perf baseline (BENCH_simcore.json).
+bench-baseline:
+	$(GO) run ./cmd/colorbench -json -out BENCH_simcore.json
+
+# Re-run the simulator-core suite and fail on regression vs the committed
+# baseline: >BENCH_TOLERANCE on ns/op or allocs/op, any drift of the
+# deterministic rounds/messages/colors columns, or any steady-state
+# per-round allocation in the sequential engines.
+bench-check:
+	$(GO) run ./cmd/colorbench -json -check BENCH_simcore.json -tolerance $(BENCH_TOLERANCE)
 
 tables:
 	$(GO) run ./cmd/colorbench -table all -quick

@@ -11,6 +11,17 @@
 //	colorbench -table all -quick   # everything, smaller sweeps
 //	colorbench -server http://localhost:8080   # drive a live colord instead
 //
+// The -json mode runs the simulator-core perf suite instead of the paper
+// tables and emits machine-readable per-workload metrics (ns/op,
+// allocs/op, allocs/round, rounds, messages, colors):
+//
+//	colorbench -json                             # write BENCH_simcore.json
+//	colorbench -json -out -                      # write the report to stdout
+//	colorbench -json -check BENCH_simcore.json   # fail on regression vs baseline
+//
+// `make bench-baseline` and `make bench-check` wrap the last two; CI runs
+// the check on every push.
+//
 // With -server the harness doubles as a service load generator: the same
 // synthetic families are generated server-side (/v1/generate), every sweep
 // runs twice so the second pass must come from the result cache, and the
@@ -37,12 +48,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	server := flag.String("server", "", "base URL of a running colord instance; when set, colorbench becomes a load generator driving the service instead of running in-process")
+	jsonMode := flag.Bool("json", false, "run the simulator-core perf suite and emit a machine-readable report instead of the paper tables")
+	out := flag.String("out", "BENCH_simcore.json", "with -json: where to write the report (\"-\" for stdout)")
+	check := flag.String("check", "", "with -json: compare the run against this baseline report instead of writing one; exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "with -json -check: allowed fractional regression of ns/op and allocs/op")
 	flag.Parse()
 
 	// Ctrl-C cancels the context, which aborts in-flight simulations at
 	// their next round boundary instead of killing the process mid-table.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *jsonMode {
+		if err := runSimCoreJSON(ctx, *out, *check, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *server != "" {
 		if err := runRemote(ctx, *server, *seed, *quick); err != nil {

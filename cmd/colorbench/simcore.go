@@ -1,0 +1,83 @@
+package main
+
+// The -json mode: run the simulator-core perf suite (internal/bench
+// simcore) and either write a fresh BENCH_simcore.json baseline or check
+// the run against a committed one. `make bench-baseline` and
+// `make bench-check` wrap the two invocations; CI runs the check.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+)
+
+func runSimCoreJSON(ctx context.Context, outPath, checkPath string, tolerance float64) error {
+	fmt.Fprintln(os.Stderr, "colorbench: running the simulator-core suite (a few seconds per workload)...")
+	rep, err := bench.RunSimCore(ctx)
+	if err != nil {
+		return err
+	}
+	printSimCore(rep)
+	if checkPath != "" {
+		return checkSimCore(rep, checkPath, tolerance)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "colorbench: baseline written to %s\n", outPath)
+	return nil
+}
+
+func printSimCore(rep *bench.SimCoreReport) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tns/op\tallocs/op\tB/op\tallocs/round\trounds\tmsgs\tcolors")
+	for _, r := range rep.Results {
+		perRound := "n/a"
+		if r.AllocsPerRound >= 0 {
+			perRound = fmt.Sprintf("%.0f", r.AllocsPerRound)
+		}
+		colors := ""
+		if r.Colors > 0 {
+			colors = fmt.Sprintf("%d", r.Colors)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%d\t%d\t%s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, perRound, r.Rounds, r.Messages, colors)
+	}
+	tw.Flush()
+}
+
+func checkSimCore(current *bench.SimCoreReport, baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (generate one with `make bench-baseline`): %w", err)
+	}
+	var baseline bench.SimCoreReport
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	problems, notes := bench.CompareSimCore(&baseline, current, tolerance)
+	for _, n := range notes {
+		fmt.Fprintf(os.Stderr, "colorbench: bench-check note: %s\n", n)
+	}
+	if len(problems) == 0 {
+		fmt.Fprintf(os.Stderr, "colorbench: bench-check OK against %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "colorbench: bench-check FAIL: %s\n", p)
+	}
+	return fmt.Errorf("%d regression(s) against %s (refresh an intentional change with `make bench-baseline`)", len(problems), baselinePath)
+}

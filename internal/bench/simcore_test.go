@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleReport() *SimCoreReport {
+	return &SimCoreReport{
+		Schema:    SimCoreSchema,
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		NumCPU:    4,
+		Results: []SimCoreResult{
+			{Name: "plane/a", NsPerOp: 1000, AllocsPerOp: 10, AllocsPerRound: 0, Rounds: 32, Messages: 640},
+			{Name: "algo/b", NsPerOp: 5000, AllocsPerOp: 200, AllocsPerRound: -1, Colors: 49, Rounds: 81, Messages: 9000},
+		},
+	}
+}
+
+func TestCompareSimCoreAccepts(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	// Faster and leaner always passes; within-band jitter passes.
+	cur.Results[0].NsPerOp = 500
+	cur.Results[1].NsPerOp = 5700 // +14% < 15%
+	problems, notes := CompareSimCore(base, cur, 0.15)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("same runner class must not produce notes: %v", notes)
+	}
+}
+
+// TestCompareSimCoreCrossMachine pins the environment gate: on a different
+// runner class the wall-clock bands are skipped (with a note telling the
+// operator to regenerate), while deterministic drift and the
+// zero-allocs-per-round pin still fail.
+func TestCompareSimCoreCrossMachine(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.NumCPU = 16
+	cur.Results[0].NsPerOp = 10 * base.Results[0].NsPerOp // would fail in-class
+	problems, notes := CompareSimCore(base, cur, 0.15)
+	if len(problems) != 0 {
+		t.Fatalf("cross-machine ns/op must not be a problem: %v", problems)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "runner class") {
+		t.Fatalf("expected a runner-class note, got %v", notes)
+	}
+	cur.Results[0].AllocsPerRound = 3
+	cur.Results[1].Rounds = 99
+	problems, _ = CompareSimCore(base, cur, 0.15)
+	if len(problems) != 2 {
+		t.Fatalf("machine-independent checks must still fire cross-machine, got %v", problems)
+	}
+}
+
+func TestCompareSimCoreFlagsRegressions(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SimCoreReport)
+		want   string
+	}{
+		{"ns", func(r *SimCoreReport) { r.Results[0].NsPerOp = 1200 }, "ns/op regressed"},
+		{"allocs", func(r *SimCoreReport) { r.Results[1].AllocsPerOp = 300 }, "allocs/op regressed"},
+		{"per-round", func(r *SimCoreReport) { r.Results[0].AllocsPerRound = 2 }, "steady-state rounds allocate"},
+		{"rounds", func(r *SimCoreReport) { r.Results[0].Rounds = 33 }, "deterministic metrics drifted"},
+		{"messages", func(r *SimCoreReport) { r.Results[1].Messages = 9001 }, "deterministic metrics drifted"},
+		{"colors", func(r *SimCoreReport) { r.Results[1].Colors = 50 }, "deterministic metrics drifted"},
+		{"missing", func(r *SimCoreReport) { r.Results = r.Results[:1] }, "workload missing"},
+		{"extra", func(r *SimCoreReport) {
+			r.Results = append(r.Results, SimCoreResult{Name: "plane/new"})
+		}, "not in baseline"},
+		{"schema", func(r *SimCoreReport) { r.Schema = 99 }, "schema"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := sampleReport()
+			tc.mutate(cur)
+			problems, _ := CompareSimCore(sampleReport(), cur, 0.15)
+			if len(problems) == 0 {
+				t.Fatal("regression not flagged")
+			}
+			found := false
+			for _, p := range problems {
+				if strings.Contains(p.String(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("problems %v do not mention %q", problems, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareSimCoreMissingBaselineEntryDirection: an extra baseline entry
+// (current run lost a workload) and an extra current entry (baseline is
+// stale) are both problems — the check must fail until the baseline is
+// regenerated, never silently skip.
+func TestCompareSimCoreSymmetry(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Results[0].Name = "plane/renamed"
+	problems, _ := CompareSimCore(base, cur, 0.15)
+	if len(problems) != 2 {
+		t.Fatalf("want missing+extra problems, got %v", problems)
+	}
+}
+
+// TestSimCoreDeterministicMetricsStable pins that repeated executions of a
+// suite workload agree on the deterministic columns across every engine —
+// the property the cross-machine exact comparison relies on. The full
+// benchmark suite is too slow for the test tier, so this drives the
+// underlying workload directly.
+func TestSimCoreDeterministicMetricsStable(t *testing.T) {
+	ctx := context.Background()
+	g, err := Workload(16, simCoreSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := sim.NewTopology(g)
+	var want sim.Stats
+	for i, eng := range []sim.Engine{sim.Sequential, sim.Sequential, sim.Parallel, sim.ReverseSequential} {
+		stats, err := eng.Run(ctx, topo, wavefrontFactory(simCoreRounds), simCoreRounds+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = stats
+			continue
+		}
+		if stats != want {
+			t.Fatalf("engine %v: deterministic metrics differ: %+v vs %+v", eng, stats, want)
+		}
+	}
+	if want.Rounds != simCoreRounds {
+		t.Fatalf("wavefront rounds = %d, want %d", want.Rounds, simCoreRounds)
+	}
+}

@@ -31,6 +31,10 @@ type Graph struct {
 	adj    [][]Arc
 	edges  []Edge
 	maxDeg int
+	// csr lazily caches the flat CSR view (see csr.go). Because of the
+	// sync.Once inside, a Graph must not be copied after first use; all
+	// code passes *Graph.
+	csr csrCache
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate edges

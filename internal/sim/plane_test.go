@@ -1,0 +1,577 @@
+package sim_test
+
+// This file proves the flat CSR + arena data plane (see sim.go and
+// DESIGN.md §7) equivalent to the straightforward per-vertex-slice
+// implementation it replaced, and pins its performance contract:
+//
+//   - runReference below IS the old data plane (per-vertex inbox/outbox
+//     slices, portRef delivery), kept as the executable specification of
+//     one synchronous round;
+//   - the equivalence matrix runs programs × graphs × engines and demands
+//     identical per-vertex results and identical Stats against it;
+//   - the algorithm-level matrix runs real colorings (Linial, the §4 star
+//     partition) under every engine and demands identical colorings and
+//     Stats;
+//   - the allocation tests pin the sequential engine's steady state at
+//     zero heap allocations per round;
+//   - BenchmarkSimPlane* measure the plane against the reference on the
+//     10k-vertex workload (make bench-check guards the JSON baseline).
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/linial"
+	"repro/internal/sim"
+	"repro/internal/star"
+	"repro/internal/verify"
+)
+
+// --- the reference engine: the pre-CSR data plane --------------------------
+
+type refPort struct {
+	v    int32
+	port int32
+}
+
+type refInstance struct {
+	machines  []sim.Machine
+	done      []bool
+	remaining int
+	in        [][]sim.Message
+	out       [][]sim.Message
+	peer      [][]refPort
+}
+
+func newRefInstance(t *sim.Topology, f sim.Factory) *refInstance {
+	g := t.G
+	n := g.N()
+	inst := &refInstance{
+		machines:  make([]sim.Machine, n),
+		done:      make([]bool, n),
+		remaining: n,
+		in:        make([][]sim.Message, n),
+		out:       make([][]sim.Message, n),
+		peer:      make([][]refPort, n),
+	}
+	portOf := make([]map[int32]int32, n)
+	for v := 0; v < n; v++ {
+		adj := g.Adj(v)
+		portOf[v] = make(map[int32]int32, len(adj))
+		for p, a := range adj {
+			portOf[v][a.Edge] = int32(p)
+		}
+	}
+	for v := 0; v < n; v++ {
+		adj := g.Adj(v)
+		deg := len(adj)
+		inst.in[v] = make([]sim.Message, deg)
+		inst.out[v] = make([]sim.Message, deg)
+		inst.peer[v] = make([]refPort, deg)
+		nbrIDs := make([]int64, deg)
+		nbrLabels := make([]int64, deg)
+		for p, a := range adj {
+			inst.peer[v][p] = refPort{v: a.To, port: portOf[a.To][a.Edge]}
+			nbrIDs[p] = t.ID(int(a.To))
+			nbrLabels[p] = t.Label(int(a.To))
+		}
+		info := sim.NodeInfo{
+			V: v, ID: t.ID(v), Label: t.Label(v),
+			Degree: deg, N: n, MaxDeg: g.MaxDegree(),
+		}
+		inst.machines[v] = f(info, nbrIDs, nbrLabels)
+	}
+	return inst
+}
+
+func refBits(m sim.Message) int64 {
+	if s, ok := m.(sim.Sizer); ok {
+		return s.Bits()
+	}
+	return 64
+}
+
+// runReference executes the algorithm exactly as the old sequential engine
+// did: step vertices in index order, deliver per-vertex outboxes through
+// port references, clear outboxes of halted vertices every round.
+func runReference(t *sim.Topology, f sim.Factory, maxRounds int) (sim.Stats, error) {
+	if err := t.Validate(); err != nil {
+		return sim.Stats{}, err
+	}
+	inst := newRefInstance(t, f)
+	n := t.G.N()
+	var stats sim.Stats
+	for round := 0; ; round++ {
+		if inst.remaining == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return stats, fmt.Errorf("%w after %d rounds", sim.ErrRoundLimit, round)
+		}
+		for v := 0; v < n; v++ {
+			if inst.done[v] {
+				continue
+			}
+			out := inst.out[v]
+			for p := range out {
+				out[p] = nil
+			}
+			if inst.machines[v].Step(round, inst.in[v], out) {
+				inst.done[v] = true
+				inst.remaining--
+			}
+			for p := range out {
+				if out[p] != nil {
+					stats.Messages++
+					b := refBits(out[p])
+					stats.Bits += b
+					if b > stats.MaxMessageBits {
+						stats.MaxMessageBits = b
+					}
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			out := inst.out[v]
+			for p, ref := range inst.peer[v] {
+				inst.in[ref.v][ref.port] = out[p]
+			}
+		}
+		for v := 0; v < n; v++ {
+			if inst.done[v] {
+				out := inst.out[v]
+				for p := range out {
+					out[p] = nil
+				}
+			}
+		}
+		stats.Rounds++
+	}
+	return stats, nil
+}
+
+// --- test programs ---------------------------------------------------------
+
+func planeRandomGraph(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// sizedMsg exercises the Sizer accounting path of Stats.
+type sizedMsg int64
+
+func (s sizedMsg) Bits() int64 { return int64(s)%13 + 14 }
+
+// sumProgram broadcasts the vertex ID, then stores the neighbor-ID sum.
+func sumProgram(results []int64) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		return sim.FuncMachine(func(round int, in, out []sim.Message) bool {
+			if round == 0 {
+				sim.SendAll(out, info.ID)
+				return info.Degree == 0
+			}
+			var sum int64
+			for _, m := range in {
+				sum += m.(int64)
+			}
+			results[info.V] = sum
+			return true
+		})
+	}
+}
+
+// floodProgram floods a token from ID 0; results record first-hearing
+// rounds. On disconnected graphs it never terminates, which the matrix
+// exercises through the round-limit path.
+func floodProgram(results []int64) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		reached := info.ID == 0
+		return sim.FuncMachine(func(round int, in, out []sim.Message) bool {
+			if reached {
+				sim.SendAll(out, int64(1))
+				results[info.V] = int64(round)
+				return true
+			}
+			for _, m := range in {
+				if m != nil {
+					reached = true
+					break
+				}
+			}
+			return false
+		})
+	}
+}
+
+// chattyProgram staggers halting by ID, sends on a rotating subset of
+// ports (mixing nil and non-nil slots, plain and Sizer payloads), and
+// folds everything received into a per-vertex accumulator. It exercises
+// final-message delivery, halted-sender clearing, and bit accounting.
+func chattyProgram(results []int64) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		stop := int(info.ID%5) + 1
+		return sim.FuncMachine(func(round int, in, out []sim.Message) bool {
+			acc := results[info.V]
+			for p, m := range in {
+				switch v := m.(type) {
+				case nil:
+					acc = acc*31 + 7
+				case int64:
+					acc = acc*31 + v + int64(p)
+				case sizedMsg:
+					acc = acc*31 + int64(v) - int64(p)
+				}
+			}
+			results[info.V] = acc
+			for p := range out {
+				switch (p + round + int(info.ID)) % 3 {
+				case 0:
+					out[p] = int64(round)*1000 + info.ID
+				case 1:
+					out[p] = sizedMsg(info.ID + int64(p))
+				}
+			}
+			return round >= stop-1
+		})
+	}
+}
+
+// --- the equivalence matrix ------------------------------------------------
+
+func TestDataPlaneEquivalenceMatrix(t *testing.T) {
+	twoCliques := func() *graph.Graph {
+		b := graph.NewBuilder(16)
+		for u := 0; u < 8; u++ {
+			for v := u + 1; v < 8; v++ {
+				b.AddEdge(u, v)
+				b.AddEdge(u+8, v+8)
+			}
+		}
+		return b.MustBuild()
+	}
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp-small", planeRandomGraph(1, 60, 0.15)},
+		{"gnp-sparse", planeRandomGraph(2, 250, 0.015)},
+		{"gnp-dense", planeRandomGraph(3, 50, 0.6)},
+		{"star", graph.Star(40)},
+		{"path", graph.Path(30)},
+		{"complete", graph.Complete(24)},
+		{"cycle", graph.Cycle(17)},
+		{"two-cliques", twoCliques()},
+		{"isolated", graph.NewBuilder(12).MustBuild()},
+		{"single", graph.NewBuilder(1).MustBuild()},
+		{"empty", graph.NewBuilder(0).MustBuild()},
+	}
+	programs := []struct {
+		name string
+		prog func([]int64) sim.Factory
+	}{
+		{"sum", sumProgram},
+		{"flood", floodProgram},
+		{"chatty", chattyProgram},
+	}
+	engines := []struct {
+		name string
+		eng  sim.Engine
+	}{
+		{"sequential", sim.Sequential},
+		{"reverse", sim.ReverseSequential},
+		{"parallel", sim.Parallel},
+	}
+	const maxRounds = 64
+	for _, gc := range graphs {
+		for _, pc := range programs {
+			t.Run(gc.name+"/"+pc.name, func(t *testing.T) {
+				topo := sim.NewTopology(gc.g)
+				wantRes := make([]int64, gc.g.N())
+				wantStats, wantErr := runReference(topo, pc.prog(wantRes), maxRounds)
+				for _, ec := range engines {
+					gotRes := make([]int64, gc.g.N())
+					gotStats, gotErr := ec.eng.Run(context.Background(), topo, pc.prog(gotRes), maxRounds)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s: error mismatch: reference %v, got %v", ec.name, wantErr, gotErr)
+					}
+					if gotStats != wantStats {
+						t.Fatalf("%s: stats %+v, reference %+v", ec.name, gotStats, wantStats)
+					}
+					for v := range wantRes {
+						if gotRes[v] != wantRes[v] {
+							t.Fatalf("%s: vertex %d result %d, reference %d", ec.name, v, gotRes[v], wantRes[v])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAlgorithmEquivalenceMatrix runs real colorings from the seed
+// workloads under every engine: colorings and Stats must be identical
+// bit-for-bit (DESIGN.md §4).
+func TestAlgorithmEquivalenceMatrix(t *testing.T) {
+	engines := []struct {
+		name string
+		eng  sim.Engine
+	}{
+		{"sequential", sim.Sequential},
+		{"reverse", sim.ReverseSequential},
+		{"parallel", sim.Parallel},
+	}
+	g, err := gen.NearRegular(512, 12, 2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("linial", func(t *testing.T) {
+		var want *linial.Result
+		for _, ec := range engines {
+			got, err := linial.Reduce(context.Background(), ec.eng, sim.NewTopology(g), int64(g.N()))
+			if err != nil {
+				t.Fatalf("%s: %v", ec.name, err)
+			}
+			if err := verify.VertexColoring(g, got.Colors, got.Palette); err != nil {
+				t.Fatalf("%s: improper: %v", ec.name, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if got.Stats != want.Stats || got.Palette != want.Palette {
+				t.Fatalf("%s: stats/palette diverge: %+v vs %+v", ec.name, got.Stats, want.Stats)
+			}
+			for v := range want.Colors {
+				if got.Colors[v] != want.Colors[v] {
+					t.Fatalf("%s: color of %d differs", ec.name, v)
+				}
+			}
+		}
+	})
+	t.Run("star", func(t *testing.T) {
+		sg, err := gen.NearRegular(128, 16, 2017)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := star.ChooseT(sg.MaxDegree(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *star.Result
+		for _, ec := range engines {
+			got, err := star.EdgeColor(context.Background(), sg, tt, 1, star.Options{Exec: ec.eng})
+			if err != nil {
+				t.Fatalf("%s: %v", ec.name, err)
+			}
+			if err := verify.EdgeColoring(sg, got.Colors, got.Palette); err != nil {
+				t.Fatalf("%s: improper: %v", ec.name, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if got.Stats != want.Stats || got.Palette != want.Palette {
+				t.Fatalf("%s: stats/palette diverge: %+v vs %+v", ec.name, got.Stats, want.Stats)
+			}
+			for e := range want.Colors {
+				if got.Colors[e] != want.Colors[e] {
+					t.Fatalf("%s: color of edge %d differs", ec.name, e)
+				}
+			}
+		}
+	})
+}
+
+// --- allocation regression -------------------------------------------------
+
+// exchangeProgram is the steady-state workload for allocation pinning: every
+// vertex keeps exchanging small int64 payloads (which the Go runtime
+// converts to interfaces without allocating) for a fixed number of rounds.
+func exchangeProgram(rounds int) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		var acc int64
+		return sim.FuncMachine(func(round int, in, out []sim.Message) bool {
+			for _, m := range in {
+				if m != nil {
+					acc += m.(int64)
+				}
+			}
+			sim.SendAll(out, int64(round&0x7f))
+			return round >= rounds-1
+		})
+	}
+}
+
+// TestSequentialSteadyStateAllocFree pins the tentpole contract: after
+// instance setup, the sequential engine's round loop performs zero heap
+// allocations. Measured by differencing whole runs of different lengths,
+// which cancels the one-time setup cost exactly.
+func TestSequentialSteadyStateAllocFree(t *testing.T) {
+	g := planeRandomGraph(5, 400, 0.04)
+	topo := sim.NewTopology(g)
+	g.CSR() // build the cached view outside the measurement
+	run := func(rounds int) {
+		if _, err := sim.RunSequential(context.Background(), topo, exchangeProgram(rounds), rounds+2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short := testing.AllocsPerRun(5, func() { run(8) })
+	long := testing.AllocsPerRun(5, func() { run(72) })
+	if long != short {
+		t.Fatalf("sequential engine allocates per round: %.1f allocs over 64 extra rounds (%.1f vs %.1f)",
+			long-short, long, short)
+	}
+}
+
+// TestReverseSequentialSteadyStateAllocFree pins the same contract for the
+// reverse engine (it shares the data plane, not the loop).
+func TestReverseSequentialSteadyStateAllocFree(t *testing.T) {
+	g := planeRandomGraph(6, 400, 0.04)
+	topo := sim.NewTopology(g)
+	g.CSR()
+	run := func(rounds int) {
+		if _, err := sim.RunReverseSequential(context.Background(), topo, exchangeProgram(rounds), rounds+2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short := testing.AllocsPerRun(5, func() { run(8) })
+	long := testing.AllocsPerRun(5, func() { run(72) })
+	if long != short {
+		t.Fatalf("reverse engine allocates per round: %.1f allocs over 64 extra rounds", long-short)
+	}
+}
+
+// --- benchmarks ------------------------------------------------------------
+
+// benchGraph builds a 10k-vertex random graph with ~deg·n/2 edges without
+// the O(n²) coin-flip loop.
+func benchGraph(tb testing.TB, n, deg int, seed int64) *graph.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]int]bool, n*deg/2)
+	for len(seen) < n*deg/2 {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+const benchRounds = 32
+
+// wavefrontProgram is the canonical 10k-vertex plane workload: vertices
+// halt in staggered waves (vertex v runs 1 + ID mod span rounds), which is
+// the termination pattern of this repository's algorithms — Linial's
+// schedule, the §5 peeling, and the class-by-class trims all retire
+// vertices progressively, so most rounds execute over a mix of live and
+// halted vertices.
+func wavefrontProgram(span int) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		stop := 1 + int(info.ID)%span
+		var acc int64
+		return sim.FuncMachine(func(round int, in, out []sim.Message) bool {
+			for _, m := range in {
+				if m != nil {
+					acc += m.(int64)
+				}
+			}
+			sim.SendAll(out, int64(round&0x7f))
+			return round >= stop-1
+		})
+	}
+}
+
+// BenchmarkSimPlane is the 10k-vertex message-plane workload guarded by
+// BENCH_simcore.json: one op is a full execution (at most 32 rounds) of
+// the wavefront (staggered halting) or exchange (all vertices live
+// throughout) program. The reference sub-benchmarks run the identical
+// workloads on the old data plane, so the CSR speedup is measurable
+// in-repo:
+//
+//	go test ./internal/sim -bench BenchmarkSimPlane -benchmem
+func BenchmarkSimPlane(b *testing.B) {
+	g := benchGraph(b, 10_000, 16, 2017)
+	topo := sim.NewTopology(g)
+	g.CSR()
+	workloads := []struct {
+		name string
+		prog func() sim.Factory
+	}{
+		{"wavefront", func() sim.Factory { return wavefrontProgram(benchRounds) }},
+		{"exchange", func() sim.Factory { return exchangeProgram(benchRounds) }},
+	}
+	for _, wl := range workloads {
+		b.Run(wl.name+"/sequential/10k", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunSequential(context.Background(), topo, wl.prog(), benchRounds+2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(wl.name+"/parallel/10k", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunParallel(context.Background(), topo, wl.prog(), benchRounds+2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(wl.name+"/reference/10k", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runReference(topo, wl.prog(), benchRounds+2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimLinial measures a real algorithm (the O(log* n) Linial
+// substrate) end-to-end on the 10k workload, old plane vs new.
+func BenchmarkSimLinial(b *testing.B) {
+	g, err := gen.NearRegular(10_000, 8, 2017)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.CSR()
+	b.Run("sequential/10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := linial.Reduce(context.Background(), sim.Sequential, sim.NewTopology(g), int64(g.N())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel/10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := linial.Reduce(context.Background(), sim.Parallel, sim.NewTopology(g), int64(g.N())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

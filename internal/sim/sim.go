@@ -16,11 +16,20 @@
 // other information must travel over edges.
 //
 // Two engines are provided. RunSequential advances machines in index order
-// within a round — fast and allocation-light. RunParallel executes each
-// round concurrently with one goroutine per CPU over vertex shards,
-// synchronized by barriers; messages still cross only between rounds.
-// Machines are pure functions of (state, inbox), so both engines produce
-// bit-identical executions; tests assert this.
+// within a round — fast and allocation-free in its steady state. RunParallel
+// executes each round concurrently over contiguous vertex shards with one
+// barrier per round; messages still cross only between rounds. Machines are
+// pure functions of (state, inbox), so both engines produce bit-identical
+// executions; tests assert this.
+//
+// Data plane: all engines run over the graph's flat CSR view (graph.CSR).
+// Inboxes and outboxes are flat []Message slabs with one slot per directed
+// arc, allocated once per run; a vertex's buffers are the slab range given
+// by the CSR offsets. Outboxes are double-buffered and swapped between
+// rounds, and delivery is the Mate permutation, applied lazily while
+// stepping each receiver (in[p] = prevOut[Mate[Off[v]+p]]). The round loop
+// performs no heap allocations — see DESIGN.md §7 and the
+// allocation-regression tests.
 package sim
 
 import (
@@ -58,7 +67,9 @@ type Machine interface {
 }
 
 // Factory creates the machine for one vertex. nbrIDs[p] and nbrLabels[p]
-// are the identifier and seed label of the neighbor on port p.
+// are the identifier and seed label of the neighbor on port p. Both slices
+// are read-only windows into engine-owned storage shared by all vertices
+// of the run: machines must not modify them (copy first to mutate).
 type Factory func(info NodeInfo, nbrIDs []int64, nbrLabels []int64) Machine
 
 // Topology is a network: a graph plus per-vertex identifiers and optional
@@ -164,14 +175,6 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
-// messageBits returns the accounted size of one message.
-func messageBits(m Message) int64 {
-	if s, ok := m.(Sizer); ok {
-		return s.Bits()
-	}
-	return 64
-}
-
 // ParAll folds Par over a set of concurrent executions.
 func ParAll(all []Stats) Stats {
 	var acc Stats
@@ -247,23 +250,37 @@ func (o observedExec) Run(ctx context.Context, t *Topology, f Factory, maxRounds
 }
 
 // instance holds the shared execution state of one run.
+//
+// The message plane is laid out over the graph's CSR view (graph.CSR):
+// flat []Message slabs with one slot per directed arc. Vertex v's buffers
+// are the slab range [Off[v], Off[v+1]) — the port order of Adj(v) — so
+// handing a machine its buffers is a slice expression, not an allocation.
+//
+// Outboxes are double-buffered: machines write outs[round%2] while reading
+// (through the inbox) what the previous round wrote into the other slab.
+// Delivery is the Mate permutation — the message arriving on v's port p is
+// whatever the neighbor wrote on the opposite arc Mate[Off[v]+p] — applied
+// lazily when a vertex is stepped: its inbox window of the in slab is
+// materialized from the previous out slab right before Step, while the
+// slots are about to be read anyway. There is no separate delivery pass,
+// halted vertices' dead inboxes are never materialized, and the buffer
+// swap is a parity flip. All slabs are allocated once per run; the round
+// loop performs no heap allocations.
 type instance struct {
 	t         *Topology
+	csr       *graph.CSR
 	machines  []Machine
 	done      []bool
 	remaining int
-	// in and out are per-vertex per-port message buffers.
-	in  [][]Message
-	out [][]Message
-	// peer[v][p] locates the inbox slot fed by v's port p: the arc
-	// (v -> u, edge e) feeds u's port index for edge e.
-	peer     [][]portRef
-	messages int64
-}
-
-type portRef struct {
-	v    int32
-	port int32
+	// in is the inbox slab; outs are the double-buffered outbox slabs,
+	// alternating by round parity.
+	in   []Message
+	outs [2][]Message
+	// newly and pending are reusable scratch lists (capacity n, so appends
+	// never allocate) of the vertices that halted in the current and the
+	// previous round; retireRound drains them.
+	newly   []int32
+	pending []int32
 }
 
 func newInstance(t *Topology, f Factory) (*instance, error) {
@@ -272,52 +289,44 @@ func newInstance(t *Topology, f Factory) (*instance, error) {
 	}
 	g := t.G
 	n := g.N()
+	csr := g.CSR()
+	arcs := csr.NumArcs()
 	inst := &instance{
 		t:         t,
+		csr:       csr,
 		machines:  make([]Machine, n),
 		done:      make([]bool, n),
 		remaining: n,
-		in:        make([][]Message, n),
-		out:       make([][]Message, n),
-		peer:      make([][]portRef, n),
+		in:        make([]Message, arcs),
+		outs:      [2][]Message{make([]Message, arcs), make([]Message, arcs)},
+		newly:     make([]int32, 0, n),
+		pending:   make([]int32, 0, n),
 	}
-	// Port index of each incident edge at each vertex.
-	portOf := make([]map[int32]int32, n)
-	for v := 0; v < n; v++ {
-		adj := g.Adj(v)
-		portOf[v] = make(map[int32]int32, len(adj))
-		for p, a := range adj {
-			portOf[v][a.Edge] = int32(p)
+	// Neighbor knowledge is carved from two flat slabs by the same CSR
+	// offsets as the message plane. Machines must treat the slices as
+	// read-only (they are windows into shared storage).
+	nbrIDs := make([]int64, arcs)
+	nbrLabels := make([]int64, arcs)
+	for j, u := range csr.To {
+		nbrIDs[j] = t.ID(int(u))
+		if t.Labels == nil {
+			nbrLabels[j] = -1
+		} else {
+			nbrLabels[j] = t.Labels[u]
 		}
 	}
+	maxDeg := g.MaxDegree()
 	for v := 0; v < n; v++ {
-		adj := g.Adj(v)
-		deg := len(adj)
-		inst.in[v] = make([]Message, deg)
-		inst.out[v] = make([]Message, deg)
-		inst.peer[v] = make([]portRef, deg)
-		for p, a := range adj {
-			inst.peer[v][p] = portRef{v: a.To, port: portOf[a.To][a.Edge]}
-		}
-		nbrIDs := make([]int64, deg)
-		nbrLabels := make([]int64, deg)
-		for p, a := range adj {
-			nbrIDs[p] = t.ID(int(a.To))
-			if t.Labels == nil {
-				nbrLabels[p] = -1
-			} else {
-				nbrLabels[p] = t.Labels[a.To]
-			}
-		}
+		lo, hi := csr.Range(v)
 		info := NodeInfo{
 			V:      v,
 			ID:     t.ID(v),
 			Label:  t.Label(v),
-			Degree: deg,
+			Degree: int(hi - lo),
 			N:      n,
-			MaxDeg: g.MaxDegree(),
+			MaxDeg: maxDeg,
 		}
-		inst.machines[v] = f(info, nbrIDs, nbrLabels)
+		inst.machines[v] = f(info, nbrIDs[lo:hi:hi], nbrLabels[lo:hi:hi])
 	}
 	return inst, nil
 }
@@ -337,49 +346,71 @@ func (a *sendStats) add(b sendStats) {
 	}
 }
 
-// stepVertex advances one machine and returns its emitted traffic.
-func (inst *instance) stepVertex(v, round int) sendStats {
+// stepVertex advances one machine and returns its emitted traffic plus
+// whether the vertex halted during this call. prevOut and curOut are the
+// outbox slabs of the previous and the current round: the inbox window is
+// materialized from prevOut through the Mate permutation (this IS message
+// delivery — fused into the step so the slots are written right before
+// Step reads them), the outbox window of curOut is cleared per the Machine
+// contract, and the emitted slots are scanned for Stats while still hot.
+func (inst *instance) stepVertex(v, round int, prevOut, curOut []Message) (sendStats, bool) {
 	if inst.done[v] {
-		return sendStats{}
+		return sendStats{}, false
 	}
-	out := inst.out[v]
-	for p := range out {
+	lo, hi := inst.csr.Range(v)
+	mate := inst.csr.Mate[lo:hi:hi]
+	in := inst.in[lo:hi:hi]
+	out := curOut[lo:hi:hi]
+	for p := range in {
+		in[p] = prevOut[mate[p]]
 		out[p] = nil
 	}
-	if inst.machines[v].Step(round, inst.in[v], out) {
+	halted := inst.machines[v].Step(round, in, out)
+	if halted {
 		inst.done[v] = true
 	}
 	var st sendStats
-	for p := range out {
-		if out[p] != nil {
-			st.msgs++
-			b := messageBits(out[p])
+	for _, m := range out {
+		if m == nil {
+			continue
+		}
+		st.msgs++
+		if s, ok := m.(Sizer); ok {
+			b := s.Bits()
 			st.bits += b
 			if b > st.maxBits {
 				st.maxBits = b
 			}
+		} else {
+			st.bits += 64
+			if st.maxBits < 64 {
+				st.maxBits = 64
+			}
 		}
 	}
-	return st
+	return st, halted
 }
 
-// deliver moves v's outbox into neighbors' inboxes. A halted vertex's
-// outbox is empty (cleared by its last step and never rewritten), but its
-// neighbors may still be running, so inbox slots fed by halted vertices are
-// cleared to nil each round via the normal copy.
-func (inst *instance) deliverFrom(v int) {
-	out := inst.out[v]
-	refs := inst.peer[v]
-	for p := range out {
-		ref := refs[p]
-		inst.in[ref.v][ref.port] = out[p]
-	}
+// retireRound runs at the end of each round, after the slab the round read
+// from (its prevOut) has been fully consumed, and clears in that slab the
+// outbox regions of the vertices that halted this round (killing their
+// stale next-to-last messages) and of those that halted last round
+// (killing their just-consumed final messages). After its two passes over
+// a halted vertex the vertex's region is nil in both slabs and is never
+// written again, so inbox materialization reads silence from it forever —
+// the cost is O(deg) once per vertex, not per round.
+func (inst *instance) retireRound(consumed []Message) {
+	inst.retireInto(consumed, inst.newly)
+	inst.retireInto(consumed, inst.pending)
+	inst.pending, inst.newly = inst.newly, inst.pending[:0]
 }
 
-func (inst *instance) clearOutbox(v int) {
-	out := inst.out[v]
-	for p := range out {
-		out[p] = nil
+func (inst *instance) retireInto(slab []Message, vs []int32) {
+	for _, v := range vs {
+		lo, hi := inst.csr.Range(int(v))
+		for j := lo; j < hi; j++ {
+			slab[j] = nil
+		}
 	}
 }
 
@@ -424,28 +455,20 @@ func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, h
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
+		cur, prev := inst.outs[round&1], inst.outs[(round&1)^1]
 		for v := 0; v < n; v++ {
-			wasDone := inst.done[v]
-			st := inst.stepVertex(v, round)
+			st, halted := inst.stepVertex(v, round, prev, cur)
 			stats.Messages += st.msgs
 			stats.Bits += st.bits
 			if st.maxBits > stats.MaxMessageBits {
 				stats.MaxMessageBits = st.maxBits
 			}
-			if !wasDone && inst.done[v] {
+			if halted {
 				inst.remaining--
+				inst.newly = append(inst.newly, int32(v))
 			}
 		}
-		for v := 0; v < n; v++ {
-			inst.deliverFrom(v)
-		}
-		// Outboxes of vertices that halted this round must not be
-		// redelivered next round.
-		for v := 0; v < n; v++ {
-			if inst.done[v] {
-				inst.clearOutbox(v)
-			}
-		}
+		inst.retireRound(prev)
 		stats.Rounds++
 		if hook != nil {
 			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
@@ -482,26 +505,20 @@ func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
+		cur, prev := inst.outs[round&1], inst.outs[(round&1)^1]
 		for v := n - 1; v >= 0; v-- {
-			wasDone := inst.done[v]
-			st := inst.stepVertex(v, round)
+			st, halted := inst.stepVertex(v, round, prev, cur)
 			stats.Messages += st.msgs
 			stats.Bits += st.bits
 			if st.maxBits > stats.MaxMessageBits {
 				stats.MaxMessageBits = st.maxBits
 			}
-			if !wasDone && inst.done[v] {
+			if halted {
 				inst.remaining--
+				inst.newly = append(inst.newly, int32(v))
 			}
 		}
-		for v := 0; v < n; v++ {
-			inst.deliverFrom(v)
-		}
-		for v := 0; v < n; v++ {
-			if inst.done[v] {
-				inst.clearOutbox(v)
-			}
-		}
+		inst.retireRound(prev)
 		stats.Rounds++
 		if hook != nil {
 			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
@@ -523,16 +540,25 @@ func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hoo
 		return Stats{}, err
 	}
 	n := t.G.N()
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	// Worker sizing is grain-based: a shard must carry enough vertices for
+	// its goroutine spawn plus barrier share (on the order of a
+	// microsecond) to pay for itself, so small topologies run on few (or
+	// single) goroutines. The fused data plane needs only ONE barrier per
+	// round: a worker materializes inboxes from the previous round's outbox
+	// slab (frozen during the round), steps its own vertices, and writes
+	// only its own vertices' in/out regions.
+	workers := shardWorkers(n, stepGrain)
 	var stats Stats
 	halted := make([]int, workers)     // per-shard newly halted counts
 	sent := make([]sendStats, workers) // per-shard traffic
+	// Per-shard newly-halted lists, each preallocated to its shard size so
+	// round-loop appends never allocate; drained into inst.newly after the
+	// barrier to share the sequential engines' retire machinery.
+	shardNewly := make([][]int32, workers)
+	chunk := (n + workers - 1) / workers
+	for w := range shardNewly {
+		shardNewly[w] = make([]int32, 0, chunk)
+	}
 	for round := 0; ; round++ {
 		if inst.remaining == 0 {
 			break
@@ -543,17 +569,20 @@ func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hoo
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
+		cur, prev := inst.outs[round&1], inst.outs[(round&1)^1]
 		runShards(n, workers, func(w, lo, hi int) {
 			var h int
 			var s sendStats
+			buf := shardNewly[w][:0]
 			for v := lo; v < hi; v++ {
-				wasDone := inst.done[v]
-				s.add(inst.stepVertex(v, round))
-				if !wasDone && inst.done[v] {
+				st, vHalted := inst.stepVertex(v, round, prev, cur)
+				s.add(st)
+				if vHalted {
 					h++
+					buf = append(buf, int32(v))
 				}
 			}
-			halted[w], sent[w] = h, s
+			halted[w], sent[w], shardNewly[w] = h, s, buf
 		})
 		for w := 0; w < workers; w++ {
 			inst.remaining -= halted[w]
@@ -562,17 +591,9 @@ func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hoo
 			if sent[w].maxBits > stats.MaxMessageBits {
 				stats.MaxMessageBits = sent[w].maxBits
 			}
+			inst.newly = append(inst.newly, shardNewly[w]...)
 		}
-		// Delivery writes each inbox slot exactly once (its unique feeding
-		// neighbor), so sharding by source vertex is race-free.
-		runShards(n, workers, func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				inst.deliverFrom(v)
-				if inst.done[v] {
-					inst.clearOutbox(v)
-				}
-			}
-		})
+		inst.retireRound(prev)
 		stats.Rounds++
 		if hook != nil {
 			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
@@ -581,9 +602,30 @@ func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hoo
 	return stats, nil
 }
 
+// stepGrain is the parallel engine's shard grain, tuned on the flat data
+// plane: one worker per at least this many vertices.
+const stepGrain = 256
+
+// shardWorkers sizes a shard pass: at most one worker per grain units of
+// work, capped at NumCPU, at least one.
+func shardWorkers(work, grain int) int {
+	w := runtime.NumCPU()
+	if byGrain := work / grain; w > byGrain {
+		w = byGrain
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // runShards splits [0,n) into contiguous shards and runs fn on each from
 // its own goroutine, waiting for all to finish.
 func runShards(n, workers int, fn func(w, lo, hi int)) {
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
