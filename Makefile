@@ -9,7 +9,10 @@ FUZZTIME ?= 30s
 # exactly and the sequential engines' allocs/round is always pinned at 0.
 BENCH_TOLERANCE ?= 0.15
 
-.PHONY: build test vet fmt-check race bench bench-baseline bench-check tables fuzz ci
+# Samples per benchmark for bench-algos; use 10+ for benchstat-grade runs.
+BENCH_COUNT ?= 1
+
+.PHONY: build test vet fmt-check race bench bench-algos bench-baseline bench-check tables fuzz ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +41,14 @@ race:
 # run; see README for benchstat-grade measurement instructions.
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX ./...
+
+# End-to-end algorithm benchmarks (Linial, CD, the §4 pipeline at 32 and
+# 100k): the benchstat-friendly twins of the algo/* suite workloads.
+# `make bench-algos BENCH_COUNT=10 > new.txt` produces samples for
+# `benchstat old.txt new.txt`; CI uploads the base-vs-head comparison as a
+# build artifact on every pull request.
+bench-algos:
+	$(GO) test ./internal/bench -run XXX -bench '^BenchmarkAlgo' -benchmem -count $(BENCH_COUNT)
 
 # Regenerate the committed simulator-core perf baseline (BENCH_simcore.json).
 bench-baseline:

@@ -3,6 +3,7 @@ package arbor
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -133,9 +134,20 @@ type mergeMachine struct {
 	cntSink *int
 
 	// A-side state.
-	crossPorts []int // ports of my uncolored crossing edges, label i = index i−1
-	// B-side state.
-	myColors map[int64]bool // colors on my incident edges (kept fresh)
+	crossPorts []int   // ports of my uncolored crossing edges, label i = index i−1
+	offerBuf   []int64 // reusable offer payload (consumed by the receiver before the next overwrite)
+	// B-side state: bitset palettes over [0, Palette) (colors at or above
+	// the crossing palette can never be picked, so they are not tracked).
+	// myColors marks the colors on my incident edges (kept fresh);
+	// offerScratch marks one offer's colors during pickColor and is wiped
+	// back to zero before the step returns.
+	myColors     []uint64
+	offerScratch []uint64
+}
+
+// markColor inserts c (which must be in [0, Palette)) into the bitset.
+func markColor(set []uint64, c int64) {
+	set[c>>6] |= 1 << (uint(c) & 63)
 }
 
 func (mm *mergeMachine) Step(round int, in []sim.Message, out []sim.Message) bool {
@@ -182,10 +194,12 @@ func (mm *mergeMachine) Step(round int, in []sim.Message, out []sim.Message) boo
 	case mm.role == roleB && round >= 2 && round%2 == 0:
 		// Round 2i: process the offers of label i.
 		if mm.myColors == nil {
-			mm.myColors = make(map[int64]bool, len(adj))
+			words := (spec.Palette + 63) / 64
+			mm.myColors = make([]uint64, words)
+			mm.offerScratch = make([]uint64, words)
 			for _, a := range adj {
-				if c := spec.EdgeColors[a.Edge]; c >= 0 {
-					mm.myColors[c] = true
+				if c := spec.EdgeColors[a.Edge]; c >= 0 && c < spec.Palette {
+					markColor(mm.myColors, c)
 				}
 			}
 		}
@@ -200,7 +214,7 @@ func (mm *mergeMachine) Step(round int, in []sim.Message, out []sim.Message) boo
 				return true
 			}
 			spec.EdgeColors[adj[p].Edge] = c
-			mm.myColors[c] = true
+			markColor(mm.myColors, c)
 			*mm.cntSink++
 			out[p] = replyMsg{color: c}
 		}
@@ -216,32 +230,51 @@ func (mm *mergeMachine) Step(round int, in []sim.Message, out []sim.Message) boo
 	}
 }
 
-// sendOffer emits the label-(i+1) offer: the colors of all my edges.
+// sendOffer emits the label-(i+1) offer: the colors of all my edges. The
+// payload slice is the machine's reusable buffer: the receiver consumes it
+// in the very next round, before the next sendOffer (two rounds later)
+// overwrites it.
 func (mm *mergeMachine) sendOffer(i int, out []sim.Message) {
 	if i >= len(mm.crossPorts) {
 		return
 	}
 	adj := mm.g.Adj(mm.v)
-	colors := make([]int64, 0, len(adj))
+	if mm.offerBuf == nil {
+		mm.offerBuf = make([]int64, 0, len(adj))
+	}
+	colors := mm.offerBuf[:0]
 	for _, a := range adj {
 		if c := mm.spec.EdgeColors[a.Edge]; c >= 0 {
 			colors = append(colors, c)
 		}
 	}
+	mm.offerBuf = colors
 	out[mm.crossPorts[i]] = offerMsg{colors: colors}
 }
 
 // pickColor returns the smallest color < Palette avoiding my colors and the
-// offered colors.
+// offered colors, scanning the two bitset palettes word-wise.
 func (mm *mergeMachine) pickColor(offered []int64) (int64, bool) {
-	bad := make(map[int64]bool, len(offered))
+	pal := mm.spec.Palette
 	for _, c := range offered {
-		bad[c] = true
-	}
-	for c := int64(0); c < mm.spec.Palette; c++ {
-		if !mm.myColors[c] && !bad[c] {
-			return c, true
+		if c >= 0 && c < pal {
+			markColor(mm.offerScratch, c)
 		}
 	}
-	return 0, false
+	picked, found := int64(0), false
+	for w := range mm.myColors {
+		if free := ^(mm.myColors[w] | mm.offerScratch[w]); free != 0 {
+			c := int64(w)*64 + int64(bits.TrailingZeros64(free))
+			if c < pal {
+				picked, found = c, true
+			}
+			break
+		}
+	}
+	for _, c := range offered {
+		if c >= 0 && c < pal {
+			mm.offerScratch[c>>6] = 0
+		}
+	}
+	return picked, found
 }

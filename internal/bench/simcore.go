@@ -1,12 +1,14 @@
 package bench
 
 // The simulator-core perf suite behind BENCH_simcore.json: fixed workloads
-// over the flat CSR + arena data plane (internal/sim, DESIGN.md §7),
-// measured with the stdlib benchmark machinery and emitted as
-// machine-readable results. `colorbench -json` writes the report;
-// `colorbench -json -check FILE` re-runs the suite and fails on
-// regressions against a committed baseline — `make bench-baseline` /
-// `make bench-check` wrap both, and CI runs the check on every push.
+// over the flat CSR + arena data plane (internal/sim, DESIGN.md §7) and
+// end-to-end runs of the paper's algorithms over the packed word plane and
+// the de-allocated hot paths (DESIGN.md §8), measured with the stdlib
+// benchmark machinery and emitted as machine-readable results.
+// `colorbench -json` writes the report; `colorbench -json -check FILE`
+// re-runs the suite and fails on regressions against a committed baseline —
+// `make bench-baseline` / `make bench-check` wrap both, and CI runs the
+// check on every push.
 //
 // Two kinds of numbers live in a report. Deterministic workload metrics
 // (rounds, messages, colors) must match a baseline exactly on every
@@ -14,15 +16,27 @@ package bench
 // Machine-dependent metrics (ns/op, allocs) are compared with a tolerance
 // band, and allocs-per-round is pinned at exactly zero for the sequential
 // engines' steady state — the tentpole contract of the arena data plane.
+// An allocs_per_round of -1 is the explicit "unmeasured" sentinel (the
+// differencing methodology needs a single program run at two lengths, so
+// composed algorithm pipelines and the parallel engine report -1); the
+// comparison treats the sentinel as its own state rather than as a value.
+//
+// Parallel-engine workloads are environment-gated: they are only measured
+// when runtime.NumCPU() > 1, because on a single-CPU runner the "parallel"
+// engine degenerates to the sequential loop plus scheduling overhead and a
+// recorded parallel-vs-sequential delta would be meaningless.
 
 import (
 	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/cd"
+	"repro/internal/cliques"
 	"repro/internal/gen"
 	"repro/internal/linial"
 	"repro/internal/sim"
@@ -43,8 +57,11 @@ type SimCoreResult struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	// AllocsPerRound is the marginal heap allocation cost of one extra
 	// round in the steady state, measured by differencing runs of
-	// different lengths (setup cost cancels exactly). -1 when not
-	// measured for this workload (parallel engine, algorithm workloads).
+	// different lengths (setup cost cancels exactly). -1 is the explicit
+	// "unmeasured" sentinel: the methodology needs one program run at two
+	// lengths, which composed algorithm pipelines and the parallel engine
+	// do not offer. CompareSimCore treats the sentinel as a distinct
+	// state, never as a comparable value.
 	AllocsPerRound float64 `json:"allocs_per_round"`
 	// Deterministic workload metrics; identical on every machine.
 	Colors   int64 `json:"colors,omitempty"`
@@ -68,12 +85,25 @@ const (
 	simCoreDeg    = 16
 	simCoreRounds = 32
 	simCoreSeed   = 2017
+
+	// The end-to-end edge-coloring pipeline workload: the §4 star
+	// partition on a 100k-vertex near-regular graph, seeded by Linial on
+	// its ~400k-vertex line graph — the "production scale" checkpoint of
+	// the ROADMAP.
+	simCorePipeN   = 100_000
+	simCorePipeDeg = 8
+
+	// The CD vertex-coloring workload: the line graph of a 3-uniform
+	// hypergraph (diversity ≤ 3), the paper's canonical bounded-diversity
+	// family.
+	simCoreCDVerts = 2_000
+	simCoreCDEdges = 6_000
 )
 
-// wavefrontFactory is the canonical plane workload: vertices exchange
-// word-sized payloads and halt in staggered waves (vertex v runs
-// 1 + ID mod span rounds), the termination pattern of the repository's
-// algorithms.
+// wavefrontFactory is the canonical any-plane workload: vertices exchange
+// word-sized payloads boxed through the general Message slot and halt in
+// staggered waves (vertex v runs 1 + ID mod span rounds), the termination
+// pattern of the repository's algorithms.
 func wavefrontFactory(span int) sim.Factory {
 	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
 		stop := 1 + int(info.ID)%span
@@ -91,7 +121,7 @@ func wavefrontFactory(span int) sim.Factory {
 }
 
 // exchangeFactory keeps every vertex live for the whole execution — the
-// dense-traffic bound of the plane.
+// dense-traffic bound of the any plane.
 func exchangeFactory(rounds int) sim.Factory {
 	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
 		var acc int64
@@ -104,6 +134,24 @@ func exchangeFactory(rounds int) sim.Factory {
 			sim.SendAll(out, int64(round&0x7f))
 			return round >= rounds-1
 		})
+	}
+}
+
+// exchangeWordsFactory is exchangeFactory on the packed word plane: the
+// same traffic pattern with zero boxing, measuring the fast path the
+// algorithm programs ride.
+func exchangeWordsFactory(rounds int) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		var acc int64
+		return sim.WrapWord(sim.WordFunc(func(round int, in, out []sim.Word) bool {
+			for _, w := range in {
+				if w != sim.NoWord {
+					acc += w
+				}
+			}
+			sim.SendAllWords(out, int64(round&0x7f))
+			return round >= rounds-1
+		}))
 	}
 }
 
@@ -200,6 +248,38 @@ func allocsPerRound(ctx context.Context, eng sim.Engine, topo *sim.Topology, pro
 	return per
 }
 
+// measureAlgo runs one end-to-end algorithm workload: a first run with
+// verification enabled supplies the deterministic metrics and proves the
+// coloring proper, then measureOp times bare repetitions (verification is
+// hoisted out of the measured op so the gated numbers track the coloring
+// pipeline, not internal/verify — and so they stay comparable with the
+// algos_test.go benchmark twins, which time the bare run). Algorithm
+// pipelines compose many executions of varying length, so their
+// allocs_per_round carries the -1 "unmeasured" sentinel.
+func measureAlgo(name string, run func(verify bool) (colors int64, stats sim.Stats, err error)) (SimCoreResult, error) {
+	colors, stats, err := run(true)
+	if err != nil {
+		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
+	}
+	ns, allocs, bytes, err := measureOp(func() error {
+		_, _, err := run(false)
+		return err
+	})
+	if err != nil {
+		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
+	}
+	return SimCoreResult{
+		Name:           name,
+		NsPerOp:        ns,
+		AllocsPerOp:    allocs,
+		BytesPerOp:     bytes,
+		AllocsPerRound: -1,
+		Colors:         colors,
+		Rounds:         stats.Rounds,
+		Messages:       stats.Messages,
+	}, nil
+}
+
 // RunSimCore executes the full simulator-core suite.
 func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 	plane, err := gen.NearRegular(simCoreN, simCoreDeg, simCoreSeed)
@@ -226,9 +306,16 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 		{"plane/wavefront/sequential-10k", sim.Sequential, wavefrontFactory, true},
 		{"plane/wavefront/parallel-10k", sim.Parallel, wavefrontFactory, false},
 		{"plane/exchange/sequential-10k", sim.Sequential, exchangeFactory, true},
+		{"plane/exchange-words/sequential-10k", sim.Sequential, exchangeWordsFactory, true},
 		{"plane/exchange/reverse-10k", sim.ReverseSequential, exchangeFactory, true},
 	}
 	for _, pr := range planeRuns {
+		if ParallelGated(pr.name) && runtime.NumCPU() <= 1 {
+			// A single-CPU runner cannot produce a meaningful
+			// parallel-engine measurement; the comparison treats these
+			// workloads as environment-gated on both sides.
+			continue
+		}
 		r, err := measurePlane(ctx, pr.name, pr.eng, planeTopo, pr.prog, pr.perRound)
 		if err != nil {
 			return nil, err
@@ -236,37 +323,32 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 		rep.Results = append(rep.Results, r)
 	}
 
-	// A real algorithm end-to-end on the 10k workload: the O(log* n)
-	// Linial substrate, verified, with its deterministic cost recorded.
+	// End-to-end algorithm workloads. Each graph is generated (and its CSR
+	// view built) once, outside the measurement; every run is verified
+	// before its numbers are reported.
+
+	// The O(log* n) Linial substrate on the 10k workload.
 	lg, err := gen.NearRegular(simCoreN, 8, simCoreSeed)
 	if err != nil {
 		return nil, err
 	}
 	lg.CSR()
-	lin, err := linial.Reduce(ctx, sim.Sequential, sim.NewTopology(lg), int64(lg.N()))
-	if err != nil {
-		return nil, err
-	}
-	if err := verify.VertexColoring(lg, lin.Colors, lin.Palette); err != nil {
-		return nil, fmt.Errorf("bench: simcore linial improper: %w", err)
-	}
-	linNs, linAllocs, linBytes, err := measureOp(func() error {
-		_, err := linial.Reduce(ctx, sim.Sequential, sim.NewTopology(lg), int64(lg.N()))
-		return err
+	linialRun, err := measureAlgo("algo/linial/sequential-10k", func(check bool) (int64, sim.Stats, error) {
+		lin, err := linial.Reduce(ctx, sim.Sequential, sim.NewTopology(lg), int64(lg.N()))
+		if err != nil {
+			return 0, sim.Stats{}, err
+		}
+		if check {
+			if err := verify.VertexColoring(lg, lin.Colors, lin.Palette); err != nil {
+				return 0, sim.Stats{}, fmt.Errorf("improper: %w", err)
+			}
+		}
+		return lin.Palette, lin.Stats, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	rep.Results = append(rep.Results, SimCoreResult{
-		Name:           "algo/linial/sequential-10k",
-		NsPerOp:        linNs,
-		AllocsPerOp:    linAllocs,
-		BytesPerOp:     linBytes,
-		AllocsPerRound: -1,
-		Colors:         lin.Palette,
-		Rounds:         lin.Stats.Rounds,
-		Messages:       lin.Stats.Messages,
-	})
+	rep.Results = append(rep.Results, linialRun)
 
 	// The paper's §4 star-partition pipeline on the standard Table 1
 	// workload — a deep composition, so it covers instance setup and
@@ -279,30 +361,79 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	starRun, err := star.EdgeColor(ctx, sg, st, 1, star.Options{})
-	if err != nil {
-		return nil, err
-	}
-	if err := verify.EdgeColoring(sg, starRun.Colors, starRun.Palette); err != nil {
-		return nil, fmt.Errorf("bench: simcore star improper: %w", err)
-	}
-	starNs, starAllocs, starBytes, err := measureOp(func() error {
-		_, err := star.EdgeColor(ctx, sg, st, 1, star.Options{})
-		return err
+	starRun, err := measureAlgo("algo/star-x1/sequential-d32", func(check bool) (int64, sim.Stats, error) {
+		res, err := star.EdgeColor(ctx, sg, st, 1, star.Options{})
+		if err != nil {
+			return 0, sim.Stats{}, err
+		}
+		if check {
+			if err := verify.EdgeColoring(sg, res.Colors, res.Palette); err != nil {
+				return 0, sim.Stats{}, fmt.Errorf("improper: %w", err)
+			}
+		}
+		return res.Palette, res.Stats, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	rep.Results = append(rep.Results, SimCoreResult{
-		Name:           "algo/star-x1/sequential-d32",
-		NsPerOp:        starNs,
-		AllocsPerOp:    starAllocs,
-		BytesPerOp:     starBytes,
-		AllocsPerRound: -1,
-		Colors:         starRun.Palette,
-		Rounds:         starRun.Stats.Rounds,
-		Messages:       starRun.Stats.Messages,
+	rep.Results = append(rep.Results, starRun)
+
+	// CD vertex-coloring on a bounded-diversity instance (the line graph
+	// of a 3-uniform hypergraph, D ≤ 3).
+	h, err := gen.UniformHypergraph(simCoreCDVerts, 3, simCoreCDEdges, simCoreSeed)
+	if err != nil {
+		return nil, err
+	}
+	hlg := h.LineGraph()
+	cov, err := cliques.FromLineGraph(hlg)
+	if err != nil {
+		return nil, err
+	}
+	ct := cd.ChooseT(cov.MaxCliqueSize(), 1)
+	cdRun, err := measureAlgo("algo/cd-x1/sequential-h3", func(check bool) (int64, sim.Stats, error) {
+		res, err := cd.Color(ctx, hlg.L, cov, ct, 1, cd.Options{})
+		if err != nil {
+			return 0, sim.Stats{}, err
+		}
+		if check {
+			if err := verify.VertexColoring(hlg.L, res.Colors, res.Palette); err != nil {
+				return 0, sim.Stats{}, fmt.Errorf("improper: %w", err)
+			}
+		}
+		return res.Palette, res.Stats, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, cdRun)
+
+	// The full edge-coloring pipeline at production scale: 100k vertices
+	// through the §4 star partition (Linial seed on the ~400k-vertex line
+	// graph, connector coloring, recursive classes, final trim).
+	pg, err := gen.NearRegular(simCorePipeN, simCorePipeDeg, simCoreSeed)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := star.ChooseT(pg.MaxDegree(), 1)
+	if err != nil {
+		return nil, err
+	}
+	pipeRun, err := measureAlgo("algo/edgepipe-x1/sequential-100k", func(check bool) (int64, sim.Stats, error) {
+		res, err := star.EdgeColor(ctx, pg, pt, 1, star.Options{})
+		if err != nil {
+			return 0, sim.Stats{}, err
+		}
+		if check {
+			if err := verify.EdgeColoring(pg, res.Colors, res.Palette); err != nil {
+				return 0, sim.Stats{}, fmt.Errorf("improper: %w", err)
+			}
+		}
+		return res.Palette, res.Stats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, pipeRun)
 	return rep, nil
 }
 
@@ -321,30 +452,41 @@ func EnvMatches(a, b *SimCoreReport) bool {
 	return a.GoVersion == b.GoVersion && a.GOOS == b.GOOS && a.GOARCH == b.GOARCH && a.NumCPU == b.NumCPU
 }
 
+// ParallelGated reports whether a workload is only measured on multi-CPU
+// runners (see RunSimCore): presence mismatches for these workloads are
+// environment differences, not regressions.
+func ParallelGated(name string) bool { return strings.Contains(name, "/parallel") }
+
 // CompareSimCore diffs a fresh report against a committed baseline.
 // Deterministic metrics must match exactly on every machine, and a
 // workload whose baseline pins allocs-per-round at zero must stay at
-// zero. The machine-dependent bands — ns/op and allocs/op may not regress
-// by more than the tolerance fraction (improvements always pass) — are
-// enforced only when the two reports come from the same runner class
-// (EnvMatches): an absolute wall-clock number from different hardware is
-// noise, not a baseline. When the environments differ the skipped bands
-// are reported in notes, so the caller can tell the operator to
-// regenerate the baseline on the current runner class. Missing or renamed
-// workloads are always problems.
+// zero; the -1 sentinel means "unmeasured" and is matched as a state (a
+// workload whose baseline measured allocs/round may not silently stop
+// measuring it). The machine-dependent bands — ns/op and allocs/op may
+// not regress by more than the tolerance fraction (improvements always
+// pass) — are enforced only when the two reports come from the same
+// runner class (EnvMatches): an absolute wall-clock number from different
+// hardware is noise, not a baseline. When the environments differ the
+// skipped bands are reported in notes, so the caller can tell the
+// operator to regenerate the baseline on the current runner class.
+// Missing or renamed workloads are problems, except for the
+// ParallelGated ones, whose presence legitimately varies with the
+// runner's CPU count and is reported as a note instead.
 func CompareSimCore(baseline, current *SimCoreReport, tolerance float64) (problems []SimCoreProblem, notes []string) {
 	add := func(w, format string, args ...any) {
 		problems = append(problems, SimCoreProblem{Workload: w, Detail: fmt.Sprintf(format, args...)})
+	}
+	note := func(format string, args ...any) {
+		notes = append(notes, fmt.Sprintf(format, args...))
 	}
 	if baseline.Schema != current.Schema {
 		add("report", "schema %d vs baseline %d", current.Schema, baseline.Schema)
 	}
 	wallClock := EnvMatches(baseline, current)
 	if !wallClock {
-		notes = append(notes, fmt.Sprintf(
-			"baseline runner class (%s %s/%s, %d CPUs) differs from this one (%s %s/%s, %d CPUs): ns/op and allocs/op bands skipped — regenerate the baseline on this class with `make bench-baseline` to arm them",
+		note("baseline runner class (%s %s/%s, %d CPUs) differs from this one (%s %s/%s, %d CPUs): ns/op and allocs/op bands skipped — regenerate the baseline on this class with `make bench-baseline` to arm them",
 			baseline.GoVersion, baseline.GOOS, baseline.GOARCH, baseline.NumCPU,
-			current.GoVersion, current.GOOS, current.GOARCH, current.NumCPU))
+			current.GoVersion, current.GOOS, current.GOARCH, current.NumCPU)
 	}
 	cur := make(map[string]SimCoreResult, len(current.Results))
 	for _, r := range current.Results {
@@ -353,7 +495,14 @@ func CompareSimCore(baseline, current *SimCoreReport, tolerance float64) (proble
 	for _, b := range baseline.Results {
 		c, ok := cur[b.Name]
 		if !ok {
-			add(b.Name, "workload missing from current run")
+			// The gate only excuses a missing parallel workload when this
+			// runner genuinely cannot measure it; on a multi-CPU runner a
+			// lost parallel workload is a regression like any other.
+			if ParallelGated(b.Name) && current.NumCPU <= 1 {
+				note("%s: baseline workload not measured on this runner (parallel workloads need >1 CPU, this one has %d)", b.Name, current.NumCPU)
+			} else {
+				add(b.Name, "workload missing from current run")
+			}
 			continue
 		}
 		delete(cur, b.Name)
@@ -369,12 +518,30 @@ func CompareSimCore(baseline, current *SimCoreReport, tolerance float64) (proble
 				add(b.Name, "allocs/op regressed beyond %.0f%%: %d vs baseline %d", tolerance*100, c.AllocsPerOp, b.AllocsPerOp)
 			}
 		}
-		if b.AllocsPerRound == 0 && c.AllocsPerRound != 0 {
+		// allocs_per_round: -1 is the "unmeasured" sentinel, matched as a
+		// state of its own — never compared as a value.
+		switch {
+		case b.AllocsPerRound < 0 && c.AllocsPerRound < 0:
+			// Unmeasured on both sides: nothing to compare.
+		case b.AllocsPerRound < 0:
+			note("%s: allocs/round is now measured (%.2f) but unmeasured (-1) in the baseline — regenerate with `make bench-baseline` to pin it", b.Name, c.AllocsPerRound)
+		case c.AllocsPerRound < 0:
+			add(b.Name, "allocs/round no longer measured (-1); baseline pins %.2f", b.AllocsPerRound)
+		case b.AllocsPerRound == 0 && c.AllocsPerRound != 0:
 			add(b.Name, "steady-state rounds allocate: %.2f allocs/round, pinned at 0", c.AllocsPerRound)
+		case b.AllocsPerRound > 0 && c.AllocsPerRound > b.AllocsPerRound*(1+tolerance):
+			add(b.Name, "allocs/round regressed beyond %.0f%%: %.2f vs baseline %.2f", tolerance*100, c.AllocsPerRound, b.AllocsPerRound)
 		}
 	}
 	for name := range cur {
-		add(name, "workload not in baseline (regenerate with make bench-baseline)")
+		// Symmetric leniency: an unguarded parallel workload is only
+		// expected when the baseline came from a runner that could not
+		// measure it.
+		if ParallelGated(name) && baseline.NumCPU <= 1 {
+			note("%s: parallel workload measured here but absent from the baseline (recorded on a single-CPU runner) — regenerate with `make bench-baseline` on this class to guard it", name)
+		} else {
+			add(name, "workload not in baseline (regenerate with make bench-baseline)")
+		}
 	}
 	return problems, notes
 }

@@ -100,6 +100,120 @@ func TestCompareSimCoreFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareSimCoreAllocsPerRoundSentinel pins the -1 "unmeasured"
+// semantics: both sides unmeasured is silent; a workload that stops
+// measuring a pinned metric is a problem; a workload that starts
+// measuring one is a note (regenerate to pin); a measured nonzero value
+// is banded like the other machine-dependent metrics.
+func TestCompareSimCoreAllocsPerRoundSentinel(t *testing.T) {
+	t.Run("both-unmeasured", func(t *testing.T) {
+		problems, notes := CompareSimCore(sampleReport(), sampleReport(), 0.15)
+		if len(problems) != 0 || len(notes) != 0 {
+			t.Fatalf("unexpected output: %v %v", problems, notes)
+		}
+	})
+	t.Run("stopped-measuring", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Results[0].AllocsPerRound = -1 // baseline pins 0
+		problems, _ := CompareSimCore(sampleReport(), cur, 0.15)
+		if len(problems) != 1 || !strings.Contains(problems[0].String(), "no longer measured") {
+			t.Fatalf("dropping a pinned allocs/round must fail, got %v", problems)
+		}
+	})
+	t.Run("started-measuring", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Results[1].AllocsPerRound = 2 // baseline has the -1 sentinel
+		problems, notes := CompareSimCore(sampleReport(), cur, 0.15)
+		if len(problems) != 0 {
+			t.Fatalf("newly measured allocs/round must not fail, got %v", problems)
+		}
+		if len(notes) != 1 || !strings.Contains(notes[0], "now measured") {
+			t.Fatalf("expected a regenerate note, got %v", notes)
+		}
+	})
+	t.Run("nonzero-banded", func(t *testing.T) {
+		base := sampleReport()
+		base.Results[0].AllocsPerRound = 10
+		cur := sampleReport()
+		cur.Results[0].AllocsPerRound = 11 // +10% < 15%
+		if problems, _ := CompareSimCore(base, cur, 0.15); len(problems) != 0 {
+			t.Fatalf("in-band allocs/round must pass, got %v", problems)
+		}
+		cur.Results[0].AllocsPerRound = 12 // +20% > 15%
+		problems, _ := CompareSimCore(base, cur, 0.15)
+		if len(problems) != 1 || !strings.Contains(problems[0].String(), "allocs/round regressed") {
+			t.Fatalf("out-of-band allocs/round must fail, got %v", problems)
+		}
+	})
+}
+
+// TestCompareSimCoreParallelGating pins the CPU-count gate: presence
+// mismatches of parallel-engine workloads are environment notes (a
+// single-CPU runner cannot measure them), never regressions — in both
+// directions. Non-parallel workloads keep the strict presence check.
+func TestCompareSimCoreParallelGating(t *testing.T) {
+	par := SimCoreResult{Name: "plane/x/parallel-10k", NsPerOp: 900, AllocsPerOp: 12, AllocsPerRound: -1, Rounds: 32, Messages: 640}
+	t.Run("baseline-has-it-current-does-not", func(t *testing.T) {
+		base := sampleReport()
+		base.Results = append(base.Results, par)
+		cur := sampleReport()
+		cur.NumCPU = 1
+		problems, notes := CompareSimCore(base, cur, 0.15)
+		if len(problems) != 0 {
+			t.Fatalf("gated absence must not be a problem: %v", problems)
+		}
+		found := false
+		for _, n := range notes {
+			if strings.Contains(n, "parallel workloads need >1 CPU") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("expected a gating note, got %v", notes)
+		}
+	})
+	t.Run("current-has-it-baseline-does-not", func(t *testing.T) {
+		base := sampleReport()
+		base.NumCPU = 1
+		cur := sampleReport()
+		cur.Results = append(cur.Results, par)
+		problems, notes := CompareSimCore(base, cur, 0.15)
+		if len(problems) != 0 {
+			t.Fatalf("gated extra workload must not be a problem: %v", problems)
+		}
+		found := false
+		for _, n := range notes {
+			if strings.Contains(n, "absent from the baseline") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("expected a regenerate note, got %v", notes)
+		}
+	})
+	// The leniency is CPU-conditional: on a runner that CAN measure the
+	// parallel workloads, losing one (or having an unguarded extra one) is
+	// a regression like any other.
+	t.Run("lost-on-multi-cpu-runner-is-a-problem", func(t *testing.T) {
+		base := sampleReport()
+		base.Results = append(base.Results, par)
+		cur := sampleReport() // NumCPU = 4: could have measured it
+		problems, _ := CompareSimCore(base, cur, 0.15)
+		if len(problems) != 1 || !strings.Contains(problems[0].String(), "workload missing") {
+			t.Fatalf("losing a parallel workload on a multi-CPU runner must fail, got %v", problems)
+		}
+	})
+	t.Run("extra-vs-multi-cpu-baseline-is-a-problem", func(t *testing.T) {
+		base := sampleReport() // NumCPU = 4: would have recorded it
+		cur := sampleReport()
+		cur.Results = append(cur.Results, par)
+		problems, _ := CompareSimCore(base, cur, 0.15)
+		if len(problems) != 1 || !strings.Contains(problems[0].String(), "not in baseline") {
+			t.Fatalf("an unguarded parallel workload vs a multi-CPU baseline must fail, got %v", problems)
+		}
+	})
+}
+
 // TestCompareSimCoreMissingBaselineEntryDirection: an extra baseline entry
 // (current run lost a workload) and an extra current entry (baseline is
 // stale) are both problems — the check must fail until the baseline is

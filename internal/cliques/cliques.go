@@ -123,16 +123,19 @@ func (c *Cover) MaxCliqueSize() int {
 // Restriction never increases a vertex's membership count, so diversity does
 // not grow (cf. Lemma 2.3(ii)).
 func (c *Cover) Restrict(sub *graph.Sub) *Cover {
-	// Map original vertex -> subgraph vertex.
-	inv := make(map[int32]int32, sub.G.N())
+	// Map original vertex -> subgraph vertex through a pooled dense table:
+	// Restrict runs once per recursion level of CD-Coloring, and the map it
+	// used to build here dominated the decomposition's allocation profile.
+	inv := graph.AcquireDenseIndex(len(c.MemberOf))
+	defer inv.Release()
 	for v := 0; v < sub.G.N(); v++ {
-		inv[int32(sub.OrigVertex(v))] = int32(v)
+		inv.Put(sub.OrigVertex(v), int32(v))
 	}
 	out := &Cover{MemberOf: make([][]int32, sub.G.N())}
 	for _, cl := range c.Cliques {
 		var restricted []int32
 		for _, v := range cl {
-			if nv, ok := inv[v]; ok {
+			if nv, ok := inv.Get(int(v)); ok {
 				restricted = append(restricted, nv)
 			}
 		}

@@ -66,7 +66,11 @@ func Clique(g *graph.Graph, cover *cliques.Cover, t int) (*CliqueConnector, erro
 		return nil, fmt.Errorf("connector: clique parameter t=%d < 2", t)
 	}
 	groups := make([][][]int32, len(cover.Cliques))
-	keep := make(map[int64]bool)
+	// keep is indexed by edge identifier (resolved with the O(log deg)
+	// EdgeID lookup as each within-group pair is generated) — one flat
+	// bitmap instead of the packed-endpoint hash map this used to build per
+	// recursion level.
+	keep := make([]bool, g.M())
 	for q, cl := range cover.Cliques {
 		// Cover cliques are stored sorted; cut into runs of t.
 		for lo := 0; lo < len(cl); lo += t {
@@ -78,19 +82,14 @@ func Clique(g *graph.Graph, cover *cliques.Cover, t int) (*CliqueConnector, erro
 			groups[q] = append(groups[q], grp)
 			for i := 0; i < len(grp); i++ {
 				for j := i + 1; j < len(grp); j++ {
-					u, v := grp[i], grp[j]
-					if u > v {
-						u, v = v, u
+					if e, ok := g.EdgeID(int(grp[i]), int(grp[j])); ok {
+						keep[e] = true
 					}
-					keep[int64(u)<<32|int64(v)] = true
 				}
 			}
 		}
 	}
-	sub, err := graph.SpanningSubgraph(g, func(e int) bool {
-		u, v := g.Endpoints(e)
-		return keep[int64(u)<<32|int64(v)]
-	})
+	sub, err := graph.SpanningSubgraph(g, func(e int) bool { return keep[e] })
 	if err != nil {
 		return nil, fmt.Errorf("connector: clique: %w", err)
 	}
@@ -160,6 +159,7 @@ func Edge(g *graph.Graph, t int) (*VirtualGraph, error) {
 	}
 	// Virtual endpoint of edge e at endpoint v: base[v] + port(v,e)/t.
 	b := graph.NewBuilder(nv)
+	b.Grow(g.M())
 	eorig := make([]int32, 0, g.M())
 	virtAt := func(v int, port int) int { return int(base[v]) + port/t }
 	for v := 0; v < n; v++ {

@@ -50,6 +50,18 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
+// Grow pre-sizes the edge accumulator for at least m additional edges.
+// Derived-graph constructors (line graphs, subgraphs, connectors) know
+// their edge counts up front; pre-sizing avoids the append regrowth churn
+// on multi-million-edge builds.
+func (b *Builder) Grow(m int) {
+	if need := len(b.edges) + m; need > cap(b.edges) {
+		next := make([]Edge, len(b.edges), need)
+		copy(next, b.edges)
+		b.edges = next
+	}
+}
+
 // AddEdge records the undirected edge {u, v}. Order of u and v is irrelevant.
 func (b *Builder) AddEdge(u, v int) {
 	if u > v {
@@ -85,16 +97,28 @@ func (b *Builder) Build() (*Graph, error) {
 		adj:   make([][]Arc, b.n),
 		edges: edges,
 	}
-	deg := make([]int, b.n)
+	// All adjacency lists are carved from one flat arena (two header
+	// allocations for the whole graph instead of one per vertex — the
+	// recursive decompositions build thousands of subgraphs, and line
+	// graphs have hundreds of thousands of vertices). Iterating the sorted
+	// edge list fills every vertex's range in increasing neighbor order:
+	// for vertex v, the arcs with To < v come from edges (u,v) in
+	// increasing u, followed by edges (v,w) in increasing w — so the
+	// sortedness HasEdge/EdgeID rely on is preserved.
+	deg := make([]int32, b.n+1)
 	for _, e := range edges {
-		deg[e.U]++
-		deg[e.V]++
+		deg[e.U+1]++
+		deg[e.V+1]++
 	}
-	for v := range g.adj {
-		g.adj[v] = make([]Arc, 0, deg[v])
-		if deg[v] > g.maxDeg {
-			g.maxDeg = deg[v]
+	for v := 1; v <= b.n; v++ {
+		if d := int(deg[v]); d > g.maxDeg {
+			g.maxDeg = d
 		}
+		deg[v] += deg[v-1] // deg becomes the offset array
+	}
+	arena := make([]Arc, 2*len(edges))
+	for v := 0; v < b.n; v++ {
+		g.adj[v] = arena[deg[v]:deg[v]:deg[v+1]]
 	}
 	for id, e := range edges {
 		g.adj[e.U] = append(g.adj[e.U], Arc{To: e.V, Edge: int32(id)})

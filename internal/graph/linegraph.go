@@ -22,7 +22,15 @@ type LineGraphResult struct {
 // adjacent iff the corresponding edges share an endpoint.
 func LineGraph(g *Graph) *LineGraphResult {
 	m := g.M()
+	// |E(L(G))| = Σ_v deg(v)·(deg(v)−1)/2 exactly; pre-size the builder so
+	// multi-million-arc line graphs build without append regrowth.
+	lm := 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		lm += d * (d - 1) / 2
+	}
 	b := NewBuilder(m)
+	b.Grow(lm)
 	// Every pair of edges incident on the same vertex is adjacent in L(G).
 	for v := 0; v < g.N(); v++ {
 		adj := g.Adj(v)
@@ -43,13 +51,16 @@ func LineGraph(g *Graph) *LineGraphResult {
 	for e := 0; e < m; e++ {
 		edgeOf[e] = int32(e)
 	}
+	// The canonical cover's vertex lists are carved from one flat arena
+	// (2m entries total) rather than allocated per original vertex.
+	arena := make([]int32, 0, 2*m)
 	for v := 0; v < g.N(); v++ {
 		adj := g.Adj(v)
-		c := make([]int32, len(adj))
-		for i, a := range adj {
-			c[i] = a.Edge
+		start := len(arena)
+		for _, a := range adj {
+			arena = append(arena, a.Edge)
 		}
-		cliques[v] = c
+		cliques[v] = arena[start:len(arena):len(arena)]
 	}
 	return &LineGraphResult{L: lg, EdgeOf: edgeOf, Cliques: cliques}
 }

@@ -40,25 +40,28 @@ func Identity(g *Graph) *Sub { return &Sub{G: g} }
 
 // InducedSubgraph returns the subgraph of g induced by the given vertices
 // (which must be distinct). Vertex i of the result corresponds to
-// vertices[i] in g.
+// vertices[i] in g. The vertex translation runs over a pooled DenseIndex,
+// so recursion levels (CD-Coloring extracts one subgraph per color class
+// per level) reuse index space instead of rebuilding a map each time.
 func InducedSubgraph(g *Graph, vertices []int) (*Sub, error) {
-	idx := make(map[int]int32, len(vertices))
+	idx := AcquireDenseIndex(g.N())
+	defer idx.Release()
 	vorig := make([]int32, len(vertices))
 	for i, v := range vertices {
 		if v < 0 || v >= g.N() {
 			return nil, fmt.Errorf("graph: induced vertex %d out of range", v)
 		}
-		if _, dup := idx[v]; dup {
+		if idx.Has(v) {
 			return nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
 		}
-		idx[v] = int32(i)
+		idx.Put(v, int32(i))
 		vorig[i] = int32(v)
 	}
 	b := NewBuilder(len(vertices))
 	var eorig []int32
 	for i, v := range vertices {
 		for _, a := range g.Adj(v) {
-			j, ok := idx[int(a.To)]
+			j, ok := idx.Get(int(a.To))
 			if !ok {
 				continue
 			}
@@ -83,8 +86,15 @@ func InducedSubgraph(g *Graph, vertices []int) (*Sub, error) {
 // SpanningSubgraph returns the subgraph of g on the full vertex set
 // containing exactly the edges for which keep reports true.
 func SpanningSubgraph(g *Graph, keep func(e int) bool) (*Sub, error) {
+	kept := 0
+	for e := 0; e < g.M(); e++ {
+		if keep(e) {
+			kept++
+		}
+	}
 	b := NewBuilder(g.N())
-	var eorig []int32
+	b.Grow(kept)
+	eorig := make([]int32, 0, kept)
 	for e := 0; e < g.M(); e++ {
 		if keep(e) {
 			u, v := g.Endpoints(e)

@@ -158,61 +158,82 @@ func FinalPalette(m0 int64, delta int) int64 {
 	return s[len(s)-1].M
 }
 
+// machine is the per-vertex Linial program on the packed word plane
+// (colors are single words, so every payload rides sim.Word). The two
+// coefficient buffers are per-machine scratch slabs sized once for the
+// widest schedule step and reused every round, so the steady-state rounds
+// perform no heap allocation.
 type machine struct {
 	schedule []Step
 	color    int64
 	sink     *int64
+	// mine holds this vertex's d+1 polynomial coefficients; nbrs holds the
+	// concatenated coefficient vectors of the relevant neighbor colors
+	// (deg·(d+1) slots at most).
+	mine []int64
+	nbrs []int64
 }
 
-func newMachine(info sim.NodeInfo, schedule []Step, sink *int64) *machine {
+func newMachine(info sim.NodeInfo, schedule []Step, sink *int64) sim.Machine {
 	start := info.ID
 	if info.Label >= 0 {
 		start = info.Label
 	}
-	return &machine{schedule: schedule, color: start, sink: sink}
+	return sim.WrapWord(&machine{schedule: schedule, color: start, sink: sink})
 }
 
-// Step implements sim.Machine. Round 0 broadcasts the starting color; round
-// r ≥ 1 applies schedule[r-1] to the colors received in round r-1 and
-// broadcasts the result, halting after the last step.
-func (mc *machine) Step(round int, in []sim.Message, out []sim.Message) bool {
+// StepWord implements sim.WordMachine. Round 0 broadcasts the starting
+// color; round r ≥ 1 applies schedule[r-1] to the colors received in round
+// r-1 and broadcasts the result, halting after the last step.
+func (mc *machine) StepWord(round int, in, out []sim.Word) bool {
 	if round == 0 {
 		if len(mc.schedule) == 0 {
 			*mc.sink = mc.color
 			return true
 		}
-		sim.SendAll(out, mc.color)
+		sim.SendAllWords(out, mc.color)
 		return false
 	}
 	st := mc.schedule[round-1]
-	mc.color = applyStep(mc.color, sim.Int64s(in, -1), st)
+	mc.color = mc.applyStep(in, st)
 	if round == len(mc.schedule) {
 		*mc.sink = mc.color
 		return true
 	}
-	sim.SendAll(out, mc.color)
+	sim.SendAllWords(out, mc.color)
 	return false
 }
 
-// applyStep performs one polynomial reduction at a single vertex.
-func applyStep(c int64, nbrColors []int64, st Step) int64 {
+// applyStep performs one polynomial reduction at a single vertex, writing
+// all coefficient vectors into the machine's scratch slabs.
+func (mc *machine) applyStep(in []sim.Word, st Step) int64 {
 	d, q := st.D, st.Q
-	mine := decompose(c, q, d+1)
-	// Decompose each distinct neighbor color once.
-	var nbrs [][]int64
-	for _, nc := range nbrColors {
-		if nc < 0 || nc == c {
-			// nc == c would mean an improper input coloring; skipping keeps
-			// the step well-defined (the caller's validation catches it).
+	k := int(d + 1)
+	if cap(mc.mine) < k {
+		mc.mine = make([]int64, k)
+	}
+	mine := mc.mine[:k]
+	decomposeInto(mine, mc.color, q)
+	if need := k * len(in); cap(mc.nbrs) < need {
+		mc.nbrs = make([]int64, need)
+	}
+	// Decompose each relevant neighbor color once, in port order.
+	cnt := 0
+	for _, w := range in {
+		if w == sim.NoWord || w == mc.color {
+			// A silent port carries nothing; an equal color would mean an
+			// improper input coloring (the caller's validation catches it).
 			continue
 		}
-		nbrs = append(nbrs, decompose(nc, q, d+1))
+		decomposeInto(mc.nbrs[cnt*k:cnt*k+k], w, q)
+		cnt++
 	}
+	nbrs := mc.nbrs[:cnt*k]
 	for x := int64(0); x < q; x++ {
 		val := evalPoly(mine, x, q)
 		ok := true
-		for _, nb := range nbrs {
-			if evalPoly(nb, x, q) == val {
+		for off := 0; off < len(nbrs); off += k {
+			if evalPoly(nbrs[off:off+k], x, q) == val {
 				ok = false
 				break
 			}
@@ -222,16 +243,23 @@ func applyStep(c int64, nbrColors []int64, st Step) int64 {
 		}
 	}
 	// Unreachable when q > dΔ and the input coloring is proper.
-	panic(fmt.Sprintf("linial: no evaluation point in F_%d for degree %d with %d neighbors", q, d, len(nbrs)))
+	panic(fmt.Sprintf("linial: no evaluation point in F_%d for degree %d with %d neighbors", q, d, cnt))
 }
 
-// decompose writes c in base q as k coefficients (little-endian).
-func decompose(c, q, k int64) []int64 {
-	coeffs := make([]int64, k)
-	for i := int64(0); i < k; i++ {
+// decomposeInto writes c in base q as len(coeffs) coefficients
+// (little-endian) into the provided buffer.
+func decomposeInto(coeffs []int64, c, q int64) {
+	for i := range coeffs {
 		coeffs[i] = c % q
 		c /= q
 	}
+}
+
+// decompose writes c in base q as k coefficients (little-endian). Kept as
+// the allocation-per-call form for the reference path in tests.
+func decompose(c, q, k int64) []int64 {
+	coeffs := make([]int64, k)
+	decomposeInto(coeffs, c, q)
 	return coeffs
 }
 

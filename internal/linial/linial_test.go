@@ -183,6 +183,81 @@ func TestReduceEnginesAgree(t *testing.T) {
 	}
 }
 
+// applyStep is the unoptimized reference of one polynomial reduction at a
+// single vertex — the pre-word-plane implementation kept as the executable
+// specification. The production machine performs the same computation over
+// reusable scratch slabs; TestApplyStepMatchesReference pins the
+// equivalence.
+func applyStep(c int64, nbrColors []int64, st Step) int64 {
+	d, q := st.D, st.Q
+	mine := decompose(c, q, d+1)
+	var nbrs [][]int64
+	for _, nc := range nbrColors {
+		if nc < 0 || nc == c {
+			continue
+		}
+		nbrs = append(nbrs, decompose(nc, q, d+1))
+	}
+	for x := int64(0); x < q; x++ {
+		val := evalPoly(mine, x, q)
+		ok := true
+		for _, nb := range nbrs {
+			if evalPoly(nb, x, q) == val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return x*q + val
+		}
+	}
+	panic("linial_test: no evaluation point")
+}
+
+// TestApplyStepMatchesReference drives the production machine's
+// scratch-slab applyStep against the allocating reference on randomized
+// palettes, degrees, and inbox patterns (including silent NoWord ports and
+// improper equal-color slots): the chosen colors must be identical, and
+// the steady-state scratch reuse must not leak state between rounds.
+func TestApplyStepMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	steps := []Step{
+		{D: 1, Q: 11, M: 121},
+		{D: 2, Q: 13, M: 169},
+		{D: 3, Q: 31, M: 961},
+		{D: 5, Q: 67, M: 4489},
+	}
+	mc := &machine{} // one machine reused across cases, like across rounds
+	for i := 0; i < 2000; i++ {
+		st := steps[rng.Intn(len(steps))]
+		limit := st.Q // inputs to a step are < q^(d+1); keep them small but varied
+		for j := int64(1); j <= st.D; j++ {
+			limit *= st.Q
+		}
+		c := rng.Int63n(limit)
+		deg := rng.Intn(7)
+		in := make([]sim.Word, deg)
+		ref := make([]int64, deg)
+		for p := 0; p < deg; p++ {
+			switch rng.Intn(4) {
+			case 0:
+				in[p], ref[p] = sim.NoWord, -1 // silent port
+			case 1:
+				in[p], ref[p] = c, c // improper duplicate, skipped by both
+			default:
+				nc := rng.Int63n(limit)
+				in[p], ref[p] = nc, nc
+			}
+		}
+		mc.color = c
+		got := mc.applyStep(in, st)
+		want := applyStep(c, ref, st)
+		if got != want {
+			t.Fatalf("case %d: machine applyStep = %d, reference = %d (c=%d step=%+v in=%v)", i, got, want, c, st, in)
+		}
+	}
+}
+
 func TestApplyStepDeterministicAndProper(t *testing.T) {
 	// Direct unit test of the polynomial step on a small clique: all
 	// distinct colors must map to distinct new colors when applied with each
@@ -205,6 +280,25 @@ func TestApplyStepDeterministicAndProper(t *testing.T) {
 			t.Fatalf("collision on new color %d", nc)
 		}
 		newColors[nc] = true
+	}
+}
+
+// TestApplyStepSteadyStateAllocFree pins the ported hot path: once a
+// machine's coefficient scratch is warm (first application of its widest
+// schedule step), applying a reduction step allocates nothing — this is
+// what makes whole Linial rounds alloc-free on the word plane.
+func TestApplyStepSteadyStateAllocFree(t *testing.T) {
+	st := Step{D: 3, Q: 101, M: 101 * 101}
+	in := []sim.Word{5, sim.NoWord, 90_000, 12345, 671, sim.NoWord, 404}
+	mc := &machine{schedule: []Step{st}}
+	allocs := testing.AllocsPerRun(200, func() {
+		mc.color = 777_123
+		if got := mc.applyStep(in, st); got < 0 || got >= st.M {
+			t.Fatalf("applyStep out of range: %d", got)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("applyStep allocates %.1f per call in steady state, want 0", allocs)
 	}
 }
 

@@ -41,7 +41,7 @@ func TrimClasses(ctx context.Context, eng sim.Exec, t *sim.Topology, m, target i
 	}
 	colors := make([]int64, t.G.N())
 	factory := func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
-		return &trimMachine{color: info.Label, m: m, target: target, sink: &colors[info.V]}
+		return sim.WrapWord(&trimMachine{color: info.Label, m: m, target: target, sink: &colors[info.V]})
 	}
 	stats, err := eng.Run(ctx, t, factory, int(m-target)+3)
 	if err != nil {
@@ -62,7 +62,9 @@ type trimMachine struct {
 	scratch []int32
 }
 
-func (tm *trimMachine) Step(round int, in []sim.Message, out []sim.Message) bool {
+// StepWord implements sim.WordMachine: colors are single words, so the
+// program runs on the packed plane.
+func (tm *trimMachine) StepWord(round int, in, out []sim.Word) bool {
 	// Round r processes class m-r (r ≥ 1); round 0 only broadcasts.
 	if round > 0 {
 		class := tm.m - int64(round)
@@ -74,14 +76,14 @@ func (tm *trimMachine) Step(round int, in []sim.Message, out []sim.Message) bool
 			return true
 		}
 	}
-	sim.SendAll(out, tm.color)
+	sim.SendAllWords(out, tm.color)
 	return false
 }
 
-// smallestFree returns the least value in [0, limit) that no inbox message
+// smallestFree returns the least value in [0, limit) that no inbox word
 // carries. Since at most len(in) values can be occupied, only offsets up to
 // len(in) are tracked; the scratch array is stamped rather than cleared.
-func smallestFree(in []sim.Message, limit int64, scratch *[]int32, stamp int32) int64 {
+func smallestFree(in []sim.Word, limit int64, scratch *[]int32, stamp int32) int64 {
 	span := int64(len(in)) + 1
 	if span > limit {
 		span = limit
@@ -93,11 +95,10 @@ func smallestFree(in []sim.Message, limit int64, scratch *[]int32, stamp int32) 
 		}
 	}
 	s := *scratch
-	for _, m := range in {
-		if m == nil {
+	for _, c := range in {
+		if c == sim.NoWord {
 			continue
 		}
-		c := m.(int64)
 		if c >= 0 && c < span {
 			s[c] = stamp
 		}
@@ -127,7 +128,7 @@ func KuhnWattenhofer(ctx context.Context, eng sim.Exec, t *sim.Topology, m, targ
 	schedule := kwSchedule(m, target)
 	colors := make([]int64, t.G.N())
 	factory := func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
-		return &kwMachine{color: info.Label, schedule: schedule, sink: &colors[info.V]}
+		return sim.WrapWord(&kwMachine{color: info.Label, schedule: schedule, sink: &colors[info.V]})
 	}
 	stats, err := eng.Run(ctx, t, factory, len(schedule)+3)
 	if err != nil {
@@ -177,7 +178,8 @@ type kwMachine struct {
 	scratch  []int32 // stamped occupancy buffer, see smallestFree
 }
 
-func (km *kwMachine) Step(round int, in []sim.Message, out []sim.Message) bool {
+// StepWord implements sim.WordMachine.
+func (km *kwMachine) StepWord(round int, in, out []sim.Word) bool {
 	if round > 0 {
 		r := km.schedule[round-1]
 		if km.color%r.b == r.s {
@@ -198,14 +200,14 @@ func (km *kwMachine) Step(round int, in []sim.Message, out []sim.Message) bool {
 			return true
 		}
 	}
-	sim.SendAll(out, km.color)
+	sim.SendAllWords(out, km.color)
 	return false
 }
 
 // smallestFreeInBlock returns base + the least offset in [0, t) such that
-// base+offset appears in no inbox message. The scratch array is stamped
+// base+offset appears in no inbox word. The scratch array is stamped
 // rather than cleared between rounds.
-func smallestFreeInBlock(in []sim.Message, base, t int64, scratch *[]int32, stamp int32) int64 {
+func smallestFreeInBlock(in []sim.Word, base, t int64, scratch *[]int32, stamp int32) int64 {
 	span := int64(len(in)) + 1
 	if span > t {
 		span = t
@@ -217,11 +219,10 @@ func smallestFreeInBlock(in []sim.Message, base, t int64, scratch *[]int32, stam
 		}
 	}
 	s := *scratch
-	for _, m := range in {
-		if m == nil {
+	for _, c := range in {
+		if c == sim.NoWord {
 			continue
 		}
-		c := m.(int64)
 		if c >= base && c < base+span {
 			s[c-base] = stamp
 		}

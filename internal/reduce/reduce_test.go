@@ -247,3 +247,57 @@ func TestKWEnginesAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestTrimSteadyStateAllocFree pins the ported trim program's contract on
+// the sequential engine: the marginal cost of extra rounds is zero heap
+// allocations. Differencing two runs that differ only in the declared
+// palette m (the extra classes are empty, so the added rounds are pure
+// steady state over identical machines) cancels the setup cost exactly.
+func TestTrimSteadyStateAllocFree(t *testing.T) {
+	g := rg(21, 300, 0.04)
+	sd, m := greedySeed(g, 64)
+	target := int64(g.MaxDegree()) + 1
+	run := func(palette int64) {
+		topo := &sim.Topology{G: g, Labels: sd}
+		if _, err := TrimClasses(context.Background(), sim.Sequential, topo, palette, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.CSR() // build the cached view outside the measurement
+	short := testing.AllocsPerRun(5, func() { run(m) })
+	long := testing.AllocsPerRun(5, func() { run(m + 192) })
+	// The marginal cost is a whole number of allocations per round;
+	// sub-0.5 residue of either sign is runtime noise (GC, pools) leaking
+	// into one of the two measurements.
+	if per := (long - short) / 192; per >= 0.5 || per <= -0.5 {
+		t.Fatalf("trim allocates per round: %.2f (%.1f vs %.1f over 192 extra rounds)", per, long, short)
+	}
+}
+
+// TestKWSteadyStateAllocFree pins the same contract for the
+// Kuhn–Wattenhofer program: a larger starting palette adds phases (more
+// rounds over the same machines and stamped scratch) without adding
+// steady-state allocations. The schedule itself grows with m, so the
+// tolerated difference is the handful of setup allocations of the longer
+// plan, bounded well below one allocation per extra round.
+func TestKWSteadyStateAllocFree(t *testing.T) {
+	g := rg(22, 300, 0.04)
+	sd, m := greedySeed(g, 64)
+	target := int64(g.MaxDegree()) + 1
+	run := func(palette int64) {
+		topo := &sim.Topology{G: g, Labels: sd}
+		if _, err := KuhnWattenhofer(context.Background(), sim.Sequential, topo, palette, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.CSR()
+	shortRounds := len(kwSchedule(m, target))
+	longRounds := len(kwSchedule(4*m, target))
+	short := testing.AllocsPerRun(5, func() { run(m) })
+	long := testing.AllocsPerRun(5, func() { run(4 * m) })
+	extraRounds := float64(longRounds - shortRounds)
+	if long-short >= extraRounds {
+		t.Fatalf("kw allocates per round: %.1f extra allocs over %.0f extra rounds (%.1f vs %.1f)",
+			long-short, extraRounds, long, short)
+	}
+}

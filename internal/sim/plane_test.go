@@ -23,11 +23,15 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/cd"
+	"repro/internal/cliques"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/linial"
+	"repro/internal/reduce"
 	"repro/internal/sim"
 	"repro/internal/star"
+	"repro/internal/vc"
 	"repro/internal/verify"
 )
 
@@ -321,16 +325,19 @@ func TestDataPlaneEquivalenceMatrix(t *testing.T) {
 }
 
 // TestAlgorithmEquivalenceMatrix runs real colorings from the seed
-// workloads under every engine: colorings and Stats must be identical
-// bit-for-bit (DESIGN.md §4).
+// workloads under every engine — including the pre-CSR reference plane
+// (refExec, words_test.go), which carries the word-ported programs over
+// the unoptimized any-payload path: colorings and Stats must be identical
+// bit-for-bit (DESIGN.md §4, §8).
 func TestAlgorithmEquivalenceMatrix(t *testing.T) {
 	engines := []struct {
 		name string
-		eng  sim.Engine
+		eng  sim.Exec
 	}{
 		{"sequential", sim.Sequential},
 		{"reverse", sim.ReverseSequential},
 		{"parallel", sim.Parallel},
+		{"reference", refExec{}},
 	}
 	g, err := gen.NearRegular(512, 12, 2017)
 	if err != nil {
@@ -360,6 +367,36 @@ func TestAlgorithmEquivalenceMatrix(t *testing.T) {
 			}
 		}
 	})
+	t.Run("reduce-kw", func(t *testing.T) {
+		lin, err := linial.Reduce(context.Background(), sim.Sequential, sim.NewTopology(g), int64(g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := &sim.Topology{G: g, Labels: lin.Colors}
+		target := int64(g.MaxDegree()) + 1
+		var want *reduce.Result
+		for _, ec := range engines {
+			got, err := reduce.KuhnWattenhofer(context.Background(), ec.eng, topo, lin.Palette, target)
+			if err != nil {
+				t.Fatalf("%s: %v", ec.name, err)
+			}
+			if err := verify.VertexColoring(g, got.Colors, got.Palette); err != nil {
+				t.Fatalf("%s: improper: %v", ec.name, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if got.Stats != want.Stats {
+				t.Fatalf("%s: stats diverge: %+v vs %+v", ec.name, got.Stats, want.Stats)
+			}
+			for v := range want.Colors {
+				if got.Colors[v] != want.Colors[v] {
+					t.Fatalf("%s: color of %d differs", ec.name, v)
+				}
+			}
+		}
+	})
 	t.Run("star", func(t *testing.T) {
 		sg, err := gen.NearRegular(128, 16, 2017)
 		if err != nil {
@@ -371,7 +408,8 @@ func TestAlgorithmEquivalenceMatrix(t *testing.T) {
 		}
 		var want *star.Result
 		for _, ec := range engines {
-			got, err := star.EdgeColor(context.Background(), sg, tt, 1, star.Options{Exec: ec.eng})
+			opt := star.Options{Exec: ec.eng, VC: vc.Options{Exec: ec.eng}}
+			got, err := star.EdgeColor(context.Background(), sg, tt, 1, opt)
 			if err != nil {
 				t.Fatalf("%s: %v", ec.name, err)
 			}
@@ -388,6 +426,41 @@ func TestAlgorithmEquivalenceMatrix(t *testing.T) {
 			for e := range want.Colors {
 				if got.Colors[e] != want.Colors[e] {
 					t.Fatalf("%s: color of edge %d differs", ec.name, e)
+				}
+			}
+		}
+	})
+	t.Run("cd", func(t *testing.T) {
+		h, err := gen.UniformHypergraph(120, 3, 360, 2017)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lgr := h.LineGraph()
+		cov, err := cliques.FromLineGraph(lgr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := cd.ChooseT(cov.MaxCliqueSize(), 1)
+		var want *cd.Result
+		for _, ec := range engines {
+			opt := cd.Options{Exec: ec.eng, VC: vc.Options{Exec: ec.eng}}
+			got, err := cd.Color(context.Background(), lgr.L, cov, tt, 1, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", ec.name, err)
+			}
+			if err := verify.VertexColoring(lgr.L, got.Colors, got.Palette); err != nil {
+				t.Fatalf("%s: improper: %v", ec.name, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if got.Stats != want.Stats || got.Palette != want.Palette {
+				t.Fatalf("%s: stats/palette diverge: %+v vs %+v", ec.name, got.Stats, want.Stats)
+			}
+			for v := range want.Colors {
+				if got.Colors[v] != want.Colors[v] {
+					t.Fatalf("%s: color of %d differs", ec.name, v)
 				}
 			}
 		}

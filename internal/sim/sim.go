@@ -23,13 +23,17 @@
 // executions; tests assert this.
 //
 // Data plane: all engines run over the graph's flat CSR view (graph.CSR).
-// Inboxes and outboxes are flat []Message slabs with one slot per directed
-// arc, allocated once per run; a vertex's buffers are the slab range given
-// by the CSR offsets. Outboxes are double-buffered and swapped between
+// Inboxes and outboxes are flat slabs with one slot per directed arc,
+// allocated once per run; a vertex's buffers are the slab range given by
+// the CSR offsets. Outboxes are double-buffered and swapped between
 // rounds, and delivery is the Mate permutation, applied lazily while
-// stepping each receiver (in[p] = prevOut[Mate[Off[v]+p]]). The round loop
-// performs no heap allocations — see DESIGN.md §7 and the
-// allocation-regression tests.
+// stepping each receiver (in[p] = prevOut[Mate[Off[v]+p]]). The message
+// representation is chosen per program: []Message (the general any plane)
+// by default, or the packed []Word fast path of words.go — no interface
+// boxing anywhere on the hot path — when every machine of the run
+// implements WordMachine. In either representation the round loop performs
+// no heap allocations — see DESIGN.md §7–§8 and the allocation-regression
+// tests.
 package sim
 
 import (
@@ -273,9 +277,19 @@ type instance struct {
 	done      []bool
 	remaining int
 	// in is the inbox slab; outs are the double-buffered outbox slabs,
-	// alternating by round parity.
+	// alternating by round parity. Allocated only for any-plane runs.
 	in   []Message
 	outs [2][]Message
+	// The packed fast path (words.go): when every machine implements
+	// WordMachine the run is laid out over []Word slabs instead, the
+	// machines are stepped through wms (pre-asserted, so the hot loop does
+	// no interface assertions), and wszs holds each machine's WordSizer
+	// (nil entries use the default 64-bit accounting).
+	words bool
+	wms   []WordMachine
+	wszs  []WordSizer
+	win   []Word
+	wouts [2][]Word
 	// newly and pending are reusable scratch lists (capacity n, so appends
 	// never allocate) of the vertices that halted in the current and the
 	// previous round; retireRound drains them.
@@ -297,8 +311,6 @@ func newInstance(t *Topology, f Factory) (*instance, error) {
 		machines:  make([]Machine, n),
 		done:      make([]bool, n),
 		remaining: n,
-		in:        make([]Message, arcs),
-		outs:      [2][]Message{make([]Message, arcs), make([]Message, arcs)},
 		newly:     make([]int32, 0, n),
 		pending:   make([]int32, 0, n),
 	}
@@ -328,6 +340,23 @@ func newInstance(t *Topology, f Factory) (*instance, error) {
 		}
 		inst.machines[v] = f(info, nbrIDs[lo:hi:hi], nbrLabels[lo:hi:hi])
 	}
+	// Choose the message representation per program: the packed Word plane
+	// when every machine speaks it, the general any plane otherwise. Only
+	// the chosen plane's slabs are allocated.
+	if wms, wszs, ok := wordProgram(inst.machines); ok {
+		inst.words = true
+		inst.wms, inst.wszs = wms, wszs
+		inst.win = make([]Word, arcs)
+		inst.wouts = [2][]Word{make([]Word, arcs), make([]Word, arcs)}
+		for _, slab := range [...][]Word{inst.win, inst.wouts[0], inst.wouts[1]} {
+			for j := range slab {
+				slab[j] = NoWord
+			}
+		}
+	} else {
+		inst.in = make([]Message, arcs)
+		inst.outs = [2][]Message{make([]Message, arcs), make([]Message, arcs)}
+	}
 	return inst, nil
 }
 
@@ -347,16 +376,21 @@ func (a *sendStats) add(b sendStats) {
 }
 
 // stepVertex advances one machine and returns its emitted traffic plus
-// whether the vertex halted during this call. prevOut and curOut are the
-// outbox slabs of the previous and the current round: the inbox window is
-// materialized from prevOut through the Mate permutation (this IS message
-// delivery — fused into the step so the slots are written right before
-// Step reads them), the outbox window of curOut is cleared per the Machine
-// contract, and the emitted slots are scanned for Stats while still hot.
-func (inst *instance) stepVertex(v, round int, prevOut, curOut []Message) (sendStats, bool) {
+// whether the vertex halted during this call, dispatching to the plane the
+// program was laid out on. In either plane the inbox window is
+// materialized from the previous round's outbox slab through the Mate
+// permutation (this IS message delivery — fused into the step so the slots
+// are written right before Step reads them), the current outbox window is
+// cleared per the Machine contract, and the emitted slots are scanned for
+// Stats while still hot.
+func (inst *instance) stepVertex(v, round int) (sendStats, bool) {
 	if inst.done[v] {
 		return sendStats{}, false
 	}
+	if inst.words {
+		return inst.stepVertexWord(v, round)
+	}
+	prevOut, curOut := inst.outs[(round&1)^1], inst.outs[round&1]
 	lo, hi := inst.csr.Range(v)
 	mate := inst.csr.Mate[lo:hi:hi]
 	in := inst.in[lo:hi:hi]
@@ -391,17 +425,59 @@ func (inst *instance) stepVertex(v, round int, prevOut, curOut []Message) (sendS
 	return st, halted
 }
 
+// stepVertexWord is stepVertex on the packed plane: same delivery, same
+// clearing discipline, with NoWord in place of nil and no boxing anywhere.
+func (inst *instance) stepVertexWord(v, round int) (sendStats, bool) {
+	prevOut, curOut := inst.wouts[(round&1)^1], inst.wouts[round&1]
+	lo, hi := inst.csr.Range(v)
+	mate := inst.csr.Mate[lo:hi:hi]
+	in := inst.win[lo:hi:hi]
+	out := curOut[lo:hi:hi]
+	for p := range in {
+		in[p] = prevOut[mate[p]]
+		out[p] = NoWord
+	}
+	halted := inst.wms[v].StepWord(round, in, out)
+	if halted {
+		inst.done[v] = true
+	}
+	var st sendStats
+	sz := inst.wszs[v]
+	for _, w := range out {
+		if w == NoWord {
+			continue
+		}
+		st.msgs++
+		b := int64(64)
+		if sz != nil {
+			b = sz.WordBits(w)
+		}
+		st.bits += b
+		if b > st.maxBits {
+			st.maxBits = b
+		}
+	}
+	return st, halted
+}
+
 // retireRound runs at the end of each round, after the slab the round read
 // from (its prevOut) has been fully consumed, and clears in that slab the
 // outbox regions of the vertices that halted this round (killing their
 // stale next-to-last messages) and of those that halted last round
 // (killing their just-consumed final messages). After its two passes over
-// a halted vertex the vertex's region is nil in both slabs and is never
+// a halted vertex the vertex's region is silent in both slabs and is never
 // written again, so inbox materialization reads silence from it forever —
 // the cost is O(deg) once per vertex, not per round.
-func (inst *instance) retireRound(consumed []Message) {
-	inst.retireInto(consumed, inst.newly)
-	inst.retireInto(consumed, inst.pending)
+func (inst *instance) retireRound(round int) {
+	if inst.words {
+		consumed := inst.wouts[(round&1)^1]
+		inst.retireWordsInto(consumed, inst.newly)
+		inst.retireWordsInto(consumed, inst.pending)
+	} else {
+		consumed := inst.outs[(round&1)^1]
+		inst.retireInto(consumed, inst.newly)
+		inst.retireInto(consumed, inst.pending)
+	}
 	inst.pending, inst.newly = inst.newly, inst.pending[:0]
 }
 
@@ -410,6 +486,15 @@ func (inst *instance) retireInto(slab []Message, vs []int32) {
 		lo, hi := inst.csr.Range(int(v))
 		for j := lo; j < hi; j++ {
 			slab[j] = nil
+		}
+	}
+}
+
+func (inst *instance) retireWordsInto(slab []Word, vs []int32) {
+	for _, v := range vs {
+		lo, hi := inst.csr.Range(int(v))
+		for j := lo; j < hi; j++ {
+			slab[j] = NoWord
 		}
 	}
 }
@@ -455,9 +540,8 @@ func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, h
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
-		cur, prev := inst.outs[round&1], inst.outs[(round&1)^1]
 		for v := 0; v < n; v++ {
-			st, halted := inst.stepVertex(v, round, prev, cur)
+			st, halted := inst.stepVertex(v, round)
 			stats.Messages += st.msgs
 			stats.Bits += st.bits
 			if st.maxBits > stats.MaxMessageBits {
@@ -468,7 +552,7 @@ func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, h
 				inst.newly = append(inst.newly, int32(v))
 			}
 		}
-		inst.retireRound(prev)
+		inst.retireRound(round)
 		stats.Rounds++
 		if hook != nil {
 			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
@@ -505,9 +589,8 @@ func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
-		cur, prev := inst.outs[round&1], inst.outs[(round&1)^1]
 		for v := n - 1; v >= 0; v-- {
-			st, halted := inst.stepVertex(v, round, prev, cur)
+			st, halted := inst.stepVertex(v, round)
 			stats.Messages += st.msgs
 			stats.Bits += st.bits
 			if st.maxBits > stats.MaxMessageBits {
@@ -518,7 +601,7 @@ func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds
 				inst.newly = append(inst.newly, int32(v))
 			}
 		}
-		inst.retireRound(prev)
+		inst.retireRound(round)
 		stats.Rounds++
 		if hook != nil {
 			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
@@ -569,13 +652,12 @@ func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hoo
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
-		cur, prev := inst.outs[round&1], inst.outs[(round&1)^1]
 		runShards(n, workers, func(w, lo, hi int) {
 			var h int
 			var s sendStats
 			buf := shardNewly[w][:0]
 			for v := lo; v < hi; v++ {
-				st, vHalted := inst.stepVertex(v, round, prev, cur)
+				st, vHalted := inst.stepVertex(v, round)
 				s.add(st)
 				if vHalted {
 					h++
@@ -593,7 +675,7 @@ func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hoo
 			}
 			inst.newly = append(inst.newly, shardNewly[w]...)
 		}
-		inst.retireRound(prev)
+		inst.retireRound(round)
 		stats.Rounds++
 		if hook != nil {
 			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
