@@ -30,11 +30,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# The race pass targets the packages with real concurrency: the service
-# (cache + worker pool hammer), the simulator's sharded engine, and the
-# parallel-vs-sequential equivalence tests in arbor.
+# The race pass targets the packages with real concurrency: the service —
+# cache + worker pool hammer, the WAL store and admission paths
+# (submit/cancel/restart hammer, sharded batch executor, overload floods)
+# — the simulator's sharded engine, the pooled graph scratch tables, and
+# the service-overload bench workload in svcbench.
 race:
-	$(GO) test -race ./internal/service/ ./internal/sim/ ./internal/graph/
+	$(GO) test -race ./internal/service/ ./internal/sim/ ./internal/graph/ ./internal/svcbench/
 
 # One pass over every benchmark in the repository (root tables suite,
 # internal/sim data-plane benchmarks, ...). -benchtime 1x keeps it a smoke

@@ -48,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	server := flag.String("server", "", "base URL of a running colord instance; when set, colorbench becomes a load generator driving the service instead of running in-process")
+	overload := flag.Int("overload", 0, "with -server: instead of the sweeps, flood the instance with this many tiny submissions (retries off) and report the accepted/shed split, shed latency, and readiness before/after")
 	jsonMode := flag.Bool("json", false, "run the simulator-core perf suite and emit a machine-readable report instead of the paper tables")
 	out := flag.String("out", "BENCH_simcore.json", "with -json: where to write the report (\"-\" for stdout)")
 	check := flag.String("check", "", "with -json: compare the run against this baseline report instead of writing one; exit non-zero on regression")
@@ -68,6 +69,13 @@ func main() {
 	}
 
 	if *server != "" {
+		if *overload > 0 {
+			if err := runOverload(ctx, *server, *overload, 32); err != nil {
+				fmt.Fprintf(os.Stderr, "colorbench: overload: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runRemote(ctx, *server, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "colorbench: remote: %v\n", err)
 			os.Exit(1)

@@ -2,13 +2,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	distcolor "repro"
 	"repro/internal/bench"
+	"repro/internal/gen"
 	"repro/internal/service"
 )
 
@@ -60,33 +64,10 @@ func remoteSweeps(seed int64, quick bool) []remoteSweep {
 	}
 }
 
-// waitJob polls the job until it is terminal, the timeout elapses, or ctx
-// is canceled (Ctrl-C must interrupt a sweep mid-wait).
-func waitJob(ctx context.Context, c *service.Client, id string, timeout time.Duration) (service.JobStatus, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		st, err := c.Status(id)
-		if err != nil {
-			return st, err
-		}
-		if st.State.Terminal() {
-			return st, nil
-		}
-		if time.Now().After(deadline) {
-			return st, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
-		}
-		select {
-		case <-ctx.Done():
-			return st, ctx.Err()
-		case <-time.After(50 * time.Millisecond):
-		}
-	}
-}
-
 // runRemote drives the colord instance at base through the sweeps.
 func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 	c := &service.Client{Base: base}
-	before, err := c.Metrics()
+	before, err := c.Metrics(ctx)
 	if err != nil {
 		return fmt.Errorf("cannot reach colord at %s: %w", base, err)
 	}
@@ -99,7 +80,7 @@ func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			batch, err := c.Generate(service.GenerateRequest{Gen: sw.gen, Template: sw.tmpl})
+			batch, err := c.Generate(ctx, service.GenerateRequest{Gen: sw.gen, Template: sw.tmpl})
 			if err != nil {
 				return fmt.Errorf("sweep %s pass %d: %w", sw.name, pass, err)
 			}
@@ -107,7 +88,7 @@ func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 				if job.Error != "" {
 					return fmt.Errorf("sweep %s pass %d job %d: %s", sw.name, pass, i, job.Error)
 				}
-				st, err := waitJob(ctx, c, job.ID, 10*time.Minute)
+				st, err := c.Wait(ctx, job.ID, 50*time.Millisecond, 10*time.Minute)
 				if err != nil {
 					return err
 				}
@@ -140,7 +121,7 @@ func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 		return err
 	}
 
-	after, err := c.Metrics()
+	after, err := c.Metrics(ctx)
 	if err != nil {
 		return err
 	}
@@ -152,5 +133,82 @@ func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 		after.CacheBadHits-before.CacheBadHits,
 		after.RoundsTotal-before.RoundsTotal,
 		after.MessagesTotal-before.MessagesTotal)
+	return nil
+}
+
+// runOverload floods the colord instance at base with tiny submissions —
+// retries disabled so every 429 is observed — and reports the admission
+// split (accepted vs shed), shed-response latency, and the readiness view
+// before and after. The in-process twin of this scenario (a frozen server,
+// deterministic occupancy) is the service/overload workload gated by
+// BENCH_simcore.json; this remote mode measures a live daemon instead.
+func runOverload(ctx context.Context, base string, n, concurrency int) error {
+	c := &service.Client{Base: base, MaxRetries: -1}
+	h0, err := c.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("cannot reach colord at %s: %w", base, err)
+	}
+	fmt.Printf("healthz before: ready=%v queue=%d/%d inflight=%dB\n", h0.Ready, h0.QueueDepth, h0.QueueCap, h0.InflightBytes)
+
+	type outcome struct {
+		shed bool
+		err  error
+		dur  time.Duration
+	}
+	results := make([]outcome, n)
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g := gen.GNP(24, 0.2, int64(i)) // distinct seeds defeat the cache
+			req := &distcolor.Request{Algorithm: distcolor.AlgoEdgeGreedy, Graph: distcolor.Spec(g)}
+			t0 := time.Now()
+			_, err := c.Submit(ctx, req)
+			d := time.Since(t0)
+			var he *service.HTTPError
+			switch {
+			case err == nil:
+				results[i] = outcome{dur: d}
+			case errors.As(err, &he) && he.Code == http.StatusTooManyRequests:
+				results[i] = outcome{shed: true, dur: d}
+			default:
+				results[i] = outcome{err: err, dur: d}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	accepted, shed := 0, 0
+	var shedTotal, shedMax time.Duration
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			return fmt.Errorf("overload submission failed outside admission: %w", r.err)
+		case r.shed:
+			shed++
+			shedTotal += r.dur
+			if r.dur > shedMax {
+				shedMax = r.dur
+			}
+		default:
+			accepted++
+		}
+	}
+	h1, err := c.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flood: %d submissions → %d accepted, %d shed (429)\n", n, accepted, shed)
+	if shed > 0 {
+		fmt.Printf("shed latency: mean %v, max %v\n", shedTotal/time.Duration(shed), shedMax)
+	}
+	fmt.Printf("healthz after:  ready=%v queue=%d/%d inflight=%dB\n", h1.Ready, h1.QueueDepth, h1.QueueCap, h1.InflightBytes)
+	if shed == 0 {
+		fmt.Println("note: nothing was shed — raise -overload or lower the server's -queue/-max-inflight-bytes to exercise admission")
+	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/bench"
+	"repro/internal/svcbench"
 )
 
 func runSimCoreJSON(ctx context.Context, outPath, checkPath string, tolerance float64) error {
@@ -21,6 +22,14 @@ func runSimCoreJSON(ctx context.Context, outPath, checkPath string, tolerance fl
 	if err != nil {
 		return err
 	}
+	// The service-layer workloads ride the same report; they live in
+	// internal/svcbench (importing the service from internal/bench would
+	// cycle through the root package's tests).
+	overload, err := svcbench.OverloadResult(ctx)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, overload)
 	printSimCore(rep)
 	if checkPath != "" {
 		return checkSimCore(rep, checkPath, tolerance)

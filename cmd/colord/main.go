@@ -17,9 +17,17 @@
 //	curl -s localhost:8080/v1/jobs/j1/result    # fetch the coloring
 //	curl -s localhost:8080/v1/jobs/j1/trace     # stream the round trace
 //	curl -s localhost:8080/v1/metrics           # cache hits, rounds, ...
+//	curl -s localhost:8080/v1/healthz           # readiness (503 = shedding)
 //
 // Submitting the same graph (or any isomorphic relabeling of it) again is
 // answered from the result cache without re-simulation.
+//
+// With -data-dir the daemon is durable: every submission and result is
+// journaled to a write-ahead job store, and a restart (or crash) replays
+// the journal — finished jobs keep serving their results, interrupted jobs
+// re-run. -max-inflight-bytes bounds accepted-but-unfinished work; beyond
+// it submissions are shed with 429 + Retry-After instead of growing the
+// queue without bound. See DESIGN.md §6.
 package main
 
 import (
@@ -44,16 +52,27 @@ func main() {
 	maxN := flag.Int("max-vertices", 0, "reject graphs with more vertices (0 = default 200000, negative disables)")
 	maxM := flag.Int("max-edges", 0, "reject graphs with more edges (0 = default 2000000, negative disables)")
 	parallel := flag.Bool("parallel", false, "run every job on the goroutine-sharded simulator engine (results are bit-identical; wall-clock policy only)")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead job store; submissions and results survive crashes and are replayed on restart (empty = memory-only)")
+	maxInflight := flag.Int64("max-inflight-bytes", 0, "admission bound on the estimated bytes of accepted-but-unfinished jobs; submissions beyond it get 429 + Retry-After (0 = default 256 MiB, negative disables)")
 	flag.Parse()
 
-	srv := service.NewServer(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		MaxVertices:  *maxN,
-		MaxEdges:     *maxM,
-		Parallel:     *parallel,
+	srv, err := service.NewServer(service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		MaxVertices:      *maxN,
+		MaxEdges:         *maxM,
+		Parallel:         *parallel,
+		DataDir:          *dataDir,
+		MaxInflightBytes: *maxInflight,
 	})
+	if err != nil {
+		log.Fatalf("colord: %v", err)
+	}
+	if *dataDir != "" {
+		m := srv.Metrics()
+		log.Printf("colord: job store at %s: recovered %d jobs (%d re-enqueued)", *dataDir, m.Recovered, m.QueueDepth)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -118,6 +118,38 @@ func (r *Request) ResolvedParams() (Params, error) {
 	return a.resolve(r.params(a))
 }
 
+// JobRecordSchema versions the persisted job record layout. Bump it when a
+// field changes meaning or serialized form; readers must reject records with
+// a schema they do not understand rather than guess (the colord write-ahead
+// job store does exactly that on replay).
+const JobRecordSchema = 1
+
+// JobRecord is the stable persisted form of one service job: what the
+// colord write-ahead log journals at submission, on state transitions, and
+// at the terminal result. It is defined beside the wire codec because it is
+// one — a JobRecord must survive process restarts and version skew exactly
+// like a Request on the wire, so it carries an explicit Schema and reuses
+// the stable Request/Response types rather than any in-memory job shape.
+//
+// A journal entry is a partial record merged by ID during replay: the
+// submission entry carries Request, later entries carry only the state
+// delta, and the terminal entry carries the outcome (Error or Response).
+// Compaction condenses a job's entries into one full record.
+type JobRecord struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	// State is the service-layer lifecycle phase
+	// (queued|running|done|failed|canceled), or the journal-only marker
+	// "forgotten" recording that the service dropped the job from its
+	// bounded retention (replay then drops it too).
+	State    string    `json:"state"`
+	Request  *Request  `json:"request,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Response *Response `json:"response,omitempty"`
+	WallMS   int64     `json:"wall_ms,omitempty"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
+}
+
 // Response is the result of executing a Request. Kind tells whether Colors
 // is indexed by edge identifiers or by vertices.
 type Response struct {

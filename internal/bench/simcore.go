@@ -155,12 +155,15 @@ func exchangeWordsFactory(rounds int) sim.Factory {
 	}
 }
 
-// measureOp times one workload execution repeatedly and returns the
+// MeasureOp times one workload execution repeatedly and returns the
 // fastest observed op with its leanest heap-allocation profile. Taking
 // the minimum rather than the mean makes the numbers reproducible on
 // noisy shared runners (interference only ever slows an op down, never
 // speeds it up), which is what lets bench-check hold a 15% band in CI.
-func measureOp(fn func() error) (nsPerOp, allocsPerOp, bytesPerOp int64, err error) {
+// Exported for the suite extensions that cannot live in this package
+// (internal/svcbench measures the colord admission path; importing the
+// service layer here would cycle through the root package's tests).
+func MeasureOp(fn func() error) (nsPerOp, allocsPerOp, bytesPerOp int64, err error) {
 	if err := fn(); err != nil { // warm-up: caches, lazy inits, first GC growth
 		return 0, 0, 0, err
 	}
@@ -202,7 +205,7 @@ func measurePlane(ctx context.Context, name string, eng sim.Engine, topo *sim.To
 	if err != nil {
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
 	}
-	ns, allocs, bytes, err := measureOp(func() error {
+	ns, allocs, bytes, err := MeasureOp(func() error {
 		_, err := eng.Run(ctx, topo, prog(simCoreRounds), simCoreRounds+2)
 		return err
 	})
@@ -261,7 +264,7 @@ func measureAlgo(name string, run func(verify bool) (colors int64, stats sim.Sta
 	if err != nil {
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
 	}
-	ns, allocs, bytes, err := measureOp(func() error {
+	ns, allocs, bytes, err := MeasureOp(func() error {
 		_, _, err := run(false)
 		return err
 	})

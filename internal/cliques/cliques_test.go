@@ -200,3 +200,26 @@ func TestCoverFromMaximalCliques(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRestrictDoesNotLeakDenseIndex audits Cover.Restrict's pooled-index
+// discipline: one recursion's worth of restrictions must leave the pool
+// balanced (Restrict runs once per CD-Coloring level, so a leak here grows
+// with recursion depth).
+func TestRestrictDoesNotLeakDenseIndex(t *testing.T) {
+	g := rg(16, 30, 0.5)
+	c, err := CoverFromMaximalCliques(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := graph.InducedSubgraph(g, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked := graph.LeakCheckDenseIndexes(func() {
+		for i := 0; i < 8; i++ {
+			c.Restrict(sub)
+		}
+	}); leaked != 0 {
+		t.Fatalf("Cover.Restrict leaked %d pooled dense indexes", leaked)
+	}
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DenseIndex is a reusable vertex→index translation table: the
 // allocation-free replacement for the `map[int]int` (and `map[int32]int32`)
@@ -16,6 +19,10 @@ type DenseIndex struct {
 	stamp []uint32
 	val   []int32
 	cur   uint32
+	// released guards the pool discipline: Release on an already-released
+	// index panics instead of double-pooling it (two later acquirers would
+	// share "distinct" tables and silently corrupt each other's entries).
+	released bool
 }
 
 // Reset prepares the table for keys in [0, n), forgetting all entries in
@@ -55,13 +62,47 @@ func (d *DenseIndex) Has(key int) bool { return d.stamp[key] == d.cur }
 
 var denseIndexPool = sync.Pool{New: func() any { return new(DenseIndex) }}
 
+// denseIndexLive counts acquired-but-unreleased pooled indexes; see
+// LiveDenseIndexes.
+var denseIndexLive atomic.Int64
+
 // AcquireDenseIndex returns a pooled table Reset for keys in [0, n).
+// Balance every acquisition with exactly one Release — `defer d.Release()`
+// immediately after acquiring, so error returns cannot leak the index.
 func AcquireDenseIndex(n int) *DenseIndex {
 	d := denseIndexPool.Get().(*DenseIndex)
+	d.released = false
+	denseIndexLive.Add(1)
 	d.Reset(n)
 	return d
 }
 
 // Release returns the table to the pool. The caller must not use it
-// afterwards.
-func (d *DenseIndex) Release() { denseIndexPool.Put(d) }
+// afterwards; releasing twice panics (a double-pooled table would be
+// handed to two acquirers at once and corrupt both).
+func (d *DenseIndex) Release() {
+	if d.released {
+		panic("graph: DenseIndex released twice")
+	}
+	d.released = true
+	denseIndexLive.Add(-1)
+	denseIndexPool.Put(d)
+}
+
+// LiveDenseIndexes reports the number of acquired-but-unreleased pooled
+// indexes. It is a leak detector for tests: wrap an operation with
+// LeakCheckDenseIndexes (or diff this counter around it) and require zero
+// growth — including on the operation's error paths, which is where the
+// defer-less call sites historically leaked.
+func LiveDenseIndexes() int64 { return denseIndexLive.Load() }
+
+// LeakCheckDenseIndexes runs fn and returns how many pooled indexes it
+// acquired without releasing (negative would mean an over-release, which
+// the double-release panic makes unreachable). Tests assert a zero return.
+// The counter is process-global: do not run it concurrently with other
+// acquirers.
+func LeakCheckDenseIndexes(fn func()) int64 {
+	before := denseIndexLive.Load()
+	fn()
+	return denseIndexLive.Load() - before
+}

@@ -1,0 +1,51 @@
+package graph
+
+import "testing"
+
+func TestDenseIndexBasics(t *testing.T) {
+	d := AcquireDenseIndex(8)
+	defer d.Release()
+	if d.Has(3) {
+		t.Fatal("fresh index reports a key")
+	}
+	d.Put(3, 7)
+	if v, ok := d.Get(3); !ok || v != 7 {
+		t.Fatalf("Get(3) = %d,%v", v, ok)
+	}
+	d.Reset(8)
+	if d.Has(3) {
+		t.Fatal("Reset did not forget key 3")
+	}
+}
+
+func TestDenseIndexDoubleReleasePanics(t *testing.T) {
+	d := AcquireDenseIndex(4)
+	d.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	d.Release()
+}
+
+// TestInducedSubgraphDoesNotLeakDenseIndex audits the pooled-index
+// discipline of InducedSubgraph on its success path and on every
+// early-return error path (out-of-range vertex, duplicate vertex) — the
+// paths a defer-less Release would leak on.
+func TestInducedSubgraphDoesNotLeakDenseIndex(t *testing.T) {
+	g := Cycle(8)
+	if leaked := LeakCheckDenseIndexes(func() {
+		if _, err := InducedSubgraph(g, []int{0, 1, 2, 3}); err != nil {
+			t.Errorf("valid induced subgraph failed: %v", err)
+		}
+		if _, err := InducedSubgraph(g, []int{0, 99}); err == nil {
+			t.Error("out-of-range vertex accepted")
+		}
+		if _, err := InducedSubgraph(g, []int{0, 1, 1}); err == nil {
+			t.Error("duplicate vertex accepted")
+		}
+	}); leaked != 0 {
+		t.Fatalf("InducedSubgraph leaked %d pooled dense indexes", leaked)
+	}
+}

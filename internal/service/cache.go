@@ -39,29 +39,66 @@ type canonForm struct {
 	coverHash string
 }
 
-func canonicalize(g *graph.Graph, req *distcolor.Request) *canonForm {
+// CoverVertexError reports a clique-cover vertex outside the graph's vertex
+// range, detected at canonicalization time. Before this check, such a
+// vertex was silently skipped from the cover fingerprint, so an invalid
+// cover could alias a valid cover's cache key — and be *served* the valid
+// cover's cached coloring instead of being rejected.
+type CoverVertexError struct {
+	Clique int   // index of the offending clique in the request's cover
+	Vertex int32 // the out-of-range vertex
+	N      int   // the graph's vertex count
+}
+
+func (e *CoverVertexError) Error() string {
+	return fmt.Sprintf("service: clique %d lists vertex %d, outside the graph's range [0,%d)", e.Clique, e.Vertex, e.N)
+}
+
+// validateCoverRange rejects clique-cover vertices outside the graph's
+// vertex range with a typed *CoverVertexError. Submit runs it on every
+// cover-carrying request — not only cacheable ones — so an invalid cover is
+// rejected identically whether or not the cache (where the aliasing bug
+// lived) is in play.
+func validateCoverRange(req *distcolor.Request) error {
+	for i, cl := range req.Graph.Cliques {
+		for _, v := range cl {
+			if v < 0 || int(v) >= req.Graph.N {
+				return &CoverVertexError{Clique: i, Vertex: v, N: req.Graph.N}
+			}
+		}
+	}
+	return nil
+}
+
+func canonicalize(g *graph.Graph, req *distcolor.Request) (*canonForm, error) {
 	perm := graph.CanonicalLabeling(g)
 	ord, hash := graph.CanonicalForm(g, perm)
 	c := &canonForm{perm: perm, ord: ord, hash: hash}
 	if len(req.Graph.Cliques) > 0 {
-		c.coverHash = coverHash(req.Graph.Cliques, perm)
+		ch, err := coverHash(req.Graph.Cliques, perm)
+		if err != nil {
+			return nil, err
+		}
+		c.coverHash = ch
 	}
-	return c
+	return c, nil
 }
 
 // coverHash fingerprints a clique cover under the canonical labeling: each
 // clique's vertices map through perm and sort, and the cliques themselves
-// sort lexicographically, so isomorphic (graph, cover) pairs agree.
-func coverHash(cliques [][]int32, perm []int32) string {
+// sort lexicographically, so isomorphic (graph, cover) pairs agree. A
+// vertex outside [0, len(perm)) cannot be canonicalized and is rejected
+// with a *CoverVertexError rather than skipped — two covers differing only
+// in invalid vertices must never share a fingerprint.
+func coverHash(cliques [][]int32, perm []int32) (string, error) {
 	mapped := make([][]int32, len(cliques))
 	for i, cl := range cliques {
 		m := make([]int32, len(cl))
 		for k, v := range cl {
-			if int(v) < len(perm) {
-				m[k] = perm[v]
-			} else {
-				m[k] = v // out-of-range covers fail validation later
+			if v < 0 || int(v) >= len(perm) {
+				return "", &CoverVertexError{Clique: i, Vertex: v, N: len(perm)}
 			}
+			m[k] = perm[v]
 		}
 		sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
 		mapped[i] = m
@@ -85,7 +122,7 @@ func coverHash(cliques [][]int32, perm []int32) string {
 			h.Write(buf[:])
 		}
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // cacheKey combines the canonical structure hash with the algorithm name

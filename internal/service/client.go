@@ -3,10 +3,12 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,12 +17,38 @@ import (
 
 // Client talks to a running colord instance over its JSON API. It is what
 // cmd/colorbench uses in -server mode, and doubles as the reference client
-// for the wire protocol.
+// for the wire protocol. Every method is context-aware, and requests shed
+// by the server's admission control (HTTP 429) are retried with backoff,
+// honoring the server's Retry-After hint — a 429 means the work was not
+// accepted, so retrying can never duplicate a job.
 type Client struct {
 	// Base is the server root, e.g. "http://localhost:8080".
 	Base string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+	// MaxRetries bounds how many times a 429-shed request is retried
+	// before the error surfaces (0 selects the default 4; negative
+	// disables retrying — overload tests and load generators want to see
+	// every 429).
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 100ms), doubling per
+	// attempt up to 5s; the server's Retry-After header overrides the
+	// computed backoff when larger.
+	RetryBase time.Duration
+}
+
+// HTTPError is a non-2xx response from the server, with the decoded error
+// body when one was sent. Retries are exhausted before it surfaces.
+type HTTPError struct {
+	Code    int
+	Message string
+}
+
+func (e *HTTPError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("colord: HTTP %d: %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("colord: HTTP %d", e.Code)
 }
 
 func (c *Client) http() *http.Client {
@@ -34,112 +62,200 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
 }
 
+func (c *Client) retries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryDelay picks the wait before the attempt'th retry of a shed request:
+// exponential backoff from RetryBase capped at 5s, stretched to the
+// server's Retry-After header when that is larger.
+func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	d := c.retryBase() << attempt
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && time.Duration(secs)*time.Second > d {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	return d
+}
+
 // do sends a request and decodes the JSON body into out (skipped when out
-// is nil). Non-2xx responses decode the server's error body.
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+// is nil). Non-2xx responses decode the server's error body into an
+// *HTTPError; 429s are retried first.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequest(method, c.url(path), body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var eb errorBody
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			return fmt.Errorf("colord: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
 		}
-		return fmt.Errorf("colord: %s %s: HTTP %d", method, path, resp.StatusCode)
+		req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.retries() {
+			delay := c.retryDelay(attempt, resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err := sleepCtx(ctx, delay); err != nil {
+				return err
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			he := &HTTPError{Code: resp.StatusCode}
+			var eb errorBody
+			if json.NewDecoder(resp.Body).Decode(&eb) == nil {
+				he.Message = eb.Error
+			}
+			return fmt.Errorf("colord: %s %s: %w", method, path, he)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Submit sends one workload and returns its job status (already done on a
 // cache hit).
-func (c *Client) Submit(req *distcolor.Request) (JobStatus, error) {
+func (c *Client) Submit(ctx context.Context, req *distcolor.Request) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(http.MethodPost, "/v1/jobs", req, &st)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
 	return st, err
 }
 
-// Batch submits many workloads in one call.
-func (c *Client) Batch(reqs []distcolor.Request) (BatchResponse, error) {
+// Batch submits many workloads in one call. Outcomes are per-item — check
+// each BatchJob for Error/Retryable; a 200 batch response can still carry
+// shed items.
+func (c *Client) Batch(ctx context.Context, reqs []distcolor.Request) (BatchResponse, error) {
 	var out BatchResponse
-	err := c.do(http.MethodPost, "/v1/batch", BatchRequest{Requests: reqs}, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/batch", BatchRequest{Requests: reqs}, &out)
 	return out, err
 }
 
 // Generate asks the server to synthesize and submit workloads.
-func (c *Client) Generate(req GenerateRequest) (BatchResponse, error) {
+func (c *Client) Generate(ctx context.Context, req GenerateRequest) (BatchResponse, error) {
 	var out BatchResponse
-	err := c.do(http.MethodPost, "/v1/generate", req, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/generate", req, &out)
 	return out, err
 }
 
 // Status fetches a job's status.
-func (c *Client) Status(id string) (JobStatus, error) {
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 
 // Cancel requests cancellation.
-func (c *Client) Cancel(id string) (JobStatus, error) {
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &st)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &st)
 	return st, err
 }
 
 // Result fetches the coloring of a done job.
-func (c *Client) Result(id string) (*distcolor.Response, error) {
+func (c *Client) Result(ctx context.Context, id string) (*distcolor.Response, error) {
 	var resp distcolor.Response
-	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // Metrics fetches the server counters.
-func (c *Client) Metrics() (Metrics, error) {
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var m Metrics
-	err := c.do(http.MethodGet, "/v1/metrics", nil, &m)
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m)
 	return m, err
+}
+
+// Healthz fetches the admission readiness view. A shedding server answers
+// 503 with the same Health body, which is not an error here — callers read
+// Ready.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return Health{}, &HTTPError{Code: resp.StatusCode}
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, err
+	}
+	return h, nil
 }
 
 // Algorithms fetches the server's algorithm registry metadata: every
 // registered algorithm with its kind and parameter schema, so clients can
 // discover and validate workloads without hardcoding algorithm knowledge.
-func (c *Client) Algorithms() ([]distcolor.AlgorithmInfo, error) {
+func (c *Client) Algorithms(ctx context.Context) ([]distcolor.AlgorithmInfo, error) {
 	var out []distcolor.AlgorithmInfo
-	err := c.do(http.MethodGet, "/v1/algorithms", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/algorithms", nil, &out)
 	return out, err
 }
 
-// Wait polls until the job is terminal or the timeout elapses, returning
-// the last observed status.
-func (c *Client) Wait(id string, poll, timeout time.Duration) (JobStatus, error) {
+// Wait polls until the job is terminal, ctx is done, or the timeout
+// elapses (when positive), returning the last observed status. Between
+// polls it sleeps poll (default 50ms), waking early on ctx cancellation.
+func (c *Client) Wait(ctx context.Context, id string, poll, timeout time.Duration) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
 	deadline := time.Now().Add(timeout)
 	for {
-		st, err := c.Status(id)
+		st, err := c.Status(ctx, id)
 		if err != nil {
 			return st, err
 		}
@@ -149,14 +265,28 @@ func (c *Client) Wait(id string, poll, timeout time.Duration) (JobStatus, error)
 		if timeout > 0 && time.Now().After(deadline) {
 			return st, fmt.Errorf("colord: job %s still %s after %v", id, st.State, timeout)
 		}
-		time.Sleep(poll)
+		if err := sleepCtx(ctx, poll); err != nil {
+			return st, err
+		}
 	}
 }
 
+// WaitTimeout is the pre-context signature of Wait.
+//
+// Deprecated: use Wait with a context, which can be canceled between polls.
+func (c *Client) WaitTimeout(id string, poll, timeout time.Duration) (JobStatus, error) {
+	return c.Wait(context.Background(), id, poll, timeout)
+}
+
 // Trace streams the job's round trace, invoking fn for every event until
-// the stream's end line; it returns the job's final state.
-func (c *Client) Trace(id string, fn func(TraceEvent)) (State, error) {
-	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/trace"))
+// the stream's end line; it returns the job's final state. Canceling ctx
+// tears the stream down.
+func (c *Client) Trace(ctx context.Context, id string, fn func(TraceEvent)) (State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/trace"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return "", err
 	}

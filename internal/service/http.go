@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	distcolor "repro"
 	"repro/internal/gen"
@@ -14,16 +15,16 @@ import (
 
 // HTTP surface of the service (all JSON):
 //
-//	POST /v1/jobs              Request                → JobStatus (202; 200 on cache hit)
+//	POST /v1/jobs              Request                → JobStatus (202; 200 on cache hit; 429 + Retry-After when shed)
 //	GET  /v1/jobs/{id}         —                      → JobStatus
 //	GET  /v1/jobs/{id}/result  —                      → Response (409 until done)
 //	GET  /v1/jobs/{id}/trace   ?after=<seq>           → NDJSON stream of TraceEvents, live until terminal
 //	POST /v1/jobs/{id}/cancel  —                      → JobStatus
-//	POST /v1/batch             BatchRequest           → BatchResponse
+//	POST /v1/batch             BatchRequest           → BatchResponse (sharded; per-item partial failure)
 //	POST /v1/generate          GenerateRequest        → BatchResponse (graphs built server-side)
 //	GET  /v1/metrics           —                      → Metrics
 //	GET  /v1/algorithms        —                      → [AlgorithmInfo] (registry metadata: names, kinds, parameter schemas)
-//	GET  /v1/healthz           —                      → {"ok":true}
+//	GET  /v1/healthz           —                      → Health (200 ready / 503 shedding)
 
 // BatchRequest submits many workloads in one call.
 type BatchRequest struct {
@@ -36,12 +37,19 @@ type BatchResponse struct {
 	Jobs []BatchJob `json:"jobs"`
 }
 
-// BatchJob is one submission outcome within a batch.
+// BatchJob is one submission outcome within a batch. Under load the normal
+// case is partial failure: some items accepted, some shed. Shed items carry
+// Retryable plus the server's backoff hint so a client can resubmit exactly
+// the refused slice.
 type BatchJob struct {
 	ID       string `json:"id,omitempty"`
 	State    State  `json:"state,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Retryable marks a load-shed (not invalid) item; RetryAfterMS is the
+	// suggested resubmission delay.
+	Retryable    bool  `json:"retryable,omitempty"`
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // GenSpec names a synthetic workload family from internal/gen.
@@ -227,10 +235,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, distcolor.DescribeAlgorithms())
 	})
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz serves the admission readiness view: 200 while the server
+// would accept new work, 503 once either admission bound is exhausted —
+// load balancers drain a saturated instance before its clients see 429s.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if !h.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // boundBody caps how much of a request body a handler will read, so the
@@ -260,13 +278,28 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // submitCode maps a submission error to an HTTP status.
 func submitCode(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeSubmitErr renders a submission failure; load sheds get 429 with a
+// Retry-After header carrying the server's backoff estimate (whole seconds,
+// rounded up, per RFC 9110).
+func writeSubmitErr(w http.ResponseWriter, err error) {
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		secs := int64((ov.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeErr(w, submitCode(err), err)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -277,7 +310,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Submit(&req)
 	if err != nil {
-		writeErr(w, submitCode(err), err)
+		writeSubmitErr(w, err)
 		return
 	}
 	code := http.StatusAccepted
@@ -357,19 +390,6 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		reqs = append(reqs, one)
 	}
 	writeJSON(w, http.StatusOK, s.submitAll(reqs))
-}
-
-func (s *Server) submitAll(reqs []distcolor.Request) BatchResponse {
-	out := BatchResponse{Jobs: make([]BatchJob, len(reqs))}
-	for i := range reqs {
-		st, err := s.Submit(&reqs[i])
-		if err != nil {
-			out.Jobs[i] = BatchJob{Error: err.Error()}
-			continue
-		}
-		out.Jobs[i] = BatchJob{ID: st.ID, State: st.State, CacheHit: st.CacheHit}
-	}
-	return out
 }
 
 // traceEnd is the final line of a trace stream.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func TestAlgorithmsEndpointServesRegistry(t *testing.T) {
 	defer ts.Close()
 	c := &Client{Base: ts.URL}
 
-	infos, err := c.Algorithms()
+	infos, err := c.Algorithms(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

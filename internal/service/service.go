@@ -7,6 +7,17 @@
 // resubmission of a served workload is answered by remapping the cached
 // coloring through the canonical labeling instead of re-simulating.
 //
+// The service is durable and backpressured. With Config.DataDir set, every
+// submission, state transition, and terminal result is journaled to a
+// write-ahead job store (store.go) before it becomes externally visible, so
+// a crash loses nothing: on restart the journal replays, terminal jobs keep
+// serving their verified results, and non-terminal jobs are re-enqueued and
+// re-run (exactly-once job identity, at-least-once execution). Admission
+// control (admission.go) bounds both queue depth and the estimated bytes of
+// in-flight work; submissions over either bound are shed with a typed
+// overload error (HTTP 429 + Retry-After) and /v1/healthz turns not-ready,
+// instead of the queue growing until the daemon OOMs.
+//
 // Observability is native: each job records the per-round progress of every
 // constituent distributed execution (via sim.Observed round hooks), which
 // the HTTP layer exposes as a streaming NDJSON round trace, and the server
@@ -72,6 +83,24 @@ type Config struct {
 	// construction), so this is purely a wall-clock policy and does not
 	// participate in cache keys.
 	Parallel bool
+	// DataDir enables the write-ahead job store: submissions, state
+	// transitions, and terminal results are journaled under this directory
+	// and replayed on the next start (terminal jobs keep their results,
+	// interrupted jobs re-run). Empty leaves the service memory-only, as
+	// before. The store assumes a single server instance per directory.
+	DataDir string
+	// SegmentBytes caps one journal segment before rotation (default 8 MiB).
+	SegmentBytes int64
+	// MaxInflightBytes bounds the estimated resident bytes of
+	// accepted-but-unfinished jobs (default 256 MiB; negative disables the
+	// bound). Submissions beyond it are shed with an *OverloadError. A
+	// single request whose own estimate exceeds the bound is rejected
+	// outright (not retryable) — it could never be admitted.
+	MaxInflightBytes int64
+	// Frozen starts the server with no workers, so accepted jobs queue
+	// forever. For admission/overload tests and benchmarks only: it turns
+	// the service into a pure front door with deterministic occupancy.
+	Frozen bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +133,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceDepth <= 0 {
 		c.TraceDepth = 4096
+	}
+	if c.MaxInflightBytes == 0 {
+		c.MaxInflightBytes = 256 << 20
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 8 << 20
 	}
 	return c
 }
@@ -162,13 +197,23 @@ type JobStatus struct {
 
 // Metrics is a snapshot of the server's aggregate counters.
 type Metrics struct {
-	Submitted   int64 `json:"submitted"`
-	Completed   int64 `json:"completed"`
-	Failed      int64 `json:"failed"`
-	Canceled    int64 `json:"canceled"`
-	Rejected    int64 `json:"rejected"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+	// Shed counts submissions refused by admission control (queue depth or
+	// in-flight bytes) — the 429s; Rejected counts invalid ones (400s).
+	Shed int64 `json:"shed"`
+	// Recovered counts jobs replayed from the write-ahead store at startup
+	// (both re-enqueued and terminal ones).
+	Recovered int64 `json:"recovered"`
+	// InflightBytes is the admission charge of accepted-but-unfinished
+	// jobs; MaxInflightBytes is its bound (0 = unbounded).
+	InflightBytes    int64 `json:"inflight_bytes"`
+	MaxInflightBytes int64 `json:"max_inflight_bytes"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
 	// CacheBadHits counts canonical-hash collisions detected by post-remap
 	// verification (served as misses).
 	CacheBadHits int64 `json:"cache_bad_hits"`
@@ -185,7 +230,9 @@ type Metrics struct {
 	Jobs          int   `json:"jobs"`
 }
 
-// ErrQueueFull is returned by Submit when the work queue is at capacity.
+// ErrQueueFull matches (via errors.Is) the queue-depth load shed; retained
+// for pre-admission-control callers. New code should match ErrOverloaded
+// and inspect *OverloadError for the Retry-After hint.
 var ErrQueueFull = errors.New("service: work queue full")
 
 // ErrClosed is returned by Submit after Close.
@@ -217,6 +264,11 @@ type job struct {
 	// the result; nil when caching is disabled.
 	canon *canonForm
 	key   string
+
+	// cost is the job's admission charge (jobCost at submission), released
+	// at the terminal transition; 0 for jobs that were never charged
+	// (cache hits, recovered terminal jobs).
+	cost int64
 
 	mu         sync.Mutex
 	cond       *sync.Cond    // broadcast on every state/trace change
@@ -273,17 +325,21 @@ func (j *job) status() JobStatus {
 type Server struct {
 	cfg   Config
 	cache *resultCache
+	store *Store // write-ahead job store; nil without Config.DataDir
 
-	mu        sync.Mutex
-	queueCond *sync.Cond // signaled when queue gains work or the server closes
-	closed    bool
-	nextID    int64
-	jobs      map[string]*job
-	order     []string // submission order, for bounded retention
-	queue     []*job   // FIFO of not-yet-started jobs; canceled jobs are removed in place
-	wg        sync.WaitGroup
-	metrics   struct {
+	mu            sync.Mutex
+	queueCond     *sync.Cond // signaled when queue gains work or the server closes
+	closed        bool
+	nextID        int64
+	jobs          map[string]*job
+	order         []string // submission order, for bounded retention
+	queue         []*job   // FIFO of not-yet-started jobs; canceled jobs are removed in place
+	queueReserved int      // admitted submissions journaling outside s.mu, not yet in queue
+	inflightBytes int64    // admission charge of accepted-but-unfinished jobs
+	wg            sync.WaitGroup
+	metrics       struct {
 		submitted, completed, failed, canceled, rejected int64
+		shed, recovered                                  int64
 		cacheHits, cacheMisses, cacheBadHits             int64
 		cacheSkipped                                     int64
 		running                                          int
@@ -291,8 +347,11 @@ type Server struct {
 	}
 }
 
-// NewServer starts a server with cfg's worker pool running.
-func NewServer(cfg Config) *Server {
+// NewServer opens the job store (when Config.DataDir is set), replays and
+// re-enqueues any work a previous process left non-terminal, and starts the
+// worker pool. The only error paths are store ones; a memory-only config
+// never fails.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:  cfg,
@@ -302,15 +361,117 @@ func NewServer(cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries)
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if cfg.DataDir != "" {
+		store, recovered, err := OpenStore(cfg.DataDir, cfg.SegmentBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		if err := s.recover(recovered); err != nil {
+			store.Close()
+			return nil, err
+		}
 	}
-	return s
+	if !cfg.Frozen {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	return s, nil
+}
+
+// recover rebuilds the job table from the replayed journal: terminal jobs
+// are materialized with their persisted outcome (results keep serving
+// across restarts), non-terminal jobs — queued or running at the crash —
+// are rebuilt and re-enqueued. Recovery bypasses admission (the work was
+// admitted before the crash) but charges the in-flight budget, so fresh
+// submissions shed until the backlog drains. Job IDs resume past the
+// journal's maximum: an ID is never reused, so restarting cannot duplicate
+// or alias a job.
+func (s *Server) recover(recs []distcolor.JobRecord) error {
+	// Resume ID assignment past everything the journal has EVER seen — not
+	// just the recovered table: a job dropped by retention (forgotten
+	// marker) is gone from the table but its ID must stay burned, or a
+	// client still holding it would silently read a different job.
+	s.nextID = s.store.MaxJobID()
+	for i := range recs {
+		rec := &recs[i]
+		if n := jobIDNum(rec.ID); n > s.nextID {
+			s.nextID = n
+		}
+		if rec.Request == nil {
+			// A journal prefix can hold transition entries whose submission
+			// entry was forgotten by compaction mid-crash; nothing runnable
+			// or servable survives without the request.
+			continue
+		}
+		j := &job{
+			id:         rec.ID,
+			req:        rec.Request,
+			traceDepth: s.cfg.TraceDepth,
+			done:       make(chan struct{}),
+			cacheHit:   rec.CacheHit,
+			wallMS:     rec.WallMS,
+		}
+		j.cond = sync.NewCond(&j.mu)
+		j.ctx, j.cancel = context.WithCancelCause(context.Background())
+		st := State(rec.State)
+		if st.Terminal() {
+			j.state = st
+			j.err = rec.Error
+			j.resp = rec.Response
+			j.cancel(nil)
+			close(j.done)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.metrics.recovered++
+			continue
+		}
+		// Queued or running at the crash: rebuild and re-enqueue. The graph
+		// was validated at original submission; a request that no longer
+		// builds (schema drift across versions) turns terminal-failed
+		// rather than poisoning the queue.
+		g, err := rec.Request.Graph.Build()
+		if err == nil {
+			err = rec.Request.Validate()
+		}
+		if err != nil {
+			j.state = StateFailed
+			j.err = err.Error()
+			j.cancel(nil)
+			close(j.done)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.metrics.recovered++
+			if aerr := s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateFailed), Error: j.err}, true); aerr != nil {
+				return aerr
+			}
+			continue
+		}
+		j.g = g
+		j.state = StateQueued
+		j.cost = jobCost(rec.Request)
+		if s.cache != nil &&
+			(s.cfg.CacheMaxVertices < 0 || g.N() <= s.cfg.CacheMaxVertices) &&
+			(s.cfg.CacheMaxEdges < 0 || g.M() <= s.cfg.CacheMaxEdges) {
+			canon, err := canonicalize(g, rec.Request)
+			if err == nil { // a bad cover was journaled by an older build; run uncached
+				j.canon = canon
+				j.key = cacheKey(canon, rec.Request)
+			}
+		}
+		s.inflightBytes += j.cost
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queue = append(s.queue, j)
+		s.metrics.recovered++
+	}
+	return nil
 }
 
 // Close stops accepting submissions, lets queued and running jobs finish,
-// and waits for the workers to exit.
+// waits for the workers to exit, and seals the job store.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -319,11 +480,18 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
-// Submit validates, cache-checks, and (on a miss) enqueues a request. On a
-// cache hit the returned job is already done and carries the remapped,
-// re-verified coloring.
+// Submit validates, cache-checks, admits, journals, and (on a miss)
+// enqueues a request. On a cache hit the returned job is already done and
+// carries the remapped, re-verified coloring. A submission over the
+// admission bounds is shed with an *OverloadError carrying a Retry-After
+// estimate; with a job store configured, an accepted submission is fsync'd
+// to the journal before Submit returns, so an ID handed to a client
+// survives any crash.
 func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 	if err := req.Validate(); err != nil {
 		s.countRejected()
@@ -336,6 +504,20 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 	if s.cfg.MaxEdges > 0 && len(req.Graph.Edges) > s.cfg.MaxEdges {
 		s.countRejected()
 		return JobStatus{}, fmt.Errorf("service: graph has %d edges, limit %d", len(req.Graph.Edges), s.cfg.MaxEdges)
+	}
+	cost := jobCost(req)
+	if s.cfg.MaxInflightBytes > 0 && cost > s.cfg.MaxInflightBytes {
+		// Could never be admitted: a permanent rejection, not a shed.
+		s.countRejected()
+		return JobStatus{}, fmt.Errorf("service: request costs ~%d bytes in flight, limit %d", cost, s.cfg.MaxInflightBytes)
+	}
+	// An out-of-range clique-cover vertex could only fail at execution, and
+	// hashing it would alias a valid cover's cache key. Reject it up front —
+	// unconditionally, not just on the cacheable path, so the same invalid
+	// request is a 400 regardless of the server's cache configuration.
+	if err := validateCoverRange(req); err != nil {
+		s.countRejected()
+		return JobStatus{}, err
 	}
 	g, err := req.Graph.Build()
 	if err != nil {
@@ -352,7 +534,12 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		(s.cfg.CacheMaxVertices < 0 || g.N() <= s.cfg.CacheMaxVertices) &&
 		(s.cfg.CacheMaxEdges < 0 || g.M() <= s.cfg.CacheMaxEdges)
 	if cacheable {
-		j.canon = canonicalize(g, req)
+		canon, err := canonicalize(g, req)
+		if err != nil {
+			s.countRejected()
+			return JobStatus{}, err
+		}
+		j.canon = canon
 		j.key = cacheKey(j.canon, req)
 		var bad bool
 		hit, bad = s.cache.load(j.key, g, j.canon)
@@ -364,8 +551,8 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
 	if hit != nil {
@@ -379,13 +566,65 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		s.metrics.cacheHits++
 		s.metrics.submitted++
 		s.metrics.completed++
-		s.register(j)
+		evicted := s.register(j)
+		s.mu.Unlock()
+		s.journalForgotten(evicted)
+		// One condensed journal entry: submitted and done in the same
+		// instant. Fsync'd and checked like the miss path's — the
+		// durability contract is that any ID handed to a client survives a
+		// crash, cache hit or not.
+		if s.store != nil {
+			if err := s.store.Append(distcolor.JobRecord{
+				ID: j.id, State: string(StateDone), Request: req, Response: hit, CacheHit: true,
+			}, true); err != nil {
+				s.withdrawHit(j)
+				return JobStatus{}, err
+			}
+		}
 		return j.status(), nil
 	}
-	if len(s.queue) >= s.cfg.QueueDepth {
-		s.metrics.rejected++
-		return JobStatus{}, ErrQueueFull
+	if err := s.admitLocked(cost); err != nil {
+		s.mu.Unlock()
+		return JobStatus{}, err
 	}
+	j.cost = cost
+	evicted := s.register(j) // the job is visible (Status finds it) but not yet runnable
+	s.mu.Unlock()
+	s.journalForgotten(evicted)
+
+	if s.store != nil {
+		// Durability point: the submission entry is fsync'd before the job
+		// becomes runnable. It happens outside s.mu — an fsync per submit
+		// under the server lock would serialize every submission and stall
+		// the read endpoints — which is safe because the job is not in the
+		// queue yet: no worker can run work whose entry is not durable. On
+		// journal failure the job is withdrawn (terminal-failed for anyone
+		// who already saw it, then dropped); accepting unjournaled work
+		// would silently demote the durability contract.
+		if err := s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateQueued), Request: req}, true); err != nil {
+			s.withdraw(j, StateFailed, err.Error())
+			// Best-effort neutralizer: if the failure was in the fsync (the
+			// bytes may still reach disk), a terminal entry stops a restart
+			// from resurrecting work whose submission call failed.
+			_ = s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateFailed), Error: err.Error()}, false)
+			return JobStatus{}, err
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		// Close raced the journal write; the workers may already be gone,
+		// so the job must not enter the queue. The journaled submission is
+		// neutralized with a terminal entry (otherwise a restart would
+		// resurrect work whose submission call failed).
+		s.mu.Unlock()
+		s.withdraw(j, StateCanceled, ErrClosed.Error())
+		if s.store != nil {
+			_ = s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateCanceled), Error: ErrClosed.Error()}, true)
+		}
+		return JobStatus{}, ErrClosed
+	}
+	s.queueReserved-- // the reservation becomes a real queue entry
 	s.queue = append(s.queue, j)
 	s.queueCond.Signal()
 	switch {
@@ -395,24 +634,70 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		s.metrics.cacheSkipped++
 	}
 	s.metrics.submitted++
-	s.register(j)
+	s.mu.Unlock()
 	return j.status(), nil
 }
 
-// register assigns an ID and stores the job; the caller holds s.mu.
-func (s *Server) register(j *job) {
+// withdrawHit backs a cache-hit job out after its journal entry could not
+// be made durable: the submission errors back to the caller, so the job
+// must not remain findable (a restart would 404 an ID the caller was never
+// successfully given) and the hit counters roll back. The job object stays
+// terminal-done for any concurrent Status/Wait holder.
+func (s *Server) withdrawHit(j *job) {
+	s.mu.Lock()
+	s.metrics.cacheHits--
+	s.metrics.submitted--
+	s.metrics.completed--
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// withdraw backs an admitted-but-never-enqueued job out of the server: it
+// turns terminal (so Status/Wait callers that saw it resolve) and releases
+// its registration, queue reservation, and admission charge.
+func (s *Server) withdraw(j *job, st State, errMsg string) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.finishLocked(st, errMsg)
+	}
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.queueReserved--
+	s.releaseLocked(j.cost)
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// register assigns an ID and stores the job; the caller holds s.mu. It
+// returns the IDs its bounded retention evicted, which the caller journals
+// as forgotten markers AFTER releasing s.mu — an append here can trigger
+// segment rotation and full-journal compaction, far too much disk work to
+// run under the global lock.
+func (s *Server) register(j *job) (evicted []string) {
 	s.nextID++
 	j.id = "j" + strconv.FormatInt(s.nextID, 10)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	// Bounded retention: forget the oldest *finished* jobs beyond MaxJobs.
 	for len(s.jobs) > s.cfg.MaxJobs {
-		evicted := false
+		removed := false
 		for i, id := range s.order {
 			old, ok := s.jobs[id]
 			if !ok {
 				s.order = append(s.order[:i], s.order[i+1:]...)
-				evicted = true
+				removed = true
 				break
 			}
 			old.mu.Lock()
@@ -421,13 +706,27 @@ func (s *Server) register(j *job) {
 			if terminal {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
-				evicted = true
+				evicted = append(evicted, id)
+				removed = true
 				break
 			}
 		}
-		if !evicted {
+		if !removed {
 			break // everything is in flight; retain over MaxJobs
 		}
+	}
+	return evicted
+}
+
+// journalForgotten writes retention markers for evicted jobs: replay must
+// not resurrect a job the bounded retention already forgot. Unsynced —
+// losing one merely re-retains the job for one more cycle.
+func (s *Server) journalForgotten(evicted []string) {
+	if s.store == nil {
+		return
+	}
+	for _, id := range evicted {
+		_ = s.store.Append(distcolor.JobRecord{ID: id, State: storeStateForgotten}, false)
 	}
 }
 
@@ -490,18 +789,24 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	}
 	s.mu.Unlock()
 	j.mu.Lock()
+	finished := false
 	if !j.state.Terminal() {
 		j.cancelReq = true
 		j.cancel(errJobCanceled)
 		if removed {
 			j.finishLocked(StateCanceled, errJobCanceled.Error())
+			finished = true
 		}
 	}
 	j.mu.Unlock()
-	if removed {
+	if finished {
 		s.mu.Lock()
 		s.metrics.canceled++
+		s.releaseLocked(j.cost)
 		s.mu.Unlock()
+		if s.store != nil {
+			_ = s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateCanceled), Error: errJobCanceled.Error()}, true)
+		}
 	}
 	return j.status(), nil
 }
@@ -577,17 +882,23 @@ func (s *Server) Metrics() Metrics {
 		Failed:        s.metrics.failed,
 		Canceled:      s.metrics.canceled,
 		Rejected:      s.metrics.rejected,
+		Shed:          s.metrics.shed,
+		Recovered:     s.metrics.recovered,
+		InflightBytes: s.inflightBytes,
 		CacheHits:     s.metrics.cacheHits,
 		CacheMisses:   s.metrics.cacheMisses,
 		CacheBadHits:  s.metrics.cacheBadHits,
 		CacheSkipped:  s.metrics.cacheSkipped,
-		QueueDepth:    len(s.queue),
+		QueueDepth:    len(s.queue) + s.queueReserved,
 		Running:       s.metrics.running,
 		Workers:       s.cfg.Workers,
 		RoundsTotal:   s.metrics.roundsTotal,
 		MessagesTotal: s.metrics.messagesTotal,
 		WallMSTotal:   s.metrics.wallMSTotal,
 		Jobs:          len(s.jobs),
+	}
+	if s.cfg.MaxInflightBytes > 0 {
+		m.MaxInflightBytes = s.cfg.MaxInflightBytes
 	}
 	if s.cache != nil {
 		m.CacheEntries = s.cache.len()
@@ -626,6 +937,11 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	s.metrics.running++
 	s.mu.Unlock()
+	if s.store != nil {
+		// Unsynced: losing a "running" entry replays the job as queued,
+		// which merely re-runs it — the at-least-once side of recovery.
+		_ = s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateRunning)}, false)
+	}
 
 	req := j.req
 	if s.cfg.Parallel && !req.Parallel {
@@ -648,19 +964,29 @@ func (s *Server) runJob(j *job) {
 	// A canceled job's error chain carries the context cancellation (the
 	// simulator wraps context.Cause, i.e. errJobCanceled).
 	canceled := err != nil && (errors.Is(err, errJobCanceled) || errors.Is(err, context.Canceled) || j.cancelReq)
+	rec := distcolor.JobRecord{ID: j.id, WallMS: wall}
 	switch {
 	case canceled:
 		j.finishLocked(StateCanceled, errJobCanceled.Error())
+		rec.State, rec.Error = string(StateCanceled), errJobCanceled.Error()
 	case err != nil:
 		j.finishLocked(StateFailed, err.Error())
+		rec.State, rec.Error = string(StateFailed), err.Error()
 	default:
 		j.resp = resp
 		j.finishLocked(StateDone, "")
+		rec.State, rec.Response = string(StateDone), resp
 	}
 	j.mu.Unlock()
+	if s.store != nil {
+		// The terminal entry is fsync'd: it is what lets a restart serve
+		// this result instead of re-running the job.
+		_ = s.store.Append(rec, true)
+	}
 
 	s.mu.Lock()
 	s.metrics.running--
+	s.releaseLocked(j.cost)
 	switch {
 	case canceled:
 		s.metrics.canceled++

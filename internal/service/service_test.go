@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,7 +18,10 @@ import (
 
 func testServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }
@@ -255,24 +259,25 @@ func TestTraceRecordsRounds(t *testing.T) {
 }
 
 func TestHTTPEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	s := testServer(t, Config{Workers: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	c := &Client{Base: ts.URL}
 
 	req := cycleRequest(30)
-	st, err := c.Submit(req)
+	st, err := c.Submit(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err = c.Wait(st.ID, 10*time.Millisecond, time.Minute)
+	st, err = c.Wait(ctx, st.ID, 10*time.Millisecond, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.State != StateDone {
 		t.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
 	}
-	resp, err := c.Result(st.ID)
+	resp, err := c.Result(ctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +288,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 
 	// Streaming trace over HTTP: events then a terminal line.
 	n := 0
-	state, err := c.Trace(st.ID, func(TraceEvent) { n++ })
+	state, err := c.Trace(ctx, st.ID, func(TraceEvent) { n++ })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,14 +298,14 @@ func TestHTTPEndToEnd(t *testing.T) {
 
 	// Second identical submission: served from cache, observable in the
 	// metrics endpoint.
-	st2, err := c.Submit(cycleRequest(30))
+	st2, err := c.Submit(ctx, cycleRequest(30))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !st2.CacheHit || st2.State != StateDone {
 		t.Fatalf("resubmission not cache-served: %+v", st2)
 	}
-	m, err := c.Metrics()
+	m, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,12 +315,13 @@ func TestHTTPEndToEnd(t *testing.T) {
 }
 
 func TestHTTPGenerateAndBatch(t *testing.T) {
+	ctx := context.Background()
 	s := testServer(t, Config{Workers: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	c := &Client{Base: ts.URL}
 
-	out, err := c.Generate(GenerateRequest{
+	out, err := c.Generate(ctx, GenerateRequest{
 		Gen:      GenSpec{Family: "foresthub", N: 80, A: 2, Hub: 30, Seed: 4, Count: 2},
 		Template: distcolor.Request{Algorithm: distcolor.AlgoEdgeSparse, Arboricity: 3},
 	})
@@ -329,7 +335,7 @@ func TestHTTPGenerateAndBatch(t *testing.T) {
 		if job.Error != "" {
 			t.Fatalf("generated job failed to submit: %s", job.Error)
 		}
-		st, err := c.Wait(job.ID, 10*time.Millisecond, 2*time.Minute)
+		st, err := c.Wait(ctx, job.ID, 10*time.Millisecond, 2*time.Minute)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -339,7 +345,7 @@ func TestHTTPGenerateAndBatch(t *testing.T) {
 	}
 
 	// Batch: one good and one bogus request; outcomes are index-aligned.
-	batch, err := c.Batch([]distcolor.Request{
+	batch, err := c.Batch(ctx, []distcolor.Request{
 		*cycleRequest(12),
 		{Algorithm: "nope", Graph: distcolor.GraphSpec{N: 2}},
 	})
@@ -348,6 +354,9 @@ func TestHTTPGenerateAndBatch(t *testing.T) {
 	}
 	if len(batch.Jobs) != 2 || batch.Jobs[0].Error != "" || batch.Jobs[1].Error == "" {
 		t.Fatalf("batch outcomes wrong: %+v", batch.Jobs)
+	}
+	if batch.Jobs[1].Retryable {
+		t.Fatalf("invalid request marked retryable: %+v", batch.Jobs[1])
 	}
 }
 
@@ -577,7 +586,7 @@ func TestGenerateRejectsHostileParams(t *testing.T) {
 		{Family: "grid", Rows: 40000, Cols: 40000},
 		{Family: "hypergraph", NV: 10, Rank: 3, NE: 100_000_000},
 	} {
-		_, err := c.Generate(GenerateRequest{Gen: g, Template: distcolor.Request{Algorithm: distcolor.AlgoEdgeGreedy}})
+		_, err := c.Generate(context.Background(), GenerateRequest{Gen: g, Template: distcolor.Request{Algorithm: distcolor.AlgoEdgeGreedy}})
 		if err == nil {
 			t.Fatalf("hostile generator spec %+v was accepted", g)
 		}

@@ -1,0 +1,102 @@
+// Package svcbench extends the simulator-core perf suite (internal/bench)
+// with service-layer workloads. It is a separate package only because of
+// an import constraint: the root package's own tests import internal/bench,
+// so internal/bench importing internal/service (which imports the root
+// package) would cycle. cmd/colorbench composes the two suites into one
+// BENCH_simcore.json report.
+package svcbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	distcolor "repro"
+	"repro/internal/bench"
+	"repro/internal/service"
+)
+
+// The service-overload workload: shed latency is a production metric now
+// that colord does admission control, so it is tracked in
+// BENCH_simcore.json beside the data-plane and algorithm numbers. The
+// scenario is the in-process twin of `colorbench -server URL -overload N`
+// against a live daemon — here the server is Frozen (no workers), so
+// occupancy is deterministic: the queue is filled to capacity once, and
+// every burst submission after that MUST be shed with HTTP 429.
+//
+// One op is a burst of overloadBurst submissions through real HTTP round
+// trips, all shed; ns/op is therefore burst shed latency (÷64 for
+// per-request latency). The deterministic columns are repurposed —
+// documented here because the suite schema is shared: Rounds records the
+// accepted fill (the queue capacity) and Messages the sheds per op; both
+// must reproduce exactly on every machine or admission semantics changed.
+const (
+	overloadQueue = 32
+	overloadBurst = 64
+)
+
+// overloadRequest is the tiny fixed workload of the flood (a 16-cycle);
+// caching is disabled in the scenario, so identical submissions all charge
+// admission.
+func overloadRequest() *distcolor.Request {
+	edges := make([][2]int, 16)
+	for i := range edges {
+		edges[i] = [2]int{i, (i + 1) % 16}
+	}
+	return &distcolor.Request{Algorithm: distcolor.AlgoEdgeGreedy, Graph: distcolor.GraphSpec{N: 16, Edges: edges}}
+}
+
+// OverloadResult measures the admission shed path end to end and returns
+// it in the simulator-core suite's result shape.
+func OverloadResult(ctx context.Context) (bench.SimCoreResult, error) {
+	name := "service/overload/shed-burst64"
+	srv, err := service.NewServer(service.Config{Workers: 1, Frozen: true, QueueDepth: overloadQueue, CacheEntries: -1})
+	if err != nil {
+		return bench.SimCoreResult{}, fmt.Errorf("svcbench: %s: %w", name, err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &service.Client{Base: ts.URL, MaxRetries: -1} // every 429 must be observed, not retried
+
+	// Deterministic occupancy: fill the queue to capacity once. The server
+	// is frozen, so these jobs never drain and every later submission sheds.
+	for i := 0; i < overloadQueue; i++ {
+		if _, err := c.Submit(ctx, overloadRequest()); err != nil {
+			return bench.SimCoreResult{}, fmt.Errorf("svcbench: %s: fill %d: %w", name, i, err)
+		}
+	}
+	sheds := 0
+	op := func() error {
+		n := 0
+		for i := 0; i < overloadBurst; i++ {
+			_, err := c.Submit(ctx, overloadRequest())
+			var he *service.HTTPError
+			switch {
+			case errors.As(err, &he) && he.Code == http.StatusTooManyRequests:
+				n++
+			case err == nil:
+				return fmt.Errorf("burst submission %d was accepted; frozen occupancy leaked", i)
+			default:
+				return err
+			}
+		}
+		sheds = n
+		return nil
+	}
+	ns, allocs, bytes, err := bench.MeasureOp(op)
+	if err != nil {
+		return bench.SimCoreResult{}, fmt.Errorf("svcbench: %s: %w", name, err)
+	}
+	return bench.SimCoreResult{
+		Name:           name,
+		NsPerOp:        ns,
+		AllocsPerOp:    allocs,
+		BytesPerOp:     bytes,
+		AllocsPerRound: -1, // not a round-structured workload
+		Rounds:         overloadQueue,
+		Messages:       int64(sheds),
+	}, nil
+}

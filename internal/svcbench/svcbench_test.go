@@ -1,0 +1,25 @@
+package svcbench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestOverloadResultDeterministicColumns pins the workload's contract: the
+// fill is exactly the queue capacity and every burst submission sheds —
+// the columns bench-check compares exactly across machines.
+func TestOverloadResultDeterministicColumns(t *testing.T) {
+	res, err := OverloadResult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != overloadQueue || res.Messages != overloadBurst {
+		t.Fatalf("deterministic columns rounds=%d messages=%d, want %d/%d", res.Rounds, res.Messages, overloadQueue, overloadBurst)
+	}
+	if res.NsPerOp <= 0 || res.AllocsPerOp <= 0 {
+		t.Fatalf("no measurement recorded: %+v", res)
+	}
+	if res.AllocsPerRound != -1 {
+		t.Fatalf("allocs/round = %v, want the -1 unmeasured sentinel", res.AllocsPerRound)
+	}
+}

@@ -17,7 +17,7 @@ func CeilDiv(a, b int) int {
 	return (a + b - 1) / b
 }
 
-// ISqrt returns ⌊√n⌋ for n ≥ 0.
+// ISqrt returns ⌊√n⌋ for n ≥ 0, for every n up to MaxInt.
 func ISqrt(n int) int {
 	if n < 0 {
 		panic(fmt.Sprintf("util.ISqrt: negative argument %d", n))
@@ -25,9 +25,11 @@ func ISqrt(n int) int {
 	if n < 2 {
 		return n
 	}
-	// Newton's method on integers converges from above.
+	// Newton's method on integers converges from above. The first iterate
+	// is ⌈n/2⌉ spelled as n/2 + n%2: the textbook (n+1)/2 overflows at
+	// n = MaxInt and seeds the descent with a negative value.
 	x := n
-	y := (x + 1) / 2
+	y := x/2 + x%2
 	for y < x {
 		x = y
 		y = (x + n/x) / 2
@@ -35,19 +37,22 @@ func ISqrt(n int) int {
 	return x
 }
 
-// ICbrt returns ⌊n^(1/3)⌋ for n ≥ 0.
+// ICbrt returns ⌊n^(1/3)⌋ for n ≥ 0, for every n up to MaxInt. The
+// ascent is guarded by powAtMost: the direct (x+1)³ ≤ n test overflows
+// once x+1 passes 2²¹ (so for n within a factor ~8 of MaxInt on 64-bit)
+// and terminated the loop with a wrong floor.
 func ICbrt(n int) int {
 	if n < 0 {
 		panic(fmt.Sprintf("util.ICbrt: negative argument %d", n))
 	}
 	x := 0
-	for (x+1)*(x+1)*(x+1) <= n {
+	for powAtMost(x+1, 3, n) {
 		x++
 	}
 	return x
 }
 
-// IRoot returns ⌊n^(1/k)⌋ for n ≥ 0, k ≥ 1.
+// IRoot returns ⌊n^(1/k)⌋ for n ≥ 0, k ≥ 1, for every n up to MaxInt.
 func IRoot(n, k int) int {
 	if n < 0 || k < 1 {
 		panic(fmt.Sprintf("util.IRoot: invalid arguments n=%d k=%d", n, k))
@@ -55,11 +60,12 @@ func IRoot(n, k int) int {
 	if k == 1 || n < 2 {
 		return n
 	}
-	// Binary search; n and k are small enough that IPow never overflows when
-	// capped at n.
+	// Binary search with the overflow-safe power bound; the midpoint is
+	// computed as lo + (hi-lo+1)/2 because lo+hi itself can exceed MaxInt
+	// when n does not leave headroom.
 	lo, hi := 1, n
 	for lo < hi {
-		mid := (lo + hi + 1) / 2
+		mid := lo + (hi-lo+1)/2
 		if powAtMost(mid, k, n) {
 			lo = mid
 		} else {

@@ -86,6 +86,50 @@ func TestIRootQuick(t *testing.T) {
 	}
 }
 
+// TestRootsAtIntBoundary pins the MaxInt-adjacent behavior: the direct
+// (x+1)^k probes overflowed near the top of the int range (ICbrt looped on
+// (x+1)³ ≤ n, IRoot's midpoint on lo+hi+1, ISqrt's seed on n+1) and
+// returned wrong floors instead of these exact values.
+func TestRootsAtIntBoundary(t *testing.T) {
+	if math.MaxInt != math.MaxInt64 {
+		t.Skip("boundary constants below assume 64-bit int")
+	}
+	const maxInt = math.MaxInt64
+	// ⌊√MaxInt64⌋ and ⌊MaxInt64^(1/3)⌋ are known constants.
+	const sqrtMax = 3037000499
+	const cbrtMax = 2097151
+	for _, n := range []int{maxInt, maxInt - 1, maxInt - 2} {
+		if got := ISqrt(n); got != sqrtMax {
+			t.Errorf("ISqrt(%d) = %d, want %d", n, got, sqrtMax)
+		}
+		if got := ICbrt(n); got != cbrtMax {
+			t.Errorf("ICbrt(%d) = %d, want %d", n, got, cbrtMax)
+		}
+		for k := 2; k <= 8; k++ {
+			r := IRoot(n, k)
+			if !powAtMost(r, k, n) || powAtMost(r+1, k, n) {
+				t.Errorf("IRoot(%d,%d) = %d is not the floor root", n, k, r)
+			}
+		}
+		if got := IRoot(n, 62); got != 2 {
+			t.Errorf("IRoot(%d,62) = %d, want 2", n, got)
+		}
+	}
+	// Exact k-th powers just below the boundary must round-trip.
+	if got := ICbrt(cbrtMax * cbrtMax * cbrtMax); got != cbrtMax {
+		t.Errorf("ICbrt(%d³) = %d, want %d", cbrtMax, got, cbrtMax)
+	}
+	if got := ISqrt(sqrtMax * sqrtMax); got != sqrtMax {
+		t.Errorf("ISqrt(%d²) = %d, want %d", sqrtMax, got, sqrtMax)
+	}
+	if got := IRoot(1<<62, 62); got != 2 {
+		t.Errorf("IRoot(2^62,62) = %d, want 2", got)
+	}
+	if got := IRoot(1<<62-1, 62); got != 1 {
+		t.Errorf("IRoot(2^62-1,62) = %d, want 1", got)
+	}
+}
+
 func TestIPow(t *testing.T) {
 	cases := []struct{ b, e, want int }{
 		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {10, 3, 1000}, {0, 0, 1}, {0, 3, 0}, {1, 62, 1},
@@ -104,6 +148,27 @@ func TestIPowOverflowPanics(t *testing.T) {
 		}
 	}()
 	IPow(1<<32, 3)
+}
+
+// TestIPowAtIntBoundary: the largest representable powers compute exactly;
+// one step past them panics rather than wrapping.
+func TestIPowAtIntBoundary(t *testing.T) {
+	if got := IPow(2, 62); got != 1<<62 {
+		t.Fatalf("IPow(2,62) = %d", got)
+	}
+	if got := IPow(3037000499, 2); got != 3037000499*3037000499 {
+		t.Fatalf("IPow(sqrtMax,2) = %d", got)
+	}
+	for _, c := range []struct{ b, e int }{{2, 63}, {3037000500, 2}, {2097152, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("IPow(%d,%d) did not panic on overflow", c.b, c.e)
+				}
+			}()
+			IPow(c.b, c.e)
+		}()
+	}
 }
 
 func TestLog2(t *testing.T) {
