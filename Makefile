@@ -12,7 +12,12 @@ BENCH_TOLERANCE ?= 0.15
 # Samples per benchmark for bench-algos; use 10+ for benchstat-grade runs.
 BENCH_COUNT ?= 1
 
-.PHONY: build test vet fmt-check race bench bench-algos bench-baseline bench-check tables fuzz ci
+.PHONY: build test vet fmt-check staticcheck race bench bench-algos bench-baseline bench-check tables fuzz profile ci
+
+# Where `make profile` writes cpu.pprof/heap.pprof; CI uploads it as an
+# artifact on pull requests.
+PROFILE_DIR ?= profiles
+PROFILE_DURATION ?= 30s
 
 build:
 	$(GO) build ./...
@@ -28,6 +33,17 @@ fmt-check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Static analysis beyond vet. The binary is not vendored and the build must
+# not fetch dependencies, so the gate runs when staticcheck is on PATH and
+# skips loudly otherwise; CI installs it, making the skip a local-only
+# convenience.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (CI runs it; go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
 # The race pass targets the packages with real concurrency: the service —
@@ -66,9 +82,16 @@ bench-check:
 tables:
 	$(GO) run ./cmd/colorbench -table all -quick
 
+# 30s CPU + heap profile of the linial-10k workload (the hot algorithm
+# substrate of the simcore suite), written to $(PROFILE_DIR)/{cpu,heap}.pprof.
+# Inspect with `go tool pprof -http=:0 $(PROFILE_DIR)/cpu.pprof`; CI attaches
+# the directory to every pull request.
+profile:
+	$(GO) run ./cmd/colorbench -profile $(PROFILE_DIR) -profile-duration $(PROFILE_DURATION)
+
 # Fuzz the edge-list parser (the one surface that reads arbitrary user
 # bytes). Corpus findings land in internal/graph/testdata/fuzz.
 fuzz:
 	$(GO) test ./internal/graph/ -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
 
-ci: build vet fmt-check test race
+ci: build vet fmt-check staticcheck test race

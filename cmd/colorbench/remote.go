@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -138,8 +139,9 @@ func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 
 // runOverload floods the colord instance at base with tiny submissions —
 // retries disabled so every 429 is observed — and reports the admission
-// split (accepted vs shed), shed-response latency, and the readiness view
-// before and after. The in-process twin of this scenario (a frozen server,
+// split (accepted vs shed), shed-response latency, the p50/p95/max of the
+// Retry-After hints the server handed out, and the readiness view before
+// and after. The in-process twin of this scenario (a frozen server,
 // deterministic occupancy) is the service/overload workload gated by
 // BENCH_simcore.json; this remote mode measures a live daemon instead.
 func runOverload(ctx context.Context, base string, n, concurrency int) error {
@@ -151,9 +153,10 @@ func runOverload(ctx context.Context, base string, n, concurrency int) error {
 	fmt.Printf("healthz before: ready=%v queue=%d/%d inflight=%dB\n", h0.Ready, h0.QueueDepth, h0.QueueCap, h0.InflightBytes)
 
 	type outcome struct {
-		shed bool
-		err  error
-		dur  time.Duration
+		shed       bool
+		err        error
+		dur        time.Duration
+		retryAfter time.Duration
 	}
 	results := make([]outcome, n)
 	sem := make(chan struct{}, concurrency)
@@ -174,7 +177,7 @@ func runOverload(ctx context.Context, base string, n, concurrency int) error {
 			case err == nil:
 				results[i] = outcome{dur: d}
 			case errors.As(err, &he) && he.Code == http.StatusTooManyRequests:
-				results[i] = outcome{shed: true, dur: d}
+				results[i] = outcome{shed: true, dur: d, retryAfter: he.RetryAfter}
 			default:
 				results[i] = outcome{err: err, dur: d}
 			}
@@ -184,6 +187,7 @@ func runOverload(ctx context.Context, base string, n, concurrency int) error {
 
 	accepted, shed := 0, 0
 	var shedTotal, shedMax time.Duration
+	var retryAfters []time.Duration
 	for _, r := range results {
 		switch {
 		case r.err != nil:
@@ -194,6 +198,7 @@ func runOverload(ctx context.Context, base string, n, concurrency int) error {
 			if r.dur > shedMax {
 				shedMax = r.dur
 			}
+			retryAfters = append(retryAfters, r.retryAfter)
 		default:
 			accepted++
 		}
@@ -205,6 +210,16 @@ func runOverload(ctx context.Context, base string, n, concurrency int) error {
 	fmt.Printf("flood: %d submissions → %d accepted, %d shed (429)\n", n, accepted, shed)
 	if shed > 0 {
 		fmt.Printf("shed latency: mean %v, max %v\n", shedTotal/time.Duration(shed), shedMax)
+		// The Retry-After distribution is the server's backpressure signal:
+		// under a deepening backlog the hints should climb, and a flat
+		// all-zero line means the header is missing — a protocol bug.
+		sort.Slice(retryAfters, func(i, j int) bool { return retryAfters[i] < retryAfters[j] })
+		p := func(q float64) time.Duration {
+			i := int(q * float64(len(retryAfters)-1))
+			return retryAfters[i]
+		}
+		fmt.Printf("retry-after hints: p50 %v, p95 %v, max %v\n",
+			p(0.50), p(0.95), retryAfters[len(retryAfters)-1])
 	}
 	fmt.Printf("healthz after:  ready=%v queue=%d/%d inflight=%dB\n", h1.Ready, h1.QueueDepth, h1.QueueCap, h1.InflightBytes)
 	if shed == 0 {

@@ -52,7 +52,7 @@ func runSimCoreJSON(ctx context.Context, outPath, checkPath string, tolerance fl
 
 func printSimCore(rep *bench.SimCoreReport) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tns/op\tallocs/op\tB/op\tallocs/round\trounds\tmsgs\tcolors")
+	fmt.Fprintln(tw, "workload\tns/op\tallocs/op\tB/op\tallocs/round\trounds\tmsgs\tmax word bits\tcongest viol\tcolors")
 	for _, r := range rep.Results {
 		perRound := "n/a"
 		if r.AllocsPerRound >= 0 {
@@ -62,8 +62,9 @@ func printSimCore(rep *bench.SimCoreReport) {
 		if r.Colors > 0 {
 			colors = fmt.Sprintf("%d", r.Colors)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%d\t%d\t%s\n",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, perRound, r.Rounds, r.Messages, colors)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, perRound, r.Rounds, r.Messages,
+			r.MaxWordBits, r.CongestViolations, colors)
 	}
 	tw.Flush()
 }

@@ -15,8 +15,9 @@
 //
 //	curl -s localhost:8080/v1/jobs/j1           # poll status
 //	curl -s localhost:8080/v1/jobs/j1/result    # fetch the coloring
-//	curl -s localhost:8080/v1/jobs/j1/trace     # stream the round trace
-//	curl -s localhost:8080/v1/metrics           # cache hits, rounds, ...
+//	curl -s localhost:8080/v1/jobs/j1/trace     # stream rounds + lifecycle spans
+//	curl -s localhost:8080/v1/metrics           # JSON counters
+//	curl -s localhost:8080/metrics              # Prometheus exposition
 //	curl -s localhost:8080/v1/healthz           # readiness (503 = shedding)
 //
 // Submitting the same graph (or any isomorphic relabeling of it) again is
@@ -28,14 +29,22 @@
 // re-run. -max-inflight-bytes bounds accepted-but-unfinished work; beyond
 // it submissions are shed with 429 + Retry-After instead of growing the
 // queue without bound. See DESIGN.md §6.
+//
+// Observability (DESIGN.md §9): GET /metrics serves the Prometheus text
+// exposition, every job's trace stream ends with its admit→serve span tree,
+// logs are structured (log/slog, text to stderr; -log-level picks the
+// floor), and -pprof mounts net/http/pprof under /debug/pprof/ for live
+// CPU/heap profiling.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,7 +63,16 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run every job on the goroutine-sharded simulator engine (results are bit-identical; wall-clock policy only)")
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead job store; submissions and results survive crashes and are replayed on restart (empty = memory-only)")
 	maxInflight := flag.Int64("max-inflight-bytes", 0, "admission bound on the estimated bytes of accepted-but-unfinished jobs; submissions beyond it get 429 + Retry-After (0 = default 256 MiB, negative disables)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling aid; keep off on untrusted networks)")
+	logLevel := flag.String("log-level", "info", "log floor: debug|info|warn|error (debug includes per-request lines)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "colord: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := service.NewServer(service.Config{
 		Workers:          *workers,
@@ -65,18 +83,29 @@ func main() {
 		Parallel:         *parallel,
 		DataDir:          *dataDir,
 		MaxInflightBytes: *maxInflight,
+		Logger:           logger,
 	})
 	if err != nil {
-		log.Fatalf("colord: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
-	if *dataDir != "" {
-		m := srv.Metrics()
-		log.Printf("colord: job store at %s: recovered %d jobs (%d re-enqueued)", *dataDir, m.Recovered, m.QueueDepth)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		// Explicit routes rather than the net/http/pprof init() side effect:
+		// the profiler is opt-in and never leaks onto DefaultServeMux.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -84,17 +113,17 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Printf("colord: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("colord: serving on %s (workers=%d queue=%d cache=%d)",
-		*addr, *workers, *queue, *cache)
+	logger.Info("serving", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache, "pprof", *pprofOn)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("colord: %v", err)
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
 	}
 	srv.Close()
-	log.Printf("colord: drained")
+	logger.Info("drained")
 }

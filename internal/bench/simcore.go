@@ -67,6 +67,17 @@ type SimCoreResult struct {
 	Colors   int64 `json:"colors,omitempty"`
 	Rounds   int   `json:"rounds"`
 	Messages int64 `json:"messages"`
+	// MaxWordBits is the largest single message of the run in bits — the
+	// bandwidth of the hottest edge, as accounted by each machine's
+	// WordSizer (64 for unsized words/messages). Deterministic: a drift
+	// means some program changed what it puts on the wire.
+	MaxWordBits int64 `json:"max_word_bits"`
+	// CongestViolations counts executed rounds whose hottest edge exceeded
+	// the CONGEST cap of the bandwidth accountant attached to the workload
+	// (sim.CongestCapBits); always 0 for workloads run without a capped
+	// accountant. Deterministic: a program that silently fattens its
+	// messages past the cap fails the baseline comparison here.
+	CongestViolations int64 `json:"congest_violations"`
 }
 
 // SimCoreReport is the full suite output, annotated with the environment
@@ -155,6 +166,34 @@ func exchangeWordsFactory(rounds int) sim.Factory {
 	}
 }
 
+// sizedExchangeMachine is the exchange traffic pattern with honest wire
+// accounting: the payload fits 7 bits (round&0x7f) and the machine says so
+// via WordSizer, so the CONGEST audit sees true message sizes instead of
+// the 64-bit default. Its workload must stay violation-free under the
+// sim.CongestCapBits cap — and allocation-free with the accountant riding.
+type sizedExchangeMachine struct {
+	rounds int
+	acc    int64
+}
+
+func (m *sizedExchangeMachine) StepWord(round int, in, out []sim.Word) bool {
+	for _, w := range in {
+		if w != sim.NoWord {
+			m.acc += w
+		}
+	}
+	sim.SendAllWords(out, sim.Word(round&0x7f))
+	return round >= m.rounds-1
+}
+
+func (m *sizedExchangeMachine) WordBits(w sim.Word) int64 { return 7 }
+
+func exchangeSizedFactory(rounds int) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		return sim.WrapWord(&sizedExchangeMachine{rounds: rounds})
+	}
+}
+
 // MeasureOp times one workload execution repeatedly and returns the
 // fastest observed op with its leanest heap-allocation profile. Taking
 // the minimum rather than the mean makes the numbers reproducible on
@@ -200,7 +239,7 @@ func MeasureOp(fn func() error) (nsPerOp, allocsPerOp, bytesPerOp int64, err err
 
 // measurePlane benchmarks one engine on one plane program and fills the
 // deterministic metrics from a verification run.
-func measurePlane(ctx context.Context, name string, eng sim.Engine, topo *sim.Topology, prog func(rounds int) sim.Factory, perRound bool) (SimCoreResult, error) {
+func measurePlane(ctx context.Context, name string, eng sim.Exec, topo *sim.Topology, prog func(rounds int) sim.Factory, perRound bool) (SimCoreResult, error) {
 	stats, err := eng.Run(ctx, topo, prog(simCoreRounds), simCoreRounds+2)
 	if err != nil {
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
@@ -213,13 +252,15 @@ func measurePlane(ctx context.Context, name string, eng sim.Engine, topo *sim.To
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
 	}
 	out := SimCoreResult{
-		Name:           name,
-		NsPerOp:        ns,
-		AllocsPerOp:    allocs,
-		BytesPerOp:     bytes,
-		AllocsPerRound: -1,
-		Rounds:         stats.Rounds,
-		Messages:       stats.Messages,
+		Name:              name,
+		NsPerOp:           ns,
+		AllocsPerOp:       allocs,
+		BytesPerOp:        bytes,
+		AllocsPerRound:    -1,
+		Rounds:            stats.Rounds,
+		Messages:          stats.Messages,
+		MaxWordBits:       stats.MaxMessageBits,
+		CongestViolations: stats.CongestViolations,
 	}
 	if perRound {
 		out.AllocsPerRound = allocsPerRound(ctx, eng, topo, prog)
@@ -232,7 +273,7 @@ func measurePlane(ctx context.Context, name string, eng sim.Engine, topo *sim.To
 // different lengths: instance setup allocates identically in both, so the
 // remainder is purely the round loop's. (testing.AllocsPerRun pins
 // GOMAXPROCS to 1, so this is only meaningful for the sequential engines.)
-func allocsPerRound(ctx context.Context, eng sim.Engine, topo *sim.Topology, prog func(rounds int) sim.Factory) float64 {
+func allocsPerRound(ctx context.Context, eng sim.Exec, topo *sim.Topology, prog func(rounds int) sim.Factory) float64 {
 	const shortRounds, longRounds = 8, 72
 	measure := func(rounds int) float64 {
 		return testing.AllocsPerRun(3, func() {
@@ -272,14 +313,16 @@ func measureAlgo(name string, run func(verify bool) (colors int64, stats sim.Sta
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
 	}
 	return SimCoreResult{
-		Name:           name,
-		NsPerOp:        ns,
-		AllocsPerOp:    allocs,
-		BytesPerOp:     bytes,
-		AllocsPerRound: -1,
-		Colors:         colors,
-		Rounds:         stats.Rounds,
-		Messages:       stats.Messages,
+		Name:              name,
+		NsPerOp:           ns,
+		AllocsPerOp:       allocs,
+		BytesPerOp:        bytes,
+		AllocsPerRound:    -1,
+		Colors:            colors,
+		Rounds:            stats.Rounds,
+		Messages:          stats.Messages,
+		MaxWordBits:       stats.MaxMessageBits,
+		CongestViolations: stats.CongestViolations,
 	}, nil
 }
 
@@ -300,9 +343,17 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 		NumCPU:    runtime.NumCPU(),
 	}
 
+	// The CONGEST-audited word-plane workloads run with a capped bandwidth
+	// accountant attached (DESIGN.md §9). The unsized variant is accounted
+	// at the 64-bit default and deterministically violates the cap every
+	// messaging round — pinning the violation count itself; the sized
+	// variant declares its true 7-bit payloads and must stay violation-free.
+	// Both keep allocs/round pinned at 0: accounting may not cost the round
+	// loop a single allocation.
+	congestCap := sim.CongestCapBits(simCoreN)
 	planeRuns := []struct {
 		name     string
-		eng      sim.Engine
+		eng      sim.Exec
 		prog     func(rounds int) sim.Factory
 		perRound bool
 	}{
@@ -310,6 +361,10 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 		{"plane/wavefront/parallel-10k", sim.Parallel, wavefrontFactory, false},
 		{"plane/exchange/sequential-10k", sim.Sequential, exchangeFactory, true},
 		{"plane/exchange-words/sequential-10k", sim.Sequential, exchangeWordsFactory, true},
+		{"plane/exchange-words-congest/sequential-10k",
+			sim.Instrumented(sim.Sequential, nil, &sim.Bandwidth{CapBits: congestCap}), exchangeWordsFactory, true},
+		{"plane/exchange-words-sized/sequential-10k",
+			sim.Instrumented(sim.Sequential, nil, &sim.Bandwidth{CapBits: congestCap}), exchangeSizedFactory, true},
 		{"plane/exchange/reverse-10k", sim.ReverseSequential, exchangeFactory, true},
 	}
 	for _, pr := range planeRuns {
@@ -512,6 +567,10 @@ func CompareSimCore(baseline, current *SimCoreReport, tolerance float64) (proble
 		if c.Rounds != b.Rounds || c.Messages != b.Messages || c.Colors != b.Colors {
 			add(b.Name, "deterministic metrics drifted: rounds/messages/colors %d/%d/%d, baseline %d/%d/%d",
 				c.Rounds, c.Messages, c.Colors, b.Rounds, b.Messages, b.Colors)
+		}
+		if c.MaxWordBits != b.MaxWordBits || c.CongestViolations != b.CongestViolations {
+			add(b.Name, "bandwidth accounting drifted: max_word_bits/congest_violations %d/%d, baseline %d/%d — some program changed what it puts on the wire",
+				c.MaxWordBits, c.CongestViolations, b.MaxWordBits, b.CongestViolations)
 		}
 		if wallClock {
 			if limit := float64(b.NsPerOp) * (1 + tolerance); float64(c.NsPerOp) > limit {

@@ -1,0 +1,412 @@
+// Package obs is the dependency-free observability core of the repository:
+// atomic counters and gauges, fixed-bucket histograms, and a registry that
+// renders every registered instrument in the Prometheus text exposition
+// format (version 0.0.4, the format every Prometheus-compatible scraper
+// reads).
+//
+// The package exists because the serving layer (internal/service) and the
+// simulator perf suite (internal/bench) both need instrumentation that is
+// *allocation-free on the hot path*: the simulator's round loop and the
+// colord job lifecycle are gated at zero steady-state heap allocations
+// (BENCH_simcore.json pins allocs/round at 0), so an instrument that
+// allocates per observation would regress the PR 3–4 contract the moment it
+// was wired in. Every mutating operation here — Counter.Add, Gauge.Set,
+// Histogram.Observe — is a fixed number of atomic operations on storage
+// pre-sized at registration time; the allocation-regression tests pin this
+// with testing.AllocsPerRun.
+//
+// Concurrency model: instruments are safe for concurrent use (atomics).
+// Individual series are exact, but a scrape taken while writers are active
+// may observe counters from slightly different instants — the same
+// guarantee Prometheus client libraries give. Callers that need a coherent
+// multi-series snapshot (the colord /v1/metrics JSON view) take their own
+// lock around both the writes and the reads; see internal/service.
+//
+// Exposition: Registry.WriteText renders families sorted by name, series
+// within a family sorted by label signature, with one HELP/TYPE header per
+// family and label values escaped per the format spec (backslash, quote,
+// newline). The output is deterministic for a fixed set of registered
+// instruments and values, which is what lets the service golden-test its
+// /metrics page byte for byte.
+//
+// See DESIGN.md §9 for the metric naming scheme and bucket conventions.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one key="value" pair attached to a series at registration.
+// Labels are fixed for the lifetime of the instrument: this is a
+// static-cardinality core (every series is declared up front), which is
+// what keeps observation allocation-free and exposition deterministic.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// metricKind is the TYPE line of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is the registry's view of one registered instrument.
+type series struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label
+	sig    string // rendered label block, the within-family sort key
+
+	c    *Counter
+	g    *Gauge
+	gf   func() int64
+	hist *Histogram
+}
+
+// Registry holds a fixed set of instruments and renders them as Prometheus
+// text. Registration normally happens at startup; it is nevertheless
+// mutex-guarded so late registration (tests, optional subsystems) is safe.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series
+	names  map[string]metricKind // family name → kind, for conflict checks
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]metricKind)}
+}
+
+// register adds one series, panicking on a name/kind conflict or a
+// duplicate (name, labels) series — registration is programmer intent, not
+// input, exactly like distcolor.RegisterAlgorithm.
+func (r *Registry) register(s *series) {
+	if s.name == "" {
+		panic("obs: register: empty metric name")
+	}
+	s.sig = labelBlock(s.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.names[s.name]; ok && k != s.kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", s.name, k, s.kind))
+	}
+	r.names[s.name] = s.kind
+	for _, prev := range r.series {
+		if prev.name == s.name && prev.sig == s.sig {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", s.name, s.sig))
+		}
+	}
+	r.series = append(r.series, s)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative; this is not
+// checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NewCounter registers a counter series. By Prometheus convention the name
+// ends in _total.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&series{name: name, help: help, kind: kindCounter, labels: labels, c: c})
+	return c
+}
+
+// NewGauge registers a gauge series.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&series{name: name, help: help, kind: kindGauge, labels: labels, g: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is sampled by fn at scrape
+// time — for values that already live behind someone else's lock (queue
+// depth, cache entries) where mirroring into an atomic would either tear or
+// double the bookkeeping. fn runs on the scrape goroutine; it may take
+// locks but must not call back into this registry.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&series{name: name, help: help, kind: kindGauge, labels: labels, gf: fn})
+}
+
+// NewCounterFunc registers a counter whose value is sampled by fn at
+// scrape time — for monotone counts another subsystem already maintains
+// (the WAL's append/fsync tallies). fn must be monotonically
+// non-decreasing; the same scrape-goroutine rules as NewGaugeFunc apply.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&series{name: name, help: help, kind: kindCounter, labels: labels, gf: fn})
+}
+
+// Histogram is a fixed-bucket histogram: bucket upper bounds are declared
+// at registration and never change, so Observe is a bounded scan plus two
+// atomic adds — no allocation, no resizing, no locks.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, ascending; an
+	// implicit +Inf bucket catches everything above the last bound.
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, non-cumulative; +Inf last
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// attributing every observation in a bucket to its upper bound — the same
+// upper-bound estimate a Prometheus histogram_quantile gives without
+// interpolation. Returns 0 when the histogram is empty; observations in
+// the +Inf bucket report the last finite bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp to last finite bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// NewHistogram registers a histogram with the given ascending bucket upper
+// bounds (an implicit +Inf bucket is always appended). It panics on empty
+// or non-ascending bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(&series{name: name, help: help, kind: kindHistogram, labels: labels, hist: h})
+	return h
+}
+
+// ExpBuckets returns count ascending bounds starting at start and
+// multiplying by factor — the standard way to size latency and byte-size
+// buckets. It panics on a non-positive start or a factor ≤ 1.
+func ExpBuckets(start int64, factor float64, count int) []int64 {
+	if start <= 0 || factor <= 1 || count <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count > 0")
+	}
+	out := make([]int64, count)
+	v := float64(start)
+	for i := range out {
+		b := int64(v)
+		if i > 0 && b <= out[i-1] {
+			b = out[i-1] + 1 // integer rounding must not break ascent
+		}
+		out[i] = b
+		v *= factor
+	}
+	return out
+}
+
+// Pow2Buckets returns bounds 2^lo .. 2^hi — the bucket convention for
+// message-size (bits) histograms, where the CONGEST yardstick is "how many
+// words, roughly" rather than fine-grained bytes.
+func Pow2Buckets(lo, hi int) []int64 {
+	if lo < 0 || hi < lo || hi > 62 {
+		panic("obs: Pow2Buckets needs 0 <= lo <= hi <= 62")
+	}
+	out := make([]int64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		out = append(out, int64(1)<<e)
+	}
+	return out
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line: backslash and newline (quotes are legal).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// labelBlock renders a sorted {k="v",...} block, or "" without labels.
+func labelBlock(labels []Label) string {
+	return labelBlockExtra(labels, "", "")
+}
+
+// labelBlockExtra renders the label block with one extra pair appended
+// (the histogram le label); extraKey == "" appends nothing.
+func labelBlockExtra(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(sorted) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders every registered series in the Prometheus text format:
+// families sorted by name (one HELP/TYPE header each), series within a
+// family sorted by label signature. Gauge funcs are sampled on the calling
+// goroutine. The scrape path allocates; only observation is allocation-free.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ordered := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].name != ordered[j].name {
+			return ordered[i].name < ordered[j].name
+		}
+		return ordered[i].sig < ordered[j].sig
+	})
+	var b strings.Builder
+	prevFamily := ""
+	for _, s := range ordered {
+		if s.name != prevFamily {
+			prevFamily = s.name
+			fmt.Fprintf(&b, "# HELP %s %s\n", s.name, escapeHelp(s.help))
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+		}
+		switch {
+		case s.c != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, s.sig, s.c.Value())
+		case s.g != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, s.sig, s.g.Value())
+		case s.gf != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, s.sig, s.gf())
+		case s.hist != nil:
+			writeHistogram(&b, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count. Counts are read non-atomically across buckets; per the package
+// concurrency model a scrape racing writers may be off by in-flight
+// observations, never corrupt.
+func writeHistogram(b *strings.Builder, s *series) {
+	h := s.hist
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", s.name, labelBlockExtra(s.labels, "le", formatBound(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", s.name, labelBlockExtra(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %d\n", s.name, s.sig, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", s.name, s.sig, cum)
+}
+
+// formatBound renders an integer bucket bound as the exposition format's
+// float (no trailing .0 needed; Prometheus accepts plain integers).
+func formatBound(v int64) string { return strconv.FormatInt(v, 10) }

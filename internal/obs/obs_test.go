@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The golden exposition test: families sorted by name, series within a
+// family sorted by label signature, one HELP/TYPE header per family,
+// histograms rendered as cumulative buckets plus _sum/_count. The service
+// layer golden-tests its full /metrics page on top of this; here the
+// format itself is pinned.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registration order is deliberately scrambled relative to the expected
+	// output to prove ordering comes from sorting, not insertion.
+	q := r.NewGauge("test_queue_depth", "Jobs waiting to run.")
+	h := r.NewHistogram("test_latency_us", "Stage latency.", []int64{10, 100, 1000}, Label{"stage", "admit"})
+	c2 := r.NewCounter("test_jobs_total", "Jobs by state.", Label{"state", "failed"})
+	c1 := r.NewCounter("test_jobs_total", "Jobs by state.", Label{"state", "done"})
+	r.NewGaugeFunc("test_workers", "Configured workers.", func() int64 { return 4 })
+
+	c1.Add(7)
+	c2.Inc()
+	q.Set(3)
+	for _, v := range []int64{5, 10, 11, 250, 9999} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := `# HELP test_jobs_total Jobs by state.
+# TYPE test_jobs_total counter
+test_jobs_total{state="done"} 7
+test_jobs_total{state="failed"} 1
+# HELP test_latency_us Stage latency.
+# TYPE test_latency_us histogram
+test_latency_us_bucket{stage="admit",le="10"} 2
+test_latency_us_bucket{stage="admit",le="100"} 3
+test_latency_us_bucket{stage="admit",le="1000"} 4
+test_latency_us_bucket{stage="admit",le="+Inf"} 5
+test_latency_us_sum{stage="admit"} 10275
+test_latency_us_count{stage="admit"} 5
+# HELP test_queue_depth Jobs waiting to run.
+# TYPE test_queue_depth gauge
+test_queue_depth 3
+# HELP test_workers Configured workers.
+# TYPE test_workers gauge
+test_workers 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// Rendering twice must produce identical bytes — the determinism the
+// service's golden test relies on.
+func TestWriteTextDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "A.", Label{"x", "2"})
+	r.NewCounter("a_total", "A.", Label{"x", "1"})
+	r.NewGauge("b", "B.")
+	var b1, b2 strings.Builder
+	if err := r.WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("two scrapes differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("esc_total", "Line one\nline two with \\ backslash.",
+		Label{"path", `C:\dir`}, Label{"quote", `say "hi"`}, Label{"nl", "a\nb"})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`# HELP esc_total Line one\nline two with \\ backslash.`,
+		`nl="a\nb"`,
+		`path="C:\\dir"`,
+		`quote="say \"hi\""`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "\n") != 3 { // HELP + TYPE + one series; raw newlines stayed escaped
+		t.Errorf("raw newline leaked into exposition:\n%q", got)
+	}
+}
+
+// The tentpole contract: observation is allocation-free. The scrape path
+// may allocate; Add/Set/Observe must not.
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	g := r.NewGauge("g", "g")
+	h := r.NewHistogram("h", "h", Pow2Buckets(3, 10))
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(2)
+		c.Inc()
+		g.Set(17)
+		g.Add(-3)
+		h.Observe(5)
+		h.Observe(64)
+		h.Observe(1 << 20) // +Inf bucket
+	}); n != 0 {
+		t.Errorf("hot-path observation allocates: %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q", "q", []int64{1, 2, 4, 8, 16})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	// 10 observations: 5 in le=1, 3 in le=4, 2 in le=16.
+	for i := 0; i < 5; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(3)
+	}
+	h.Observe(9)
+	h.Observe(12)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.95); got != 16 {
+		t.Errorf("p95 = %d, want 16", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d, want 1 (clamped to first observation)", got)
+	}
+	if got, want := h.Count(), int64(10); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), int64(5+9+9+12); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	// Everything in +Inf clamps to the last finite bound.
+	r2 := NewRegistry()
+	h2 := r2.NewHistogram("q2", "q", []int64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf quantile = %d, want last bound 2", got)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	got := Pow2Buckets(0, 4)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pow2Buckets(0,4) = %v, want %v", got, want)
+		}
+	}
+	exp := ExpBuckets(100, 10, 4)
+	wantExp := []int64{100, 1000, 10000, 100000}
+	for i := range wantExp {
+		if exp[i] != wantExp[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, wantExp)
+		}
+	}
+	// Integer rounding must keep bounds strictly ascending.
+	tight := ExpBuckets(1, 1.1, 5)
+	for i := 1; i < len(tight); i++ {
+		if tight[i] <= tight[i-1] {
+			t.Fatalf("ExpBuckets(1, 1.1, 5) not ascending: %v", tight)
+		}
+	}
+}
+
+func TestRegistryConflicts(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("dup_total", "d", Label{"a", "1"})
+	expectPanic("duplicate series", func() { r.NewCounter("dup_total", "d", Label{"a", "1"}) })
+	expectPanic("kind conflict", func() { r.NewGauge("dup_total", "d") })
+	expectPanic("empty name", func() { r.NewCounter("", "d") })
+	expectPanic("empty histogram bounds", func() { r.NewHistogram("h", "h", nil) })
+	expectPanic("non-ascending bounds", func() { r.NewHistogram("h2", "h", []int64{4, 2}) })
+	// Same name with different labels is one family, not a conflict.
+	r.NewCounter("dup_total", "d", Label{"a", "2"})
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace(6)
+	root := tr.Start("job", -1, 0)
+	admit := tr.Start("admit", root, 0)
+	tr.End(admit, 120)
+	queue := tr.Start("queue", root, 120)
+	tr.End(queue, 500)
+	tr.Add(Span{Name: "execute", Parent: root, StartUS: 500, DurUS: 4000})
+	tr.End(root, 4700)
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[0].Name != "job" || spans[0].Parent != -1 || spans[0].DurUS != 4700 {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	if spans[1].Name != "admit" || spans[1].Parent != root || spans[1].DurUS != 120 {
+		t.Errorf("admit span = %+v", spans[1])
+	}
+	if spans[2].StartUS != 120 || spans[2].DurUS != 380 {
+		t.Errorf("queue span = %+v", spans[2])
+	}
+	// Closing out of range or backwards must not corrupt anything.
+	tr.End(99, 1)
+	tr.End(-1, 1)
+	open := tr.Start("open", root, 5000)
+	if tr.Spans()[open].DurUS != -1 {
+		t.Errorf("open span should have DurUS -1")
+	}
+	tr.End(open, 4000) // end before start clamps to 0
+	if d := tr.Spans()[open].DurUS; d != 0 {
+		t.Errorf("backwards End gave DurUS %d, want 0", d)
+	}
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d, want 5", tr.Len())
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+// Trace spans: the per-job timeline primitive. A span records one named
+// stage of a larger operation — for colord, the lifecycle stages of a job
+// (admit, queue, execute, verify, serve) under a root span covering the
+// whole job. Spans are deliberately minimal: no global collector, no
+// sampling, no clock reads of their own. The *owner* of the traced
+// operation (the service's job struct) holds the span slice under its own
+// lock and stamps times from a monotonic base it controls, which keeps the
+// span path allocation-bounded (one slice, pre-sized) and makes the
+// exported timeline reproducible in tests that fake the clock.
+//
+// Times are expressed as offsets from the trace's own start rather than
+// wall-clock instants: offsets come from the monotonic clock, so spans
+// order correctly even across wall-clock steps, and the NDJSON export is
+// self-contained — a reader reconstructs the tree from (name, parent,
+// start, duration) alone.
+
+// A Span is one stage of a traced operation. StartUS/DurUS are microseconds
+// relative to the trace's monotonic origin; DurUS is -1 while the span is
+// open. Parent is the index of the parent span in the trace's span slice,
+// or -1 for the root. Spans serialize into the job trace NDJSON stream, so
+// the field names are part of the service API.
+type Span struct {
+	Name    string `json:"name"`
+	Parent  int    `json:"parent"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// A Trace is an append-only span list for one operation. It is NOT
+// goroutine-safe: the owner serializes access (colord uses the job mutex).
+type Trace struct {
+	spans []Span
+}
+
+// NewTrace returns a trace pre-sized for n spans, so tracing a bounded
+// lifecycle appends without reallocation.
+func NewTrace(n int) *Trace {
+	return &Trace{spans: make([]Span, 0, n)}
+}
+
+// Start opens a span and returns its index (use it as Parent for children
+// and as the handle for End). startUS is the offset from the trace origin.
+func (t *Trace) Start(name string, parent int, startUS int64) int {
+	t.spans = append(t.spans, Span{Name: name, Parent: parent, StartUS: startUS, DurUS: -1})
+	return len(t.spans) - 1
+}
+
+// End closes span i at offset endUS. Ending an already-closed span or
+// ending before the start clamps the duration at 0 rather than going
+// negative — spans are diagnostics, not invariants worth crashing for.
+func (t *Trace) End(i int, endUS int64) {
+	if i < 0 || i >= len(t.spans) {
+		return
+	}
+	d := endUS - t.spans[i].StartUS
+	if d < 0 {
+		d = 0
+	}
+	t.spans[i].DurUS = d
+}
+
+// Add appends an already-complete span (for stages measured externally).
+func (t *Trace) Add(s Span) int {
+	t.spans = append(t.spans, s)
+	return len(t.spans) - 1
+}
+
+// Spans returns the span list. The returned slice aliases the trace's
+// storage; callers that outlive the owner's lock must copy.
+func (t *Trace) Spans() []Span { return t.spans }
+
+// Len reports the number of spans recorded.
+func (t *Trace) Len() int { return len(t.spans) }

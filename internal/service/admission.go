@@ -79,11 +79,11 @@ func jobCost(req *distcolor.Request) int64 {
 // terminal transition.
 func (s *Server) admitLocked(cost int64) error {
 	if len(s.queue)+s.queueReserved >= s.cfg.QueueDepth {
-		s.metrics.shed++
+		s.obs.shed.Inc()
 		return &OverloadError{Reason: "queue", RetryAfter: s.retryAfterLocked()}
 	}
 	if s.cfg.MaxInflightBytes > 0 && s.inflightBytes+cost > s.cfg.MaxInflightBytes {
-		s.metrics.shed++
+		s.obs.shed.Inc()
 		return &OverloadError{Reason: "inflight-bytes", RetryAfter: s.retryAfterLocked()}
 	}
 	s.queueReserved++
@@ -102,14 +102,14 @@ func (s *Server) releaseLocked(cost int64) {
 // [1s, 30s] so clients neither hammer nor stall.
 func (s *Server) retryAfterLocked() time.Duration {
 	per := 250 * time.Millisecond
-	if s.metrics.completed > 0 {
-		per = time.Duration(s.metrics.wallMSTotal/s.metrics.completed) * time.Millisecond
+	if completed := s.obs.completed.Value(); completed > 0 {
+		per = time.Duration(s.obs.wallMSTotal.Value()/completed) * time.Millisecond
 	}
 	workers := s.cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	backlog := len(s.queue) + s.queueReserved + s.metrics.running
+	backlog := len(s.queue) + s.queueReserved + int(s.obs.running.Value())
 	est := per * time.Duration(backlog+1) / time.Duration(workers)
 	if est < time.Second {
 		return time.Second
@@ -152,7 +152,7 @@ func (s *Server) Health() Health {
 		Ready:            !s.closed && len(s.queue)+s.queueReserved < s.cfg.QueueDepth && (s.cfg.MaxInflightBytes <= 0 || s.inflightBytes < s.cfg.MaxInflightBytes),
 		QueueDepth:       len(s.queue) + s.queueReserved,
 		QueueCap:         s.cfg.QueueDepth,
-		Running:          s.metrics.running,
+		Running:          int(s.obs.running.Value()),
 		InflightBytes:    s.inflightBytes,
 		MaxInflightBytes: s.cfg.MaxInflightBytes,
 		Durable:          s.store != nil,
@@ -246,7 +246,7 @@ func (s *Server) submitAll(reqs []distcolor.Request) BatchResponse {
 func (s *Server) batchBudgetShed() *OverloadError {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.metrics.shed++
+	s.obs.shed.Inc()
 	return &OverloadError{Reason: "batch-budget", RetryAfter: s.retryAfterLocked()}
 }
 

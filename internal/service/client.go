@@ -42,6 +42,10 @@ type Client struct {
 type HTTPError struct {
 	Code    int
 	Message string
+	// RetryAfter is the server's Retry-After hint on a 429, zero otherwise
+	// (or when the header was absent). Load generators read it to report
+	// the shed-backoff distribution the server is handing out.
+	RetryAfter time.Duration
 }
 
 func (e *HTTPError) Error() string {
@@ -147,6 +151,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		defer resp.Body.Close()
 		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 			he := &HTTPError{Code: resp.StatusCode}
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
 			var eb errorBody
 			if json.NewDecoder(resp.Body).Decode(&eb) == nil {
 				he.Message = eb.Error
@@ -279,9 +286,17 @@ func (c *Client) WaitTimeout(id string, poll, timeout time.Duration) (JobStatus,
 }
 
 // Trace streams the job's round trace, invoking fn for every event until
-// the stream's end line; it returns the job's final state. Canceling ctx
-// tears the stream down.
+// the stream's end line; it returns the job's final state. Lifecycle span
+// lines are skipped — use TraceSpans to receive them. Canceling ctx tears
+// the stream down.
 func (c *Client) Trace(ctx context.Context, id string, fn func(TraceEvent)) (State, error) {
+	return c.TraceSpans(ctx, id, fn, nil)
+}
+
+// TraceSpans streams the job's round trace like Trace, additionally
+// invoking sfn for each lifecycle span the server appends once the job is
+// terminal (admit, queue, execute, verify, serve under a root "job" span).
+func (c *Client) TraceSpans(ctx context.Context, id string, fn func(TraceEvent), sfn func(Span)) (State, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/trace"), nil)
 	if err != nil {
 		return "", err
@@ -299,6 +314,18 @@ func (c *Client) Trace(ctx context.Context, id string, fn func(TraceEvent)) (Sta
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
+			continue
+		}
+		// Span lines must be probed before TraceEvent: a {"span":…} line has
+		// no TraceEvent keys, so it would otherwise decode as a zero event.
+		if bytes.HasPrefix(line, []byte(`{"span"`)) {
+			var sl spanLine
+			if err := json.Unmarshal(line, &sl); err != nil {
+				return "", fmt.Errorf("colord: trace %s: bad span line %q: %w", id, line, err)
+			}
+			if sfn != nil && sl.Span != nil {
+				sfn(*sl.Span)
+			}
 			continue
 		}
 		var end traceEnd

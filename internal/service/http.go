@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -13,18 +14,23 @@ import (
 	"repro/internal/gen"
 )
 
-// HTTP surface of the service (all JSON):
+// HTTP surface of the service (JSON unless noted):
 //
 //	POST /v1/jobs              Request                → JobStatus (202; 200 on cache hit; 429 + Retry-After when shed)
 //	GET  /v1/jobs/{id}         —                      → JobStatus
 //	GET  /v1/jobs/{id}/result  —                      → Response (409 until done)
-//	GET  /v1/jobs/{id}/trace   ?after=<seq>           → NDJSON stream of TraceEvents, live until terminal
+//	GET  /v1/jobs/{id}/trace   ?after=<seq>           → NDJSON stream of TraceEvents, then {"span":…} lifecycle
+//	                                                    spans, then one {"done":…} terminator
 //	POST /v1/jobs/{id}/cancel  —                      → JobStatus
 //	POST /v1/batch             BatchRequest           → BatchResponse (sharded; per-item partial failure)
 //	POST /v1/generate          GenerateRequest        → BatchResponse (graphs built server-side)
 //	GET  /v1/metrics           —                      → Metrics
+//	GET  /metrics              —                      → Prometheus text exposition (0.0.4)
 //	GET  /v1/algorithms        —                      → [AlgorithmInfo] (registry metadata: names, kinds, parameter schemas)
 //	GET  /v1/healthz           —                      → Health (200 ready / 503 shedding)
+//
+// Every response carries an X-Request-Id header; the same ID tags the
+// request's structured log line.
 
 // BatchRequest submits many workloads in one call.
 type BatchRequest struct {
@@ -232,11 +238,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, distcolor.DescribeAlgorithms())
 	})
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	return mux
+	return s.withRequestLog(mux)
+}
+
+// withRequestLog assigns each request a server-unique ID (echoed as the
+// X-Request-Id response header) and logs method, path, status, and duration
+// with it. Successes log at Debug so a production daemon is quiet by
+// default; error statuses log at Warn.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := "r" + strconv.FormatInt(s.reqID.Add(1), 10)
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		lvl := slog.LevelDebug
+		if sw.code >= 400 {
+			lvl = slog.LevelWarn
+		}
+		s.log.Log(r.Context(), lvl, "http request",
+			"req", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "dur_ms", time.Since(start).Milliseconds())
+	})
+}
+
+// statusWriter captures the response status for the request log, passing
+// Flush through so NDJSON trace streaming keeps working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // handleHealthz serves the admission readiness view: 200 while the server
@@ -355,6 +401,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
+// handleMetricsProm serves the same instruments as Prometheus text
+// exposition format 0.0.4 — the scrape target for a real monitoring stack,
+// while /v1/metrics stays the JSON view for humans and the CLI.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WriteText(w)
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := json.NewDecoder(s.boundBody(w, r)).Decode(&req); err != nil {
@@ -401,8 +455,17 @@ type traceEnd struct {
 	FirstSeq int `json:"first_seq"`
 }
 
+// spanLine wraps one lifecycle span on the trace stream. The wrapper key is
+// what lets a line-oriented reader tell span lines from TraceEvents without
+// a schema field on every line.
+type spanLine struct {
+	Span *Span `json:"span"`
+}
+
 // handleTrace streams the job's round trace as NDJSON: recorded events
-// first, then live events as the job executes, then one traceEnd line.
+// first, then live events as the job executes, then the job's lifecycle
+// span tree (one {"span":…} line each, parents before children), then one
+// traceEnd line.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	after := 0
@@ -440,6 +503,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		if state.Terminal() && len(events) == 0 {
+			// The job is terminal, so the span tree is closed (the terminal
+			// transition and the final span End share one critical section).
+			spans, _ := s.Spans(id)
+			for i := range spans {
+				if err := enc.Encode(spanLine{Span: &spans[i]}); err != nil {
+					return
+				}
+			}
 			_ = enc.Encode(traceEnd{Done: true, State: state, FirstSeq: firstSeq})
 			if flusher != nil {
 				flusher.Flush()

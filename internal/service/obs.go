@@ -1,0 +1,206 @@
+package service
+
+// Prometheus-facing instrumentation of the serving layer. serverObs owns
+// the obs.Registry every colord series lives in; the Server mutates the
+// counter/gauge instruments only while holding s.mu, so the JSON Metrics()
+// snapshot stays coherent (one lock, no torn reads) while `GET /metrics`
+// renders the very same instruments as Prometheus text. Derived values that
+// already live behind s.mu or the store's lock (queue depth, in-flight
+// bytes, WAL shape) are exported as sample-at-scrape functions instead of
+// mirrored state: obs.WriteText releases the registry lock before sampling,
+// so a gauge function may take s.mu without deadlock.
+//
+// Naming follows Prometheus conventions: colord_ prefix, _total suffix on
+// counters, explicit units in the name (_bytes, _us, _bits). See DESIGN.md
+// §9 for the full series catalog.
+
+import (
+	"repro/internal/obs"
+)
+
+// Span is a job lifecycle span as served by GET /v1/jobs/{id}/trace: name,
+// parent index (-1 for the root), and µs offset/duration from the job's
+// submission instant. Duration -1 marks a span still open.
+type Span = obs.Span
+
+// Lifecycle stage names, used both as span names and as the stage label of
+// the colord_stage_duration_us histogram.
+const (
+	stageAdmit   = "admit"   // Submit work: validate, canonicalize, admission, journal fsync
+	stageQueue   = "queue"   // enqueue → worker pickup
+	stageExecute = "execute" // simulation: worker pickup → last observed round
+	stageVerify  = "verify"  // last observed round → ExecuteOn return (in-run verification)
+	stageServe   = "serve"   // result publication: cache store + terminal transition
+)
+
+// metricsSeries maps every Metrics JSON field to the Prometheus series that
+// exports the same value. The exposition test walks the Metrics struct tags
+// against this table, so adding a Metrics field without a series (or the
+// reverse) fails the build's tests, not a dashboard at 3am.
+var metricsSeries = map[string]string{
+	"submitted":          "colord_jobs_submitted_total",
+	"completed":          "colord_jobs_completed_total",
+	"failed":             "colord_jobs_failed_total",
+	"canceled":           "colord_jobs_canceled_total",
+	"rejected":           "colord_jobs_rejected_total",
+	"shed":               "colord_jobs_shed_total",
+	"recovered":          "colord_jobs_recovered_total",
+	"inflight_bytes":     "colord_inflight_bytes",
+	"max_inflight_bytes": "colord_max_inflight_bytes",
+	"cache_hits":         "colord_cache_hits_total",
+	"cache_misses":       "colord_cache_misses_total",
+	"cache_bad_hits":     "colord_cache_bad_hits_total",
+	"cache_skipped":      "colord_cache_skipped_total",
+	"cache_entries":      "colord_cache_entries",
+	"queue_depth":        "colord_queue_depth",
+	"running":            "colord_jobs_running",
+	"workers":            "colord_workers",
+	"rounds_total":       "colord_rounds_total",
+	"messages_total":     "colord_messages_total",
+	"wall_ms_total":      "colord_wall_ms_total",
+	"jobs":               "colord_jobs_retained",
+}
+
+// serverObs bundles the registry and the instruments the Server writes.
+// Everything here except the histograms is mutated only under s.mu.
+type serverObs struct {
+	reg *obs.Registry
+
+	submitted, completed, failed, canceled, rejected *obs.Counter
+	shed, recovered                                  *obs.Counter
+	cacheHits, cacheMisses, cacheBadHits             *obs.Counter
+	cacheSkipped                                     *obs.Counter
+	roundsTotal, messagesTotal, wallMSTotal          *obs.Counter
+	running                                          *obs.Gauge
+
+	// stage is the admit→serve latency histogram family, one histogram per
+	// lifecycle stage; observed lock-free at each stage boundary.
+	stage map[string]*obs.Histogram
+	// roundMaxBits distributes the per-round hottest message size (bits)
+	// across every observed simulator round of every job — the serving
+	// layer's view of the sim package's CONGEST bandwidth accounting.
+	roundMaxBits *obs.Histogram
+}
+
+func newServerObs() *serverObs {
+	r := obs.NewRegistry()
+	o := &serverObs{
+		reg:           r,
+		submitted:     r.NewCounter("colord_jobs_submitted_total", "Accepted submissions (cache hits included)."),
+		completed:     r.NewCounter("colord_jobs_completed_total", "Jobs finished successfully (cache hits included)."),
+		failed:        r.NewCounter("colord_jobs_failed_total", "Jobs that finished in error."),
+		canceled:      r.NewCounter("colord_jobs_canceled_total", "Jobs canceled before or during execution."),
+		rejected:      r.NewCounter("colord_jobs_rejected_total", "Invalid submissions refused up front (HTTP 400)."),
+		shed:          r.NewCounter("colord_jobs_shed_total", "Submissions refused by admission control (HTTP 429)."),
+		recovered:     r.NewCounter("colord_jobs_recovered_total", "Jobs replayed from the write-ahead store at startup."),
+		cacheHits:     r.NewCounter("colord_cache_hits_total", "Submissions served from the canonical result cache."),
+		cacheMisses:   r.NewCounter("colord_cache_misses_total", "Cacheable submissions that missed and ran."),
+		cacheBadHits:  r.NewCounter("colord_cache_bad_hits_total", "Canonical-hash collisions caught by post-remap verification."),
+		cacheSkipped:  r.NewCounter("colord_cache_skipped_total", "Submissions bypassing the cache (graph over canonicalization bounds)."),
+		roundsTotal:   r.NewCounter("colord_rounds_total", "Simulator rounds executed across all completed jobs."),
+		messagesTotal: r.NewCounter("colord_messages_total", "Simulator messages delivered across all completed jobs."),
+		wallMSTotal:   r.NewCounter("colord_wall_ms_total", "Execution wall time of completed jobs, milliseconds."),
+		running:       r.NewGauge("colord_jobs_running", "Jobs currently executing on the worker pool."),
+		stage:         make(map[string]*obs.Histogram, 5),
+		roundMaxBits: r.NewHistogram("colord_round_max_message_bits",
+			"Largest single message of each observed simulator round, bits.",
+			obs.Pow2Buckets(3, 20)),
+	}
+	stageBuckets := obs.ExpBuckets(10, 2, 20) // 10µs .. ~5.2s
+	for _, st := range []string{stageAdmit, stageQueue, stageExecute, stageVerify, stageServe} {
+		o.stage[st] = r.NewHistogram("colord_stage_duration_us",
+			"Job lifecycle stage latency, microseconds.",
+			stageBuckets, obs.Label{Key: "stage", Value: st})
+	}
+	return o
+}
+
+// observeStage records one stage latency; negative durations mean the stage
+// never ran (recovered jobs have no admit, canceled jobs no verify) and are
+// dropped rather than polluting the first bucket.
+func (o *serverObs) observeStage(stage string, durUS int64) {
+	if durUS < 0 {
+		return
+	}
+	o.stage[stage].Observe(durUS)
+}
+
+// registerDerived wires the sample-at-scrape series that read live server
+// state under s.mu. Called once from NewServer, after the instruments exist
+// but before the server is reachable.
+func (s *Server) registerDerived() {
+	r := s.obs.reg
+	r.NewGaugeFunc("colord_queue_depth", "Queued-but-not-running jobs (admission reservations included).", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.queue) + s.queueReserved)
+	})
+	r.NewGaugeFunc("colord_inflight_bytes", "Estimated resident bytes of accepted-but-unfinished jobs.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.inflightBytes
+	})
+	r.NewGaugeFunc("colord_max_inflight_bytes", "In-flight byte bound (0 = unbounded).", func() int64 {
+		if s.cfg.MaxInflightBytes > 0 {
+			return s.cfg.MaxInflightBytes
+		}
+		return 0
+	})
+	r.NewGaugeFunc("colord_jobs_retained", "Jobs in the bounded retention table.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.jobs))
+	})
+	r.NewGaugeFunc("colord_workers", "Worker pool size.", func() int64 {
+		return int64(s.cfg.Workers)
+	})
+	r.NewGaugeFunc("colord_cache_entries", "Entries in the canonical result cache.", func() int64 {
+		if s.cache == nil {
+			return 0
+		}
+		return int64(s.cache.len())
+	})
+	if s.store != nil {
+		st := s.store
+		r.NewCounterFunc("colord_wal_appends_total", "Records appended to the write-ahead job store.", func() int64 {
+			a, _, _ := st.Counters()
+			return a
+		})
+		r.NewCounterFunc("colord_wal_fsyncs_total", "fsync calls issued by the write-ahead job store.", func() int64 {
+			_, f, _ := st.Counters()
+			return f
+		})
+		r.NewCounterFunc("colord_wal_compactions_total", "Successful journal compactions.", func() int64 {
+			_, _, c := st.Counters()
+			return c
+		})
+		r.NewGaugeFunc("colord_wal_segments", "Journal segment files on disk.", func() int64 {
+			segs, _ := st.Stats()
+			return int64(segs)
+		})
+		r.NewGaugeFunc("colord_wal_active_bytes", "Bytes appended to the active journal segment.", func() int64 {
+			_, b := st.Stats()
+			return b
+		})
+	}
+}
+
+// Registry exposes the server's metric registry; the HTTP layer renders it
+// at GET /metrics and tests scrape it directly.
+func (s *Server) Registry() *obs.Registry { return s.obs.reg }
+
+// Spans returns a copy of the job's recorded lifecycle span tree, in
+// recording order (parents before children). Empty for jobs recovered
+// terminal from the journal, which never re-ran under this process.
+func (s *Server) Spans(id string) ([]Span, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.spans == nil {
+		return nil, nil
+	}
+	return append([]Span(nil), j.spans.Spans()...), nil
+}

@@ -35,12 +35,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	distcolor "repro"
+	"repro/internal/obs"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -101,6 +104,9 @@ type Config struct {
 	// forever. For admission/overload tests and benchmarks only: it turns
 	// the service into a pure front door with deterministic occupancy.
 	Frozen bool
+	// Logger receives structured server events (recovery, sheds, job
+	// terminals, journal failures) with job IDs attached. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -270,6 +276,11 @@ type job struct {
 	// (cache hits, recovered terminal jobs).
 	cost int64
 
+	// sobs points at the server's instruments for the hooks that fire off
+	// the server lock (the round observer); nil in unit tests that build
+	// bare jobs.
+	sobs *serverObs
+
 	mu         sync.Mutex
 	cond       *sync.Cond    // broadcast on every state/trace change
 	done       chan struct{} // closed exactly once, on the terminal transition
@@ -285,7 +296,31 @@ type job struct {
 	lastExec   int
 	lastN      int
 	sawRound   bool
+
+	// Lifecycle span tree (see DESIGN.md §9): offsets are µs since
+	// spanBase. spans is nil for jobs recovered terminal from the journal;
+	// mutations after the job is published happen under j.mu. The index
+	// fields are -1 until the corresponding span starts.
+	spanBase    time.Time
+	spans       *obs.Trace
+	spanRoot    int
+	spanAdmit   int
+	spanQueue   int
+	spanExec    int
+	lastRoundUS int64 // offset of the most recent observed round
 }
+
+// initSpans roots the job's span tree at base (the submission or recovery
+// instant). Offsets derive from time.Since(base), so they ride the
+// monotonic clock.
+func (j *job) initSpans(base time.Time) {
+	j.spanBase = base
+	j.spans = obs.NewTrace(8)
+	j.spanAdmit, j.spanQueue, j.spanExec = -1, -1, -1
+	j.spanRoot = j.spans.Start("job", -1, 0)
+}
+
+func (j *job) sinceUS() int64 { return time.Since(j.spanBase).Microseconds() }
 
 // finishLocked moves the job to a terminal state; j.mu must be held and the
 // current state must be non-terminal.
@@ -337,14 +372,13 @@ type Server struct {
 	queueReserved int      // admitted submissions journaling outside s.mu, not yet in queue
 	inflightBytes int64    // admission charge of accepted-but-unfinished jobs
 	wg            sync.WaitGroup
-	metrics       struct {
-		submitted, completed, failed, canceled, rejected int64
-		shed, recovered                                  int64
-		cacheHits, cacheMisses, cacheBadHits             int64
-		cacheSkipped                                     int64
-		running                                          int
-		roundsTotal, messagesTotal, wallMSTotal          int64
-	}
+
+	// obs holds every exported instrument (see obs.go); counters and the
+	// running gauge are mutated only under s.mu, so Metrics() snapshots
+	// them coherently with the queue/inflight state.
+	obs   *serverObs
+	log   *slog.Logger
+	reqID atomic.Int64 // HTTP request-log ID source
 }
 
 // NewServer opens the job store (when Config.DataDir is set), replays and
@@ -356,6 +390,11 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:  cfg,
 		jobs: make(map[string]*job),
+		obs:  newServerObs(),
+		log:  cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	s.queueCond = sync.NewCond(&s.mu)
 	if cfg.CacheEntries > 0 {
@@ -371,7 +410,9 @@ func NewServer(cfg Config) (*Server, error) {
 			store.Close()
 			return nil, err
 		}
+		s.log.Info("job store recovered", "dir", cfg.DataDir, "jobs", s.obs.recovered.Value())
 	}
+	s.registerDerived()
 	if !cfg.Frozen {
 		for i := 0; i < cfg.Workers; i++ {
 			s.wg.Add(1)
@@ -425,7 +466,7 @@ func (s *Server) recover(recs []distcolor.JobRecord) error {
 			close(j.done)
 			s.jobs[j.id] = j
 			s.order = append(s.order, j.id)
-			s.metrics.recovered++
+			s.obs.recovered.Inc()
 			continue
 		}
 		// Queued or running at the crash: rebuild and re-enqueue. The graph
@@ -443,7 +484,7 @@ func (s *Server) recover(recs []distcolor.JobRecord) error {
 			close(j.done)
 			s.jobs[j.id] = j
 			s.order = append(s.order, j.id)
-			s.metrics.recovered++
+			s.obs.recovered.Inc()
 			if aerr := s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateFailed), Error: j.err}, true); aerr != nil {
 				return aerr
 			}
@@ -452,6 +493,12 @@ func (s *Server) recover(recs []distcolor.JobRecord) error {
 		j.g = g
 		j.state = StateQueued
 		j.cost = jobCost(rec.Request)
+		j.sobs = s.obs
+		// Recovered jobs re-enter at the queue stage: no admit span (the
+		// admission happened in a previous process), offsets re-based at
+		// recovery time.
+		j.initSpans(time.Now())
+		j.spanQueue = j.spans.Start(stageQueue, j.spanRoot, 0)
 		if s.cache != nil &&
 			(s.cfg.CacheMaxVertices < 0 || g.N() <= s.cfg.CacheMaxVertices) &&
 			(s.cfg.CacheMaxEdges < 0 || g.M() <= s.cfg.CacheMaxEdges) {
@@ -465,7 +512,7 @@ func (s *Server) recover(recs []distcolor.JobRecord) error {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.queue = append(s.queue, j)
-		s.metrics.recovered++
+		s.obs.recovered.Inc()
 	}
 	return nil
 }
@@ -493,6 +540,7 @@ func (s *Server) Close() {
 // to the journal before Submit returns, so an ID handed to a client
 // survives any crash.
 func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
+	begin := time.Now() // span base: every lifecycle offset is µs since here
 	if err := req.Validate(); err != nil {
 		s.countRejected()
 		return JobStatus{}, err
@@ -525,9 +573,11 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 
-	j := &job{req: req, g: g, state: StateQueued, traceDepth: s.cfg.TraceDepth, done: make(chan struct{})}
+	j := &job{req: req, g: g, state: StateQueued, traceDepth: s.cfg.TraceDepth, done: make(chan struct{}), sobs: s.obs}
 	j.cond = sync.NewCond(&j.mu)
 	j.ctx, j.cancel = context.WithCancelCause(context.Background())
+	j.initSpans(begin)
+	j.spanAdmit = j.spans.Start(stageAdmit, j.spanRoot, 0)
 
 	var hit *distcolor.Response
 	cacheable := s.cache != nil &&
@@ -545,7 +595,7 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		hit, bad = s.cache.load(j.key, g, j.canon)
 		if bad {
 			s.mu.Lock()
-			s.metrics.cacheBadHits++
+			s.obs.cacheBadHits.Inc()
 			s.mu.Unlock()
 		}
 	}
@@ -563,11 +613,19 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		j.cacheHit = true
 		j.cancel(nil)
 		close(j.done)
-		s.metrics.cacheHits++
-		s.metrics.submitted++
-		s.metrics.completed++
+		// Close the span tree before the job becomes findable: a cache hit
+		// is admit followed by an instantaneous serve, no queue/execute.
+		t := j.sinceUS()
+		j.spans.End(j.spanAdmit, t)
+		sv := j.spans.Start(stageServe, j.spanRoot, t)
+		j.spans.End(sv, t)
+		j.spans.End(j.spanRoot, t)
+		s.obs.cacheHits.Inc()
+		s.obs.submitted.Inc()
+		s.obs.completed.Inc()
 		evicted := s.register(j)
 		s.mu.Unlock()
+		s.obs.observeStage(stageAdmit, t)
 		s.journalForgotten(evicted)
 		// One condensed journal entry: submitted and done in the same
 		// instant. Fsync'd and checked like the miss path's — the
@@ -577,14 +635,20 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 			if err := s.store.Append(distcolor.JobRecord{
 				ID: j.id, State: string(StateDone), Request: req, Response: hit, CacheHit: true,
 			}, true); err != nil {
+				s.log.Error("journal append failed, cache hit withdrawn", "job", j.id, "err", err)
 				s.withdrawHit(j)
 				return JobStatus{}, err
 			}
 		}
+		s.log.Debug("job served from cache", "job", j.id)
 		return j.status(), nil
 	}
 	if err := s.admitLocked(cost); err != nil {
 		s.mu.Unlock()
+		var ov *OverloadError
+		if errors.As(err, &ov) {
+			s.log.Warn("submission shed", "reason", ov.Reason, "retry_after", ov.RetryAfter)
+		}
 		return JobStatus{}, err
 	}
 	j.cost = cost
@@ -602,6 +666,7 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		// who already saw it, then dropped); accepting unjournaled work
 		// would silently demote the durability contract.
 		if err := s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateQueued), Request: req}, true); err != nil {
+			s.log.Error("journal append failed, submission withdrawn", "job", j.id, "err", err)
 			s.withdraw(j, StateFailed, err.Error())
 			// Best-effort neutralizer: if the failure was in the fsync (the
 			// bytes may still reach disk), a terminal entry stops a restart
@@ -625,16 +690,26 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		return JobStatus{}, ErrClosed
 	}
 	s.queueReserved-- // the reservation becomes a real queue entry
+	// Admit ends (journal fsync included) and the queue wait begins. The
+	// job is already findable, so span mutations happen under j.mu; taking
+	// j.mu inside s.mu follows the lock order, and doing it before the
+	// queue append means no worker has the job yet.
+	j.mu.Lock()
+	admitUS := j.sinceUS()
+	j.spans.End(j.spanAdmit, admitUS)
+	j.spanQueue = j.spans.Start(stageQueue, j.spanRoot, admitUS)
+	j.mu.Unlock()
 	s.queue = append(s.queue, j)
 	s.queueCond.Signal()
 	switch {
 	case cacheable:
-		s.metrics.cacheMisses++
+		s.obs.cacheMisses.Inc()
 	case s.cache != nil:
-		s.metrics.cacheSkipped++
+		s.obs.cacheSkipped.Inc()
 	}
-	s.metrics.submitted++
+	s.obs.submitted.Inc()
 	s.mu.Unlock()
+	s.obs.observeStage(stageAdmit, admitUS)
 	return j.status(), nil
 }
 
@@ -645,9 +720,9 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 // terminal-done for any concurrent Status/Wait holder.
 func (s *Server) withdrawHit(j *job) {
 	s.mu.Lock()
-	s.metrics.cacheHits--
-	s.metrics.submitted--
-	s.metrics.completed--
+	s.obs.cacheHits.Add(-1)
+	s.obs.submitted.Add(-1)
+	s.obs.completed.Add(-1)
 	delete(s.jobs, j.id)
 	for i, id := range s.order {
 		if id == j.id {
@@ -732,7 +807,7 @@ func (s *Server) journalForgotten(evicted []string) {
 
 func (s *Server) countRejected() {
 	s.mu.Lock()
-	s.metrics.rejected++
+	s.obs.rejected.Inc()
 	s.mu.Unlock()
 }
 
@@ -795,13 +870,19 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		j.cancel(errJobCanceled)
 		if removed {
 			j.finishLocked(StateCanceled, errJobCanceled.Error())
+			if j.spans != nil {
+				t := j.sinceUS()
+				j.spans.End(j.spanQueue, t)
+				j.spans.End(j.spanRoot, t)
+			}
 			finished = true
 		}
 	}
 	j.mu.Unlock()
 	if finished {
+		s.log.Info("job canceled while queued", "job", j.id)
 		s.mu.Lock()
-		s.metrics.canceled++
+		s.obs.canceled.Inc()
 		s.releaseLocked(j.cost)
 		s.mu.Unlock()
 		if s.store != nil {
@@ -872,29 +953,31 @@ func (s *Server) WaitTrace(ctx context.Context, id string, afterSeq int) ([]Trac
 	return s.Trace(id, afterSeq)
 }
 
-// Metrics snapshots the aggregate counters.
+// Metrics snapshots the aggregate counters. Every instrument it reads is
+// mutated only under s.mu, so the snapshot is coherent: no field can show a
+// state transition another field has not seen yet.
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		Submitted:     s.metrics.submitted,
-		Completed:     s.metrics.completed,
-		Failed:        s.metrics.failed,
-		Canceled:      s.metrics.canceled,
-		Rejected:      s.metrics.rejected,
-		Shed:          s.metrics.shed,
-		Recovered:     s.metrics.recovered,
+		Submitted:     s.obs.submitted.Value(),
+		Completed:     s.obs.completed.Value(),
+		Failed:        s.obs.failed.Value(),
+		Canceled:      s.obs.canceled.Value(),
+		Rejected:      s.obs.rejected.Value(),
+		Shed:          s.obs.shed.Value(),
+		Recovered:     s.obs.recovered.Value(),
 		InflightBytes: s.inflightBytes,
-		CacheHits:     s.metrics.cacheHits,
-		CacheMisses:   s.metrics.cacheMisses,
-		CacheBadHits:  s.metrics.cacheBadHits,
-		CacheSkipped:  s.metrics.cacheSkipped,
+		CacheHits:     s.obs.cacheHits.Value(),
+		CacheMisses:   s.obs.cacheMisses.Value(),
+		CacheBadHits:  s.obs.cacheBadHits.Value(),
+		CacheSkipped:  s.obs.cacheSkipped.Value(),
 		QueueDepth:    len(s.queue) + s.queueReserved,
-		Running:       s.metrics.running,
+		Running:       int(s.obs.running.Value()),
 		Workers:       s.cfg.Workers,
-		RoundsTotal:   s.metrics.roundsTotal,
-		MessagesTotal: s.metrics.messagesTotal,
-		WallMSTotal:   s.metrics.wallMSTotal,
+		RoundsTotal:   s.obs.roundsTotal.Value(),
+		MessagesTotal: s.obs.messagesTotal.Value(),
+		WallMSTotal:   s.obs.wallMSTotal.Value(),
 		Jobs:          len(s.jobs),
 	}
 	if s.cfg.MaxInflightBytes > 0 {
@@ -931,11 +1014,21 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.state = StateRunning
+	queueUS := int64(-1)
+	if j.spans != nil {
+		t := j.sinceUS()
+		j.spans.End(j.spanQueue, t)
+		if j.spanQueue >= 0 {
+			queueUS = j.spans.Spans()[j.spanQueue].DurUS
+		}
+		j.spanExec = j.spans.Start(stageExecute, j.spanRoot, t)
+	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	s.obs.observeStage(stageQueue, queueUS)
 
 	s.mu.Lock()
-	s.metrics.running++
+	s.obs.running.Add(1)
 	s.mu.Unlock()
 	if s.store != nil {
 		// Unsynced: losing a "running" entry replays the job as queued,
@@ -952,6 +1045,10 @@ func (s *Server) runJob(j *job) {
 	start := time.Now()
 	resp, err := distcolor.ExecuteOn(j.ctx, req, j.g, distcolor.Options{Observer: j.observe})
 	wall := time.Since(start).Milliseconds()
+	var execRetUS int64
+	if j.spans != nil { // spanBase is immutable once the job is published
+		execRetUS = j.sinceUS()
+	}
 
 	// Store into the cache before the job turns terminal: a waiter that
 	// resubmits the identical workload the instant Wait returns must hit.
@@ -977,26 +1074,58 @@ func (s *Server) runJob(j *job) {
 		j.finishLocked(StateDone, "")
 		rec.State, rec.Response = string(StateDone), resp
 	}
+	// Close the span tree in the same critical section as the terminal
+	// transition, so a trace streamer woken by it always reads a finished
+	// tree. Execute ends at the last observed round; the tail up to
+	// ExecuteOn's return is the in-run verification; serve covers result
+	// publication (cache store + terminal bookkeeping). The terminal WAL
+	// fsync below is deliberately outside the tree — including it would
+	// reopen the race with streaming readers.
+	execUS, verifyUS, serveUS := int64(-1), int64(-1), int64(-1)
+	if j.spans != nil {
+		execEnd := execRetUS
+		if j.sawRound && j.lastRoundUS > 0 && j.lastRoundUS < execEnd {
+			execEnd = j.lastRoundUS
+		}
+		j.spans.End(j.spanExec, execEnd)
+		if j.spanExec >= 0 {
+			execUS = j.spans.Spans()[j.spanExec].DurUS
+		}
+		if rec.State == string(StateDone) {
+			vi := j.spans.Start(stageVerify, j.spanRoot, execEnd)
+			j.spans.End(vi, execRetUS)
+			verifyUS = execRetUS - execEnd
+		}
+		now := j.sinceUS()
+		si := j.spans.Start(stageServe, j.spanRoot, execRetUS)
+		j.spans.End(si, now)
+		serveUS = now - execRetUS
+		j.spans.End(j.spanRoot, now)
+	}
 	j.mu.Unlock()
+	s.obs.observeStage(stageExecute, execUS)
+	s.obs.observeStage(stageVerify, verifyUS)
+	s.obs.observeStage(stageServe, serveUS)
 	if s.store != nil {
 		// The terminal entry is fsync'd: it is what lets a restart serve
 		// this result instead of re-running the job.
 		_ = s.store.Append(rec, true)
 	}
+	s.log.Info("job finished", "job", j.id, "state", rec.State, "wall_ms", wall)
 
 	s.mu.Lock()
-	s.metrics.running--
+	s.obs.running.Add(-1)
 	s.releaseLocked(j.cost)
 	switch {
 	case canceled:
-		s.metrics.canceled++
+		s.obs.canceled.Inc()
 	case err != nil:
-		s.metrics.failed++
+		s.obs.failed.Inc()
 	default:
-		s.metrics.completed++
-		s.metrics.roundsTotal += int64(resp.Stats.Rounds)
-		s.metrics.messagesTotal += resp.Stats.Messages
-		s.metrics.wallMSTotal += wall
+		s.obs.completed.Inc()
+		s.obs.roundsTotal.Add(int64(resp.Stats.Rounds))
+		s.obs.messagesTotal.Add(resp.Stats.Messages)
+		s.obs.wallMSTotal.Add(wall)
 	}
 	s.mu.Unlock()
 }
@@ -1006,6 +1135,9 @@ func (s *Server) runJob(j *job) {
 // observer). A new execution is detected by its round counter restarting
 // at 0.
 func (j *job) observe(ev distcolor.RoundEvent) {
+	if j.sobs != nil {
+		j.sobs.roundMaxBits.Observe(ev.RoundMaxBits)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if ev.Round == 0 || !j.sawRound || ev.N != j.lastN {
@@ -1013,6 +1145,9 @@ func (j *job) observe(ev distcolor.RoundEvent) {
 	}
 	j.sawRound = true
 	j.lastN = ev.N
+	if j.spans != nil {
+		j.lastRoundUS = j.sinceUS()
+	}
 	j.trace = append(j.trace, TraceEvent{
 		Seq:      j.traceSeq,
 		Exec:     j.lastExec,

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	distcolor "repro"
 )
@@ -46,6 +47,11 @@ import (
 // that replays to the same table (duplicate entries merge idempotently).
 type Store struct {
 	dir string
+
+	// Journal activity counters, exported via the server's metric registry
+	// (colord_wal_*_total). Atomic so Counters never contends with an
+	// in-flight fsync under st.mu.
+	appends, fsyncs, compactions atomic.Int64
 
 	mu       sync.Mutex
 	f        *os.File // active segment; nil after a failed rotation until self-heal
@@ -205,12 +211,14 @@ func (st *Store) Append(rec distcolor.JobRecord, sync bool) error {
 	if _, err := st.f.Write(f); err != nil {
 		return fmt.Errorf("service: job store: %w", err)
 	}
+	st.appends.Add(1)
 	st.segBytes += int64(len(f))
 	st.dirty = true
 	if sync {
 		if err := st.f.Sync(); err != nil {
 			return fmt.Errorf("service: job store: %w", err)
 		}
+		st.fsyncs.Add(1)
 		st.dirty = false
 	}
 	if st.segBytes >= st.maxSeg {
@@ -258,6 +266,7 @@ func (st *Store) rotateLocked() error {
 	if err := st.f.Sync(); err != nil {
 		return fmt.Errorf("service: job store: %w", err) // st.f still open; retry next append
 	}
+	st.fsyncs.Add(1)
 	if err := st.f.Close(); err != nil {
 		st.f = nil
 		return fmt.Errorf("service: job store: %w", err)
@@ -291,6 +300,7 @@ func (st *Store) compactLocked() (err error) {
 	if serr := st.f.Sync(); serr != nil {
 		return fmt.Errorf("service: job store: %w", serr)
 	}
+	st.fsyncs.Add(1)
 	cerr := st.f.Close()
 	st.f = nil
 	// From here the active handle is gone: whatever else happens, leave
@@ -350,6 +360,7 @@ func (st *Store) compactLocked() (err error) {
 		f.Close()
 		return fmt.Errorf("service: job store: %w", err)
 	}
+	st.fsyncs.Add(1)
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("service: job store: %w", err)
 	}
@@ -371,6 +382,7 @@ func (st *Store) compactLocked() (err error) {
 		return err
 	}
 	st.segments = 2 // condensed segment + fresh active one
+	st.compactions.Add(1)
 	return nil
 }
 
@@ -384,6 +396,12 @@ func syncDir(dir string) error {
 		return fmt.Errorf("service: job store: %w", err)
 	}
 	return nil
+}
+
+// Counters reports the journal's cumulative activity: records appended,
+// fsyncs issued, and successful compactions.
+func (st *Store) Counters() (appends, fsyncs, compactions int64) {
+	return st.appends.Load(), st.fsyncs.Load(), st.compactions.Load()
 }
 
 // Stats reports the journal's on-disk shape for metrics and tests.
@@ -410,6 +428,7 @@ func (st *Store) Close() error {
 			st.f.Close()
 			return fmt.Errorf("service: job store: %w", err)
 		}
+		st.fsyncs.Add(1)
 	}
 	if err := st.f.Close(); err != nil {
 		return fmt.Errorf("service: job store: %w", err)

@@ -1,0 +1,187 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// sizedExchangeProgram is exchangeProgram with honest bit accounting: every
+// payload is round&0x7f, which fits in 7 bits.
+type sizedExchange struct {
+	rounds int
+	acc    int64
+}
+
+func (m *sizedExchange) StepWord(round int, in, out []sim.Word) bool {
+	for _, w := range in {
+		if w != sim.NoWord {
+			m.acc += w
+		}
+	}
+	sim.SendAllWords(out, sim.Word(round&0x7f))
+	return round >= m.rounds-1
+}
+
+func (m *sizedExchange) WordBits(w sim.Word) int64 { return 7 }
+
+func sizedExchangeFactory(rounds int) sim.Factory {
+	return func(info sim.NodeInfo, nbrIDs, nbrLabels []int64) sim.Machine {
+		return sim.WrapWord(&sizedExchange{rounds: rounds})
+	}
+}
+
+func TestCongestCapBits(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{1, 8}, {2, 8}, {16, 10}, {1024, 22}, {10_000, 28},
+	}
+	for _, c := range cases {
+		if got := sim.CongestCapBits(c.n); got != c.want {
+			t.Errorf("CongestCapBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// The accountant under a cap that everything respects: no violations, and
+// the histogram records every talkative round at the right bucket.
+func TestBandwidthAccountingClean(t *testing.T) {
+	g := graph.Cycle(64) // n=64: cap = 2*7 = 14 >= 7-bit payloads
+	topo := sim.NewTopology(g)
+	bw := &sim.Bandwidth{CapBits: sim.CongestCapBits(g.N())}
+	const rounds = 10
+	stats, err := sim.Instrumented(sim.Sequential, nil, bw).Run(
+		context.Background(), topo, sizedExchangeFactory(rounds), rounds+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CongestViolations != 0 {
+		t.Errorf("clean run has %d violations", stats.CongestViolations)
+	}
+	if bw.Violations() != 0 {
+		t.Errorf("accountant reports %d violations", bw.Violations())
+	}
+	if bw.Rounds() != rounds {
+		t.Errorf("accountant saw %d rounds, want %d", bw.Rounds(), rounds)
+	}
+	if bw.MaxMessageBits() != 7 {
+		t.Errorf("max message bits = %d, want 7", bw.MaxMessageBits())
+	}
+	// Every vertex sends 2 messages of 7 bits per round.
+	wantRoundBits := int64(2 * 64 * 7)
+	if bw.MaxRoundBits() != wantRoundBits {
+		t.Errorf("max round bits = %d, want %d", bw.MaxRoundBits(), wantRoundBits)
+	}
+	// All rounds land in the 7-bits bucket: smallest e with 7 <= 2^e is 3.
+	hist := bw.HistBuckets()
+	for e, c := range hist {
+		want := int64(0)
+		if e == 3 {
+			want = rounds
+		}
+		if c != want {
+			t.Errorf("bucket %d (le %d) = %d, want %d", e, sim.BucketBound(e), c, want)
+		}
+	}
+}
+
+// The accountant against a cap the program exceeds: default-accounted
+// 64-bit words against a tight cap violate every talkative round, and
+// Stats carries the count.
+func TestBandwidthViolations(t *testing.T) {
+	g := graph.Cycle(16)
+	topo := sim.NewTopology(g)
+	bw := &sim.Bandwidth{CapBits: 10}
+	const rounds = 6
+	for _, eng := range []sim.Engine{sim.Sequential, sim.ReverseSequential, sim.Parallel} {
+		bw2 := &sim.Bandwidth{CapBits: 10}
+		stats, err := sim.Instrumented(eng, nil, bw2).Run(
+			context.Background(), topo, exchangeProgram(rounds), rounds+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.CongestViolations != rounds {
+			t.Errorf("engine %d: %d violations, want %d", eng, stats.CongestViolations, rounds)
+		}
+	}
+	// Shared accountant across executions accumulates.
+	for i := 0; i < 3; i++ {
+		if _, err := sim.Instrumented(sim.Sequential, nil, bw).Run(
+			context.Background(), topo, exchangeProgram(rounds), rounds+2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bw.Violations() != 3*rounds {
+		t.Errorf("shared accountant: %d violations, want %d", bw.Violations(), 3*rounds)
+	}
+	// Zero cap: account, don't judge.
+	free := &sim.Bandwidth{}
+	stats, err := sim.Instrumented(sim.Sequential, nil, free).Run(
+		context.Background(), topo, exchangeProgram(rounds), rounds+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CongestViolations != 0 || free.Violations() != 0 {
+		t.Errorf("capless accountant recorded violations")
+	}
+	if free.Rounds() != rounds || free.MaxMessageBits() != 64 {
+		t.Errorf("capless accountant rounds=%d maxMsg=%d", free.Rounds(), free.MaxMessageBits())
+	}
+}
+
+// RoundEvent now carries the per-round bandwidth view; hook and accountant
+// must agree with the cumulative Stats.
+func TestRoundEventBandwidthFields(t *testing.T) {
+	g := graph.Cycle(8)
+	topo := sim.NewTopology(g)
+	var events []sim.RoundEvent
+	hook := func(ev sim.RoundEvent) { events = append(events, ev) }
+	bw := &sim.Bandwidth{CapBits: sim.CongestCapBits(g.N())}
+	stats, err := sim.Instrumented(sim.Sequential, hook, bw).Run(
+		context.Background(), topo, exchangeProgram(4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != stats.Rounds {
+		t.Fatalf("%d events for %d rounds", len(events), stats.Rounds)
+	}
+	var sum int64
+	for i, ev := range events {
+		sum += ev.RoundBits
+		if ev.Stats.Bits != sum {
+			t.Errorf("round %d: cumulative bits %d, sum of RoundBits %d", i, ev.Stats.Bits, sum)
+		}
+		if ev.RoundMaxBits != 64 {
+			t.Errorf("round %d: RoundMaxBits = %d, want 64", i, ev.RoundMaxBits)
+		}
+	}
+	if sum != stats.Bits {
+		t.Errorf("RoundBits sum %d != Stats.Bits %d", sum, stats.Bits)
+	}
+}
+
+// The zero-alloc contract survives instrumentation: accountant attached,
+// hook attached, still no allocations per round.
+func TestInstrumentedSteadyStateAllocFree(t *testing.T) {
+	g := planeRandomGraph(7, 400, 0.04)
+	topo := sim.NewTopology(g)
+	g.CSR()
+	bw := &sim.Bandwidth{CapBits: sim.CongestCapBits(g.N())}
+	hook := func(sim.RoundEvent) {}
+	exec := sim.Instrumented(sim.Sequential, hook, bw)
+	run := func(rounds int) {
+		if _, err := exec.Run(context.Background(), topo, exchangeProgram(rounds), rounds+2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short := testing.AllocsPerRun(5, func() { run(8) })
+	long := testing.AllocsPerRun(5, func() { run(72) })
+	if long != short {
+		t.Fatalf("instrumented engine allocates per round: %.1f allocs over 64 extra rounds (%.1f vs %.1f)",
+			long-short, long, short)
+	}
+}

@@ -46,14 +46,14 @@ func TestBitAccounting(t *testing.T) {
 }
 
 func TestBitAccountingCombinators(t *testing.T) {
-	a := Stats{Rounds: 2, Messages: 10, Bits: 640, MaxMessageBits: 64}
-	b := Stats{Rounds: 5, Messages: 1, Bits: 999, MaxMessageBits: 999}
+	a := Stats{Rounds: 2, Messages: 10, Bits: 640, MaxMessageBits: 64, CongestViolations: 1}
+	b := Stats{Rounds: 5, Messages: 1, Bits: 999, MaxMessageBits: 999, CongestViolations: 4}
 	seq := a.Seq(b)
-	if seq.Bits != 1639 || seq.MaxMessageBits != 999 || seq.Rounds != 7 {
+	if seq.Bits != 1639 || seq.MaxMessageBits != 999 || seq.Rounds != 7 || seq.CongestViolations != 5 {
 		t.Fatalf("Seq wrong: %+v", seq)
 	}
 	par := a.Par(b)
-	if par.Bits != 1639 || par.MaxMessageBits != 999 || par.Rounds != 5 {
+	if par.Bits != 1639 || par.MaxMessageBits != 999 || par.Rounds != 5 || par.CongestViolations != 5 {
 		t.Fatalf("Par wrong: %+v", par)
 	}
 }

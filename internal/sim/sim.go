@@ -144,15 +144,21 @@ type Stats struct {
 	// MaxMessageBits is the largest single message observed — the CONGEST
 	// yardstick (CONGEST allows O(log n) bits per message per round).
 	MaxMessageBits int64
+	// CongestViolations counts executed rounds whose largest message
+	// exceeded the attached bandwidth accountant's cap (bandwidth.go). It
+	// is always 0 when no accountant with a cap is attached, so it is
+	// omitted from JSON encodings unless someone is actually auditing.
+	CongestViolations int64 `json:",omitempty"`
 }
 
 // Seq returns the cost of running s then o sequentially.
 func (s Stats) Seq(o Stats) Stats {
 	return Stats{
-		Rounds:         s.Rounds + o.Rounds,
-		Messages:       s.Messages + o.Messages,
-		Bits:           s.Bits + o.Bits,
-		MaxMessageBits: maxI64(s.MaxMessageBits, o.MaxMessageBits),
+		Rounds:            s.Rounds + o.Rounds,
+		Messages:          s.Messages + o.Messages,
+		Bits:              s.Bits + o.Bits,
+		MaxMessageBits:    maxI64(s.MaxMessageBits, o.MaxMessageBits),
+		CongestViolations: s.CongestViolations + o.CongestViolations,
 	}
 }
 
@@ -165,10 +171,11 @@ func (s Stats) Par(o Stats) Stats {
 		r = o.Rounds
 	}
 	return Stats{
-		Rounds:         r,
-		Messages:       s.Messages + o.Messages,
-		Bits:           s.Bits + o.Bits,
-		MaxMessageBits: maxI64(s.MaxMessageBits, o.MaxMessageBits),
+		Rounds:            r,
+		Messages:          s.Messages + o.Messages,
+		Bits:              s.Bits + o.Bits,
+		MaxMessageBits:    maxI64(s.MaxMessageBits, o.MaxMessageBits),
+		CongestViolations: s.CongestViolations + o.CongestViolations,
 	}
 }
 
@@ -228,6 +235,13 @@ type RoundEvent struct {
 	N int
 	// Stats is the cumulative cost of this execution so far.
 	Stats Stats
+	// RoundBits is the total traffic of this round alone (the per-round
+	// bandwidth view; Stats.Bits is the cumulative sum).
+	RoundBits int64
+	// RoundMaxBits is the largest single message of this round — the
+	// bandwidth of the round's hottest edge, 0 in a silent round. Observers
+	// histogram it to see CONGEST behavior over time.
+	RoundMaxBits int64
 }
 
 // RoundHook observes rounds as they execute. It is purely a tracing
@@ -238,19 +252,29 @@ type RoundHook func(RoundEvent)
 // Observed returns an Exec that runs like base but calls hook after every
 // executed round. A nil hook returns base unchanged.
 func Observed(base Engine, hook RoundHook) Exec {
-	if hook == nil {
+	return Instrumented(base, hook, nil)
+}
+
+// Instrumented returns an Exec that runs like base, calling hook after
+// every executed round (nil: no hook) and feeding every round to the
+// bandwidth accountant bw (nil: no accounting). Because composed
+// algorithms thread the Exec they are given to all their sub-executions,
+// attaching an accountant here accounts the whole composition.
+func Instrumented(base Engine, hook RoundHook, bw *Bandwidth) Exec {
+	if hook == nil && bw == nil {
 		return base
 	}
-	return observedExec{base: base, hook: hook}
+	return observedExec{base: base, hook: hook, bw: bw}
 }
 
 type observedExec struct {
 	base Engine
 	hook RoundHook
+	bw   *Bandwidth
 }
 
 func (o observedExec) Run(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return o.base.run(ctx, t, f, maxRounds, o.hook)
+	return o.base.run(ctx, t, f, maxRounds, o.hook, o.bw)
 }
 
 // instance holds the shared execution state of one run.
@@ -519,10 +543,10 @@ func abortErr(ctx context.Context, round, remaining int) error {
 // RunSequential executes the algorithm to global termination, advancing
 // vertices in index order within each round.
 func RunSequential(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return runSequential(ctx, t, f, maxRounds, nil)
+	return runSequential(ctx, t, f, maxRounds, nil, nil)
 }
 
-func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook, bw *Bandwidth) (Stats, error) {
 	ctx = orBackground(ctx)
 	inst, err := newInstance(t, f)
 	if err != nil {
@@ -540,22 +564,31 @@ func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, h
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
+		prevBits := stats.Bits
+		var roundMax int64
 		for v := 0; v < n; v++ {
 			st, halted := inst.stepVertex(v, round)
 			stats.Messages += st.msgs
 			stats.Bits += st.bits
-			if st.maxBits > stats.MaxMessageBits {
-				stats.MaxMessageBits = st.maxBits
+			if st.maxBits > roundMax {
+				roundMax = st.maxBits
 			}
 			if halted {
 				inst.remaining--
 				inst.newly = append(inst.newly, int32(v))
 			}
 		}
+		if roundMax > stats.MaxMessageBits {
+			stats.MaxMessageBits = roundMax
+		}
+		if bw != nil {
+			stats.CongestViolations += bw.roundDone(stats.Bits-prevBits, roundMax)
+		}
 		inst.retireRound(round)
 		stats.Rounds++
 		if hook != nil {
-			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
+			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats,
+				RoundBits: stats.Bits - prevBits, RoundMaxBits: roundMax})
 		}
 	}
 	return stats, nil
@@ -568,10 +601,10 @@ func runSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, h
 // by leaking state through shared memory mid-round) will diverge from
 // RunSequential under test.
 func RunReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return runReverseSequential(ctx, t, f, maxRounds, nil)
+	return runReverseSequential(ctx, t, f, maxRounds, nil, nil)
 }
 
-func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook, bw *Bandwidth) (Stats, error) {
 	ctx = orBackground(ctx)
 	inst, err := newInstance(t, f)
 	if err != nil {
@@ -589,22 +622,31 @@ func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds
 		if round >= maxRounds {
 			return stats, fmt.Errorf("%w after %d rounds (%d vertices still running)", ErrRoundLimit, round, inst.remaining)
 		}
+		prevBits := stats.Bits
+		var roundMax int64
 		for v := n - 1; v >= 0; v-- {
 			st, halted := inst.stepVertex(v, round)
 			stats.Messages += st.msgs
 			stats.Bits += st.bits
-			if st.maxBits > stats.MaxMessageBits {
-				stats.MaxMessageBits = st.maxBits
+			if st.maxBits > roundMax {
+				roundMax = st.maxBits
 			}
 			if halted {
 				inst.remaining--
 				inst.newly = append(inst.newly, int32(v))
 			}
 		}
+		if roundMax > stats.MaxMessageBits {
+			stats.MaxMessageBits = roundMax
+		}
+		if bw != nil {
+			stats.CongestViolations += bw.roundDone(stats.Bits-prevBits, roundMax)
+		}
 		inst.retireRound(round)
 		stats.Rounds++
 		if hook != nil {
-			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
+			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats,
+				RoundBits: stats.Bits - prevBits, RoundMaxBits: roundMax})
 		}
 	}
 	return stats, nil
@@ -613,10 +655,10 @@ func runReverseSequential(ctx context.Context, t *Topology, f Factory, maxRounds
 // RunParallel executes the algorithm with shard-per-goroutine concurrency.
 // The execution is bit-identical to RunSequential.
 func RunParallel(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return runParallel(ctx, t, f, maxRounds, nil)
+	return runParallel(ctx, t, f, maxRounds, nil, nil)
 }
 
-func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook, bw *Bandwidth) (Stats, error) {
 	ctx = orBackground(ctx)
 	inst, err := newInstance(t, f)
 	if err != nil {
@@ -666,19 +708,28 @@ func runParallel(ctx context.Context, t *Topology, f Factory, maxRounds int, hoo
 			}
 			halted[w], sent[w], shardNewly[w] = h, s, buf
 		})
+		prevBits := stats.Bits
+		var roundMax int64
 		for w := 0; w < workers; w++ {
 			inst.remaining -= halted[w]
 			stats.Messages += sent[w].msgs
 			stats.Bits += sent[w].bits
-			if sent[w].maxBits > stats.MaxMessageBits {
-				stats.MaxMessageBits = sent[w].maxBits
+			if sent[w].maxBits > roundMax {
+				roundMax = sent[w].maxBits
 			}
 			inst.newly = append(inst.newly, shardNewly[w]...)
+		}
+		if roundMax > stats.MaxMessageBits {
+			stats.MaxMessageBits = roundMax
+		}
+		if bw != nil {
+			stats.CongestViolations += bw.roundDone(stats.Bits-prevBits, roundMax)
 		}
 		inst.retireRound(round)
 		stats.Rounds++
 		if hook != nil {
-			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats})
+			hook(RoundEvent{Round: round, Running: inst.remaining, N: n, Stats: stats,
+				RoundBits: stats.Bits - prevBits, RoundMaxBits: roundMax})
 		}
 	}
 	return stats, nil
@@ -743,19 +794,19 @@ const (
 
 // Run dispatches to the selected engine.
 func (e Engine) Run(ctx context.Context, t *Topology, f Factory, maxRounds int) (Stats, error) {
-	return e.run(ctx, t, f, maxRounds, nil)
+	return e.run(ctx, t, f, maxRounds, nil, nil)
 }
 
 // run is the single engine-dispatch point, shared by Engine.Run and
-// Observed wrappers.
-func (e Engine) run(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook) (Stats, error) {
+// Instrumented wrappers.
+func (e Engine) run(ctx context.Context, t *Topology, f Factory, maxRounds int, hook RoundHook, bw *Bandwidth) (Stats, error) {
 	switch e {
 	case Parallel:
-		return runParallel(ctx, t, f, maxRounds, hook)
+		return runParallel(ctx, t, f, maxRounds, hook, bw)
 	case ReverseSequential:
-		return runReverseSequential(ctx, t, f, maxRounds, hook)
+		return runReverseSequential(ctx, t, f, maxRounds, hook, bw)
 	default:
-		return runSequential(ctx, t, f, maxRounds, hook)
+		return runSequential(ctx, t, f, maxRounds, hook, bw)
 	}
 }
 
