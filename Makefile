@@ -4,6 +4,9 @@
 
 GO ?= go
 FUZZTIME ?= 30s
+# Staticcheck is pinned so a new upstream release cannot turn CI red on its
+# own schedule; bump deliberately, with the diff in review.
+STATICCHECK_VERSION ?= 2025.1.1
 # Allowed fractional ns/op and allocs/op regression in bench-check;
 # deterministic metrics (rounds/messages/colors) are always compared
 # exactly and the sequential engines' allocs/round is always pinned at 0.
@@ -12,7 +15,7 @@ BENCH_TOLERANCE ?= 0.15
 # Samples per benchmark for bench-algos; use 10+ for benchstat-grade runs.
 BENCH_COUNT ?= 1
 
-.PHONY: build test vet fmt-check staticcheck race bench bench-algos bench-baseline bench-check tables fuzz profile ci
+.PHONY: build test vet lint fmt-check staticcheck race bench bench-algos bench-baseline bench-check tables fuzz profile ci
 
 # Where `make profile` writes cpu.pprof/heap.pprof; CI uploads it as an
 # artifact on pull requests.
@@ -28,6 +31,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The distcolorvet suite: the repository's own go/analysis passes —
+# detcheck (determinism), noallochot (zero-alloc hot paths), lockguard
+# (mutex discipline), ctxfirst (context hygiene) — plus stdlib
+# reimplementations of nilness and shadow, run through `go vet -vettool`
+# so a violation is a build break. Zero unsuppressed findings is the
+# gate; suppressions (//distcolor:ignore) are counted in the output.
+# See DESIGN.md §10 for the contracts and the annotation grammar.
+lint:
+	$(GO) build -o bin/distcolorvet ./cmd/distcolorvet
+	$(GO) vet -vettool=$(abspath bin/distcolorvet) ./...
+
 # CI fails on unformatted files; gofmt -l prints them for the log.
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -36,14 +50,17 @@ fmt-check:
 	fi
 
 # Static analysis beyond vet. The binary is not vendored and the build must
-# not fetch dependencies, so the gate runs when staticcheck is on PATH and
-# skips loudly otherwise; CI installs it, making the skip a local-only
-# convenience.
+# not fetch dependencies, so locally the gate runs when staticcheck is on
+# PATH and skips loudly otherwise. In CI (the CI env var is set) it runs
+# the pinned version via `go run pkg@version`, so the checked toolchain
+# changes only when STATICCHECK_VERSION is bumped.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
 	else \
-		echo "staticcheck: not installed, skipping (CI runs it; go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck: not installed, skipping (CI pins honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
 # The race pass targets the packages with real concurrency: the service —
@@ -94,4 +111,4 @@ profile:
 fuzz:
 	$(GO) test ./internal/graph/ -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
 
-ci: build vet fmt-check staticcheck test race
+ci: build vet lint fmt-check staticcheck test race

@@ -81,17 +81,17 @@ func runRemote(ctx context.Context, base string, seed int64, quick bool) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			batch, err := c.Generate(ctx, service.GenerateRequest{Gen: sw.gen, Template: sw.tmpl})
-			if err != nil {
-				return fmt.Errorf("sweep %s pass %d: %w", sw.name, pass, err)
+			batch, genErr := c.Generate(ctx, service.GenerateRequest{Gen: sw.gen, Template: sw.tmpl})
+			if genErr != nil {
+				return fmt.Errorf("sweep %s pass %d: %w", sw.name, pass, genErr)
 			}
 			for i, job := range batch.Jobs {
 				if job.Error != "" {
 					return fmt.Errorf("sweep %s pass %d job %d: %s", sw.name, pass, i, job.Error)
 				}
-				st, err := c.Wait(ctx, job.ID, 50*time.Millisecond, 10*time.Minute)
-				if err != nil {
-					return err
+				st, waitErr := c.Wait(ctx, job.ID, 50*time.Millisecond, 10*time.Minute)
+				if waitErr != nil {
+					return waitErr
 				}
 				if st.State != service.StateDone {
 					return fmt.Errorf("sweep %s pass %d job %s: state %s (%s)", sw.name, pass, job.ID, st.State, st.Error)
@@ -170,16 +170,16 @@ func runOverload(ctx context.Context, base string, n, concurrency int) error {
 			g := gen.GNP(24, 0.2, int64(i)) // distinct seeds defeat the cache
 			req := &distcolor.Request{Algorithm: distcolor.AlgoEdgeGreedy, Graph: distcolor.Spec(g)}
 			t0 := time.Now()
-			_, err := c.Submit(ctx, req)
+			_, subErr := c.Submit(ctx, req)
 			d := time.Since(t0)
 			var he *service.HTTPError
 			switch {
-			case err == nil:
+			case subErr == nil:
 				results[i] = outcome{dur: d}
-			case errors.As(err, &he) && he.Code == http.StatusTooManyRequests:
+			case errors.As(subErr, &he) && he.Code == http.StatusTooManyRequests:
 				results[i] = outcome{shed: true, dur: d, retryAfter: he.RetryAfter}
 			default:
-				results[i] = outcome{err: err, dur: d}
+				results[i] = outcome{err: subErr, dur: d}
 			}
 		}(i)
 	}

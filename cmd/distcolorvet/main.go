@@ -1,0 +1,24 @@
+// Command distcolorvet is the repository's static-analysis multichecker:
+// the custom invariant passes (detcheck, noallochot, lockguard,
+// ctxfirst) plus stdlib reimplementations of the stock nilness and
+// shadow vet analyzers, speaking the `go vet -vettool` protocol.
+//
+// Run it through the build system, never by hand:
+//
+//	make lint          # builds bin/distcolorvet, then
+//	                   # go vet -vettool=bin/distcolorvet ./...
+//
+// Individual passes can be disabled for triage, e.g.
+//
+//	go vet -vettool=bin/distcolorvet -lockguard=false ./...
+//
+// See DESIGN.md §10 for each pass's contract, the annotation grammar
+// (//distcolor:noalloc, "guarded by"), and the suppression policy
+// (//distcolor:ignore <analyzer> <reason>).
+package main
+
+import "repro/internal/analyzers"
+
+func main() {
+	analyzers.Main(analyzers.All()...)
+}

@@ -181,9 +181,9 @@ func run(ctx context.Context, algo string, params, shorthand distcolor.Params, i
 		if a.Kind != distcolor.KindVertex {
 			return fmt.Errorf("-line needs a vertex algorithm, %s colors %s", algo, a.Kind)
 		}
-		lg, cov, _, err := distcolor.LineCover(g)
-		if err != nil {
-			return err
+		lg, cov, _, lcErr := distcolor.LineCover(g)
+		if lcErr != nil {
+			return lcErr
 		}
 		runGraph = lg
 		opt.Cover = cov

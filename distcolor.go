@@ -151,6 +151,7 @@ type VertexColoring struct {
 
 // runEdge adapts Run for the legacy edge-coloring wrappers.
 func runEdge(g *Graph, algo string, p Params, opt Options) (*EdgeColoring, error) {
+	//distcolor:ignore ctxfirst legacy pre-context wrapper keeps the v0 signature; ctx-aware callers use Run
 	col, err := Run(context.Background(), g, algo, p, opt)
 	if err != nil {
 		return nil, err
@@ -160,6 +161,7 @@ func runEdge(g *Graph, algo string, p Params, opt Options) (*EdgeColoring, error
 
 // runVertex adapts Run for the legacy vertex-coloring wrappers.
 func runVertex(g *Graph, algo string, p Params, opt Options) (*VertexColoring, error) {
+	//distcolor:ignore ctxfirst legacy pre-context wrapper keeps the v0 signature; ctx-aware callers use Run
 	col, err := Run(context.Background(), g, algo, p, opt)
 	if err != nil {
 		return nil, err

@@ -42,9 +42,9 @@ func main() {
 		sessions, stations, conflict.N(), conflict.M(), conflict.MaxDegree(), d, s)
 
 	for x := 1; x <= 3; x++ {
-		res, err := distcolor.VertexColorCD(conflict, cover, x, distcolor.Options{})
-		if err != nil {
-			log.Fatal(err)
+		res, cdErr := distcolor.VertexColorCD(conflict, cover, x, distcolor.Options{})
+		if cdErr != nil {
+			log.Fatal(cdErr)
 		}
 		if err := distcolor.CheckVertexColoring(conflict, res.Colors, res.Palette); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,233 @@
+// Package analyzers is the repository's static-analysis suite: custom
+// passes that machine-check the invariants the compiler cannot see and
+// that the rest of the codebase is built on — deterministic execution in
+// the simulation packages (detcheck), zero steady-state allocation in
+// functions marked //distcolor:noalloc (noallochot), mutex discipline on
+// fields annotated "guarded by" (lockguard), and context-first APIs with
+// no context.Background in library code (ctxfirst) — plus stdlib
+// reimplementations of the stock nilness and shadow vet passes.
+//
+// The suite compiles into cmd/distcolorvet and runs as a `go vet
+// -vettool` multichecker over every package of the module (`make lint`,
+// part of `make ci`), so a violation is a build break, not a review
+// comment. The analyzers are deliberately structural: they prove the
+// easy 95% mechanically and make the hard 5% auditable via counted
+// suppression comments (see Suppressed below), never silent.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) so the suite can move onto x/tools
+// unchanged once the module takes that dependency; it is implemented on
+// the standard library alone (go/ast, go/types, go/importer) because
+// this repository vendors nothing. See DESIGN.md §10 for each
+// analyzer's contract and the annotation grammar.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static-analysis pass. The shape deliberately
+// matches golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the pass name, as used in suppression comments and -<name>=0
+	// disable flags.
+	Name string
+	// Doc is the one-line contract shown by -help.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees, parsed with comments.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// A Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+	// Suppressed is set by the driver when an in-scope
+	// //distcolor:ignore comment covers the finding; suppressed findings
+	// are counted and summarized, never printed as failures.
+	Suppressed bool
+	// SuppressReason is the free-text justification from the suppression
+	// comment.
+	SuppressReason string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The
+// determinism, lock, and context passes skip test files: tests may
+// legitimately use wall clocks, contexts, and unsynchronized access to
+// their own fixtures.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreRe is the suppression grammar: `//distcolor:ignore <analyzer>
+// <reason>` placed on the flagged line or the line directly above it.
+// The reason is mandatory — a suppression without a justification does
+// not suppress.
+var ignoreRe = regexp.MustCompile(`//distcolor:ignore\s+([a-z]+)\s+(\S.*)`)
+
+// suppression is one parsed //distcolor:ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	used     bool
+}
+
+// collectSuppressions parses every //distcolor:ignore comment of the
+// package.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []*suppression {
+	var out []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &suppression{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions marks diagnostics covered by a suppression on their
+// line or the line above, and returns any suppression that covered
+// nothing (a stale suppression is itself a finding: the grammar must
+// stay auditable, not accrete dead waivers).
+func applySuppressions(fset *token.FileSet, sups []*suppression, diags []Diagnostic) (out []Diagnostic, stale []*suppression) {
+	for i := range diags {
+		pos := fset.Position(diags[i].Pos)
+		for _, s := range sups {
+			if s.analyzer != diags[i].Analyzer || s.file != pos.Filename {
+				continue
+			}
+			if s.line == pos.Line || s.line == pos.Line-1 {
+				diags[i].Suppressed = true
+				diags[i].SuppressReason = s.reason
+				s.used = true
+				break
+			}
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			stale = append(stale, s)
+		}
+	}
+	return diags, stale
+}
+
+// RunAnalyzers runs every analyzer over one type-checked package,
+// applies suppressions, and converts stale suppressions into findings.
+// Diagnostics come back sorted by position.
+func RunAnalyzers(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	known := make(map[string]bool, len(as))
+	for _, a := range as {
+		known[a.Name] = true
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		diags = append(diags, pass.diagnostics...)
+	}
+	sups := collectSuppressions(fset, files)
+	diags, stale := applySuppressions(fset, sups, diags)
+	for _, s := range stale {
+		if !known[s.analyzer] {
+			// A suppression for a pass that is not running (a disabled
+			// analyzer, or a typo) stays silent rather than flapping with
+			// the -<name>=0 flags.
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      posAt(fset, s.file, s.line),
+			Analyzer: s.analyzer,
+			Message:  fmt.Sprintf("stale suppression: no %s finding on this or the next line (%s)", s.analyzer, s.reason),
+		})
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// posAt recovers a token.Pos for file:line, for anchoring stale-
+// suppression findings; NoPos if the file is not in the fset.
+func posAt(fset *token.FileSet, file string, line int) token.Pos {
+	var pos token.Pos = token.NoPos
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() != file {
+			return true
+		}
+		if line <= f.LineCount() {
+			pos = f.LineStart(line)
+		}
+		return false
+	})
+	return pos
+}
+
+// funcDirective reports whether a function declaration carries the given
+// //distcolor:* directive in its doc comment.
+func funcDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgDirective reports whether any file-level comment of the package
+// carries the directive (used by fixtures and future packages to opt
+// into a pass without being on its built-in path list).
+func pkgDirective(files []*ast.File, directive string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, directive) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package analyzers
+
+// A miniature analysistest: fixtures live under testdata/src/<dir> and
+// carry `// want "regex"` expectations on the lines where an analyzer
+// must report. checkFixture fails symmetrically — an unmatched want and
+// an unexpected diagnostic are both problems — so every fixture fails
+// when its analyzer is disabled (TestFixtureFailsWhenAnalyzerDisabled
+// proves this for each pass; it is the acceptance check that the
+// expectations are live, not decorative).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+type wantExp struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkFixture typechecks testdata/src/<dir> (source importer: the
+// fixtures import only the standard library), runs the analyzers through
+// the same RunAnalyzers pipeline the vettool uses — suppressions and
+// stale-suppression findings included — and diffs the unsuppressed
+// diagnostics against the fixture's want expectations.
+func checkFixture(dir string, as []*Analyzer) (problems []string, diags []Diagnostic, err error) {
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("repro/internal/analyzers/testdata/"+dir, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typechecking fixture %s: %v", dir, err)
+	}
+	diags, err = RunAnalyzers(as, fset, files, pkg, info)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var wants []*wantExp
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, rerr := regexp.Compile(m[1])
+					if rerr != nil {
+						return nil, nil, fmt.Errorf("bad want regexp %q: %v", m[1], rerr)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &wantExp{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(pos.Filename) || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s:%d: %s: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("no diagnostic matched want %q at %s:%d", w.re.String(), w.file, w.line))
+		}
+	}
+	sort.Strings(problems)
+	return problems, diags, nil
+}
+
+// fixtures maps each fixture directory to its analyzer and the number of
+// suppressed findings the fixture deliberately contains (each fixture
+// exercises the suppression grammar at least once).
+var fixtures = []struct {
+	dir        string
+	analyzer   *Analyzer
+	suppressed int
+}{
+	{"detcheckfix", Detcheck, 1},
+	{"noallocfix", Noallochot, 1},
+	{"lockguardfix", Lockguard, 1},
+	{"ctxfirstfix", Ctxfirst, 1},
+	{"nilnessfix", Nilness, 1},
+	{"shadowfix", Shadow, 1},
+}
+
+func TestFixtures(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			problems, diags, err := checkFixture(fx.dir, []*Analyzer{fx.analyzer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+			sup := 0
+			for _, d := range diags {
+				if d.Suppressed {
+					if d.SuppressReason == "" {
+						t.Errorf("suppressed finding without a reason: %s", d.Message)
+					}
+					sup++
+				}
+			}
+			if sup != fx.suppressed {
+				t.Errorf("fixture %s: %d suppressed findings, want %d", fx.dir, sup, fx.suppressed)
+			}
+		})
+	}
+}
+
+// TestFixtureFailsWhenAnalyzerDisabled runs every fixture with its
+// analyzer removed from the suite: the wants must go unmatched. A fixture
+// that still passes would mean its expectations assert nothing.
+func TestFixtureFailsWhenAnalyzerDisabled(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			problems, _, err := checkFixture(fx.dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) == 0 {
+				t.Errorf("fixture %s reports no problems with %s disabled; its want expectations are dead", fx.dir, fx.analyzer.Name)
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package analyzers
+
+// ctxfirst: context discipline for library packages.
+//
+// PR 2 made cancellation ctx-native end to end: every engine checks its
+// context at round boundaries, and deadlines propagate through
+// arbitrarily deep algorithm compositions with no observer plumbing.
+// That property only composes if (a) a context parameter is always the
+// first parameter (so call sites thread the caller's ctx by reflex, the
+// stdlib convention), and (b) library code never manufactures its own
+// root context — a context.Background() in a library silently detaches
+// everything below it from the caller's deadline, which is exactly the
+// bug class the PR 2 redesign eliminated.
+//
+// The pass therefore checks, in every non-main package, skipping test
+// files:
+//
+//   - any function with a context.Context parameter must take it first
+//     (after the receiver);
+//   - no calls to context.Background() or context.TODO(); a library
+//     function that can block takes a ctx instead. The two deliberate
+//     exceptions (sim's nil-ctx normalization, the deprecated
+//     pre-context client shim) carry counted suppressions.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxfirst is the context-discipline pass. See the file comment for the
+// contract.
+var Ctxfirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "require context.Context to be the first parameter and forbid context.Background/TODO in library packages",
+	Run:  runCtxfirst,
+}
+
+func runCtxfirst(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // binaries own their root contexts
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n)
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				switch fn.Name() {
+				case "Background", "TODO":
+					pass.Reportf(n.Pos(), "context.%s in library code detaches callees from the caller's cancellation; accept a ctx parameter instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxPosition flags a context.Context parameter anywhere but first.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if !isContextType(params.At(i).Type()) {
+			continue
+		}
+		if i != 0 {
+			pass.Reportf(fd.Name.Pos(), "%s takes context.Context as parameter %d; ctx must come first", fd.Name.Name, i+1)
+		}
+		return // only the first ctx parameter matters
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,118 @@
+package analyzers
+
+// detcheck: deterministic-execution hygiene for the simulation and
+// algorithm packages.
+//
+// The repository's correctness story leans on bit-identical execution:
+// the equivalence matrix pins every engine against the reference plane,
+// the bench gate compares rounds/messages/colors exactly, and the
+// CONGEST accounting columns are exact-match. Any source of run-to-run
+// variation inside the packages below silently turns those gates into
+// flake generators. The compiler cannot see "deterministic", so this
+// pass flags the four constructs that in practice smuggle
+// nondeterminism into Go code:
+//
+//   - `range` over a map (iteration order is randomized per run);
+//   - wall-clock reads (time.Now / time.Since / time.Until);
+//   - the globally-seeded math/rand source (top-level rand.Intn etc.;
+//     a locally constructed rand.New(rand.NewSource(seed)) is fine and
+//     is how the coming Monte Carlo colorers must get randomness);
+//   - `select` with two or more communication cases (when several are
+//     ready the runtime picks uniformly at random).
+//
+// The pass applies to the determinism-critical packages listed in
+// detPackages, and to any package carrying a file-level
+// `//distcolor:deterministic` comment. Test files are exempt.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPackages are the packages whose execution must be bit-identical
+// across engines and runs (the import paths the bench gate and the
+// equivalence matrix exercise).
+var detPackages = map[string]bool{
+	"repro/internal/sim":    true,
+	"repro/internal/linial": true,
+	"repro/internal/reduce": true,
+	"repro/internal/arbor":  true,
+	"repro/internal/cd":     true,
+	"repro/internal/star":   true,
+	"repro/internal/vc":     true,
+	"repro/internal/graph":  true,
+}
+
+// detDirective marks a package determinism-critical without being on the
+// built-in list (fixtures, future packages).
+const detDirective = "//distcolor:deterministic"
+
+// randConstructors are the math/rand(/v2) names that build or seed a
+// local source rather than draw from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Detcheck is the determinism pass. See the file comment for the
+// contract.
+var Detcheck = &Analyzer{
+	Name: "detcheck",
+	Doc:  "flag nondeterministic constructs (map ranges, wall clocks, global rand, multi-way selects) in determinism-critical packages",
+	Run:  runDetcheck,
+}
+
+func runDetcheck(pass *Pass) error {
+	if !detPackages[pass.Pkg.Path()] && !pkgDirective(pass.Files, detDirective) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map %s: iteration order is randomized; collect and sort the keys first", exprString(n.X))
+					}
+				}
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(), "wall-clock read time.%s in a determinism-critical package; time must not influence execution", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					// Only package-level functions draw from the shared
+					// global source; methods on a *rand.Rand have a local
+					// receiver and are fine.
+					if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "global math/rand source (rand.%s) is process-seeded and shared; use rand.New(rand.NewSource(seed)) with an explicit seed", fn.Name())
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select with %d communication cases: the runtime picks randomly among ready cases", comm)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

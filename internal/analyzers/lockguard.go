@@ -1,0 +1,368 @@
+package analyzers
+
+// lockguard: structural mutex discipline for annotated struct fields.
+//
+// A struct field whose doc or trailing comment says
+//
+//	// guarded by mu        (lock lives on the same struct; the access
+//	                         path picks the receiver: x.field needs x.mu)
+//	// guarded by s.mu      (lock lives on a named outer struct — the
+//	                         serverObs instruments are mutated under the
+//	                         Server's s.mu; the spelling is literal)
+//
+// may only be read or written where the named mutex is structurally held
+// on the path from function entry to the access: a preceding
+// `<lock>.Lock()` or `<lock>.RLock()` in the same linear statement
+// sequence, not yet released by a plain `<lock>.Unlock()` (a deferred
+// unlock holds to function end; a cond.Wait reacquires before returning,
+// so held-state is preserved across it). Lock state never escapes a
+// conditional: a Lock inside one branch proves nothing after the join.
+//
+// Three structural exemptions keep the check aligned with the
+// repository's conventions rather than fighting them:
+//
+//   - functions whose name ends in "Locked" (the caller-holds-the-lock
+//     naming convention, e.g. job.finishLocked);
+//   - functions whose doc comment says the caller must hold the lock
+//     ("must be held", "caller holds", "while holding");
+//   - values constructed in this function (`x := &T{...}`): until the
+//     constructor publishes them no other goroutine can see them.
+//
+// Function literals are independent contexts with no inherited lock
+// state — a sample-at-scrape gauge closure must take the lock itself,
+// exactly as internal/service's registerDerived ones do. Test files are
+// exempt. The check is structural, not alias-aware: it proves the
+// convention, and the race detector hammers what it cannot see.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Lockguard is the mutex-discipline pass. See the file comment for the
+// contract.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields annotated 'guarded by <mu>' are only accessed while the named mutex is structurally held",
+	Run:  runLockguard,
+}
+
+var (
+	guardedByRe   = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+	callerHoldsRe = regexp.MustCompile(`(?i)must be held|caller holds|caller must hold|held by the caller|while holding`)
+)
+
+func runLockguard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc := &lockScan{pass: pass, guards: guards, fn: fd}
+			if exemptFunc(fd) {
+				sc.exempt = true
+			}
+			sc.constructed = map[string]bool{}
+			sc.scanStmts(fd.Body.List, map[string]bool{})
+			for len(sc.lits) > 0 {
+				lit := sc.lits[0]
+				sc.lits = sc.lits[1:]
+				inner := &lockScan{pass: pass, guards: guards, fn: fd, constructed: map[string]bool{}}
+				inner.scanStmts(lit.Body.List, map[string]bool{})
+				sc.lits = append(sc.lits, inner.lits...)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field's object to its guard spec.
+func collectGuards(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+						spec = m[1]
+					}
+				}
+				if spec == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exemptFunc applies the caller-holds conventions.
+func exemptFunc(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if len(name) >= 6 && name[len(name)-6:] == "Locked" {
+		return true
+	}
+	return fd.Doc != nil && callerHoldsRe.MatchString(fd.Doc.Text())
+}
+
+// lockScan walks one function context tracking which lock expressions
+// are structurally held.
+type lockScan struct {
+	pass        *Pass
+	guards      map[types.Object]string
+	fn          *ast.FuncDecl
+	exempt      bool
+	constructed map[string]bool // locals built from composite literals here
+	lits        []*ast.FuncLit  // nested literals, scanned as fresh contexts
+}
+
+// scanStmts processes a linear statement sequence, mutating held in
+// place; branches recurse on copies so their lock effects do not leak
+// past the join.
+func (sc *lockScan) scanStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		sc.scanStmt(st, held)
+	}
+}
+
+func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		sc.checkExpr(st.X, held)
+		if recv, ok := isCallTo(st.X, "Lock", "RLock"); ok {
+			held[recv] = true
+		}
+		if recv, ok := isCallTo(st.X, "Unlock", "RUnlock"); ok {
+			delete(held, recv)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return: the lock stays held for
+		// the remainder of the body. Still check the call's arguments.
+		if _, isUnlock := isCallTo(st.Call, "Unlock", "RUnlock"); !isUnlock {
+			sc.checkExpr(st.Call, held)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			sc.checkExpr(rhs, held)
+		}
+		for _, lhs := range st.Lhs {
+			sc.checkExpr(lhs, held)
+		}
+		sc.noteConstruction(st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						sc.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			sc.checkExpr(r, held)
+		}
+	case *ast.IncDecStmt:
+		sc.checkExpr(st.X, held)
+	case *ast.SendStmt:
+		sc.checkExpr(st.Chan, held)
+		sc.checkExpr(st.Value, held)
+	case *ast.GoStmt:
+		// The goroutine body runs later, under no lock the spawner holds.
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			sc.lits = append(sc.lits, fl)
+			for _, a := range st.Call.Args {
+				sc.checkExpr(a, held)
+			}
+		} else {
+			sc.checkExpr(st.Call, held)
+		}
+	case *ast.BlockStmt:
+		sc.scanStmts(st.List, held) // a bare block is still linear flow
+	case *ast.LabeledStmt:
+		sc.scanStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			sc.scanStmt(st.Init, held)
+		}
+		sc.checkExpr(st.Cond, held)
+		sc.scanStmts(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			sc.scanStmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			sc.scanStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			sc.checkExpr(st.Cond, held)
+		}
+		body := copyHeld(held)
+		sc.scanStmts(st.Body.List, body)
+		if st.Post != nil {
+			sc.scanStmt(st.Post, body)
+		}
+	case *ast.RangeStmt:
+		sc.checkExpr(st.X, held)
+		sc.scanStmts(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			sc.scanStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			sc.checkExpr(st.Tag, held)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					sc.checkExpr(e, held)
+				}
+				sc.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			sc.scanStmt(st.Init, held)
+		}
+		sc.scanStmt(st.Assign, held)
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sc.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					sc.scanStmt(cc.Comm, held)
+				}
+				sc.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	}
+}
+
+// noteConstruction records `x := &T{...}` / `x := T{...}` / `x := new(T)`
+// locals: unpublished values need no lock.
+func (sc *lockScan) noteConstruction(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch r := rhs.(type) {
+		case *ast.CompositeLit:
+			sc.constructed[id.Name] = true
+		case *ast.UnaryExpr:
+			if _, isLit := r.X.(*ast.CompositeLit); isLit {
+				sc.constructed[id.Name] = true
+			}
+		case *ast.CallExpr:
+			if fid, ok := r.Fun.(*ast.Ident); ok && fid.Name == "new" {
+				sc.constructed[id.Name] = true
+			}
+		}
+	}
+}
+
+// checkExpr validates every guarded-field access inside e against the
+// current lock state; nested function literals are queued for their own
+// fresh-context scan.
+func (sc *lockScan) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			sc.lits = append(sc.lits, fl)
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := sc.pass.TypesInfo.Uses[sel.Sel]
+		spec, guarded := sc.guards[obj]
+		if !guarded || sc.exempt {
+			return true
+		}
+		need := spec
+		if !containsDot(spec) {
+			need = exprString(sel.X) + "." + spec
+		}
+		if held[need] {
+			return true
+		}
+		if sc.constructed[rootIdent(sel.X)] {
+			return true
+		}
+		fname := "(func literal)"
+		if sc.fn != nil {
+			fname = sc.fn.Name.Name
+		}
+		sc.pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s, which %s does not hold on this path", exprString(sel.X), sel.Sel.Name, need, fname)
+		return true
+	})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func containsDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of an access path, or "".
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package analyzers
+
+// nilness: a standard-library reimplementation of the useful core of the
+// stock `nilness` vet analyzer, so one -vettool invocation covers stock
+// and custom passes (the x/tools original is SSA-based and cannot be
+// vendored into this dependency-free module; this version is AST-based
+// and deliberately conservative — it reports only the branch-local
+// certainties, never path-sensitive guesses).
+//
+// Reported patterns:
+//
+//   - inside the then-branch of `if x == nil`, a use of x that is
+//     certain to panic: *x, x.f through a pointer, x[i] on a slice, a
+//     call x(), or a map write — unless x is reassigned first;
+//   - the mirrored else-branch of `if x != nil`;
+//   - `if x == nil { ... } else if x == nil { ... }`: the second test is
+//     impossible (degenerate but cheap to catch).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is the stdlib nilness pass. See the file comment for the
+// contract and its deliberate limits.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "report uses of provably nil pointers, slices, maps, and funcs inside nil-check branches",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, isNilEq := nilComparison(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if isNilEq {
+				checkNilUses(pass, obj, ifs.Body)
+				if elif, ok := ifs.Else.(*ast.IfStmt); ok {
+					if obj2, eq2 := nilComparison(pass, elif.Cond); obj2 == obj && eq2 {
+						pass.Reportf(elif.Cond.Pos(), "impossible condition: %s is non-nil on this branch", obj.Name())
+					}
+				}
+			} else if ifs.Else != nil {
+				if block, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkNilUses(pass, obj, block)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison matches `x == nil` (isEq=true) and `x != nil` for a
+// nil-able variable x, returning its object.
+func nilComparison(pass *Pass, cond ast.Expr) (obj types.Object, isEq bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := be.X, be.Y
+	if !isNilIdent(pass, y) {
+		if !isNilIdent(pass, x) {
+			return nil, false
+		}
+		x = y
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !nilable(v.Type()) {
+		return nil, false
+	}
+	return v, be.Op == token.EQL
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[id]
+	return ok && tv.IsNil()
+}
+
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Signature, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// checkNilUses walks the branch where obj is known nil, reporting
+// certain panics until obj is reassigned (or the walk ends).
+func checkNilUses(pass *Pass, obj types.Object, body *ast.BlockStmt) {
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+				}
+			}
+		case *ast.FuncLit:
+			return false // deferred execution: obj may be set by then
+		case *ast.StarExpr:
+			if usesObj(pass, n.X, obj) {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil on this branch", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if usesObj(pass, n.X, obj) {
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+					// Field access panics; a method with a pointer receiver
+					// may legally take nil, so only flag real selections of
+					// fields.
+					if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+						pass.Reportf(n.Pos(), "nil dereference: %s is nil on this branch", obj.Name())
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if usesObj(pass, n.X, obj) {
+				switch obj.Type().Underlying().(type) {
+				case *types.Slice, *types.Pointer:
+					pass.Reportf(n.Pos(), "index of nil %s on this branch", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "call of nil function %s on this branch", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func usesObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}

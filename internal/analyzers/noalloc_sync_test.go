@@ -1,0 +1,129 @@
+package analyzers
+
+// The //distcolor:noalloc annotation set and the dynamic AllocsPerRun
+// pins must describe the same hot paths: the pins prove the property on
+// the workloads the suite runs, the annotations prove it structurally on
+// every path. This meta-test walks the module source and diffs the
+// annotated set against the manifest below, so adding or dropping an
+// annotation without updating the manifest (or vice versa) is a test
+// failure — the sync is audited, not assumed.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// noallocManifest lists every function that must carry the
+// //distcolor:noalloc directive, keyed "pkgdir.(recv).Name", with the
+// dynamic pin that motivates each entry.
+var noallocManifest = map[string]string{
+	// Pinned at 0 allocs/op by TestPlaneZeroAlloc (plane_test.go),
+	// TestWordPlaneZeroAlloc (words_test.go), the bandwidth accounting
+	// pins (bandwidth_test.go), and the bench gate's allocs_per_round=0
+	// columns (BENCH_simcore.json).
+	"internal/sim.(instance).stepVertex":      "sim round loop, any plane",
+	"internal/sim.(instance).stepVertexWord":  "sim round loop, word plane",
+	"internal/sim.(instance).retireRound":     "sim round loop, halt retirement",
+	"internal/sim.(instance).retireInto":      "sim round loop, halt retirement",
+	"internal/sim.(instance).retireWordsInto": "sim round loop, halt retirement",
+	// Pinned by the linial_test.go AllocsPerRun step pin and the
+	// algo/linial bench-gate row.
+	"internal/linial.(machine).StepWord":  "linial reduction step",
+	"internal/linial.(machine).applyStep": "linial polynomial evaluation",
+	// Pinned at 0 allocs/observation by TestInstrumentsZeroAlloc
+	// (obs_test.go).
+	"internal/obs.(Counter).Add":       "obs hot instrument",
+	"internal/obs.(Counter).Inc":       "obs hot instrument",
+	"internal/obs.(Gauge).Set":         "obs hot instrument",
+	"internal/obs.(Gauge).Add":         "obs hot instrument",
+	"internal/obs.(Histogram).Observe": "obs hot instrument",
+}
+
+// collectNoallocAnnotations parses every non-test .go file under the
+// module root and returns the qualified names of functions carrying the
+// directive.
+func collectNoallocAnnotations(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "bin", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(path))
+		if rerr != nil {
+			return rerr
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !funcDirective(fd, noallocDirective) {
+				continue
+			}
+			out[filepath.ToSlash(rel)+"."+recvQualifier(fd)+fd.Name.Name] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// recvQualifier renders a receiver as "(T)." with pointers stripped, or
+// "" for plain functions.
+func recvQualifier(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")."
+	}
+	return "(?)."
+}
+
+func TestNoallocAnnotationsMatchAllocsPerRunPins(t *testing.T) {
+	annotated := collectNoallocAnnotations(t, filepath.Join("..", ".."))
+	var missing, unexpected []string
+	for name := range noallocManifest {
+		if !annotated[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range annotated {
+		if _, ok := noallocManifest[name]; !ok {
+			unexpected = append(unexpected, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unexpected)
+	for _, name := range missing {
+		t.Errorf("manifest entry %s (%s) is not annotated //distcolor:noalloc", name, noallocManifest[name])
+	}
+	for _, name := range unexpected {
+		t.Errorf("%s is annotated //distcolor:noalloc but absent from noallocManifest; add it with the AllocsPerRun pin that motivates it", name)
+	}
+}

@@ -1,0 +1,445 @@
+package analyzers
+
+// noallochot: zero-steady-state-allocation proof for annotated hot
+// functions.
+//
+// The word plane (DESIGN.md §7–§8) and the obs instruments (§9) promise
+// zero heap allocations per round / per observation, and the bench gate
+// pins allocs/round at 0. Those pins are dynamic: they catch a
+// regression only on the workloads the suite happens to run. This pass
+// makes the property structural. A function marked with a
+//
+//	//distcolor:noalloc
+//
+// directive in its doc comment is rejected if its body contains a
+// construct that allocates (or defeats escape analysis so reliably that
+// it might as well):
+//
+//   - make of a map or channel, `new`, map literals, slice literals;
+//   - make of a slice without capacity evidence — allowed only inside
+//     an `if` guarded by a cap() comparison, i.e. the grow-once cold
+//     path of a reused scratch slab;
+//   - append without capacity evidence: the base must be a reslice
+//     (x[:0], x[:n]) or a variable this function made with explicit
+//     capacity or cap-guarded growth;
+//   - &composite literals (escape candidates) and map writes;
+//   - interface boxing: passing, assigning, returning, sending, or
+//     converting a concrete non-pointer-shaped value into an interface;
+//   - closures that capture variables, string concatenation,
+//     string<->[]byte conversions, and `go` statements.
+//
+// The pass is intraprocedural by design: an annotated function may call
+// helpers, and each helper that must also be allocation-free carries its
+// own annotation (the meta-test in noalloc_sync_test.go keeps the
+// annotation set aligned with the AllocsPerRun-pinned paths). Constructs
+// that the annotated code legitimately needs (e.g. an append into a slab
+// whose capacity was proven elsewhere) carry a counted
+// //distcolor:ignore suppression naming the evidence.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noallocDirective marks a function whose body must not allocate in the
+// steady state.
+const noallocDirective = "//distcolor:noalloc"
+
+// Noallochot is the zero-allocation pass. See the file comment for the
+// contract.
+var Noallochot = &Analyzer{
+	Name: "noallochot",
+	Doc:  "reject allocating constructs in functions marked //distcolor:noalloc",
+	Run:  runNoallochot,
+}
+
+func runNoallochot(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDirective(fd, noallocDirective) {
+				continue
+			}
+			checkNoalloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(pass *Pass, fd *ast.FuncDecl) {
+	evidence := capacityEvidence(pass, fd)
+	info := pass.TypesInfo
+
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in noalloc function %s: spawning a goroutine allocates", fd.Name.Name)
+
+		case *ast.FuncLit:
+			for _, capd := range closureCaptures(pass, fd, n) {
+				pass.Reportf(n.Pos(), "closure in noalloc function %s captures %s: captured closures are heap-allocated", fd.Name.Name, capd)
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in noalloc function %s escapes to the heap", fd.Name.Name)
+				}
+			}
+
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				break
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in noalloc function %s allocates", fd.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in noalloc function %s allocates its backing array", fd.Name.Name)
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "string concatenation in noalloc function %s allocates", fd.Name.Name)
+				}
+			}
+
+		case *ast.AssignStmt:
+			checkAssign(pass, fd, n)
+
+		case *ast.ReturnStmt:
+			checkReturn(pass, fd, n, stack)
+
+		case *ast.SendStmt:
+			if tv, ok := info.Types[n.Chan]; ok {
+				if ch, ok := tv.Type.Underlying().(*types.Chan); ok {
+					checkBoxing(pass, fd, ch.Elem(), n.Value, "channel send")
+				}
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, fd, n, stack, evidence)
+		}
+		return true
+	})
+}
+
+// checkCall handles builtin allocators, conversions, and boxing at call
+// boundaries.
+func checkCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node, evidence map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				pass.Reportf(call.Pos(), "new in noalloc function %s allocates", fd.Name.Name)
+			case "make":
+				checkMake(pass, fd, call, stack)
+			case "append":
+				checkAppend(pass, fd, call, evidence)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		target := tv.Type
+		src := info.Types[call.Args[0]].Type
+		if isInterface(target) {
+			checkBoxing(pass, fd, target, call.Args[0], "conversion")
+			return
+		}
+		if convAllocates(target, src) {
+			pass.Reportf(call.Pos(), "conversion %s in noalloc function %s copies and allocates", exprString(call.Fun), fd.Name.Name)
+		}
+		return
+	}
+
+	// Ordinary call: box-check each argument against the parameter type.
+	sig, ok := typeAsSignature(info, call.Fun)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case sig.Variadic(): // f(xs...): the slice passes through, no boxing
+			continue
+		default:
+			continue
+		}
+		checkBoxing(pass, fd, pt, arg, "argument")
+	}
+}
+
+// checkMake allows cap-guarded slice growth (the scratch-slab cold path)
+// and channels/maps never.
+func checkMake(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(call.Pos(), "make(map) in noalloc function %s allocates", fd.Name.Name)
+	case *types.Chan:
+		pass.Reportf(call.Pos(), "make(chan) in noalloc function %s allocates", fd.Name.Name)
+	case *types.Slice:
+		if !underCapGuard(stack) {
+			pass.Reportf(call.Pos(), "make(slice) in noalloc function %s without a cap() guard: not a grow-once cold path", fd.Name.Name)
+		}
+	}
+}
+
+// checkAppend demands capacity evidence for the append base.
+func checkAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, evidence map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := call.Args[0]
+	if _, ok := base.(*ast.SliceExpr); ok {
+		return // append(x[:0], ...) — reuse of an existing backing array
+	}
+	if obj := baseObject(pass, base); obj != nil && evidence[obj] {
+		return // this function made the base with explicit capacity
+	}
+	pass.Reportf(call.Pos(), "append in noalloc function %s without capacity evidence (reslice the base or make it with explicit capacity here)", fd.Name.Name)
+}
+
+// checkAssign flags map writes and boxing assignments.
+func checkAssign(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	for i, lhs := range as.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if tv, ok := info.Types[ix.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(lhs.Pos(), "map write in noalloc function %s can grow the map", fd.Name.Name)
+				}
+			}
+		}
+		if as.Tok == token.DEFINE || i >= len(as.Rhs) {
+			continue // new variables take the RHS type: no conversion
+		}
+		if tv, ok := info.Types[lhs]; ok {
+			checkBoxing(pass, fd, tv.Type, as.Rhs[i], "assignment")
+		}
+	}
+}
+
+// checkReturn box-checks results against the innermost function's
+// signature.
+func checkReturn(pass *Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt, stack []ast.Node) {
+	sig := enclosingSignature(pass, fd, stack)
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		checkBoxing(pass, fd, sig.Results().At(i).Type(), res, "return")
+	}
+}
+
+// checkBoxing reports expr if storing it into target boxes a concrete
+// non-pointer-shaped value.
+func checkBoxing(pass *Pass, fd *ast.FuncDecl, target types.Type, expr ast.Expr, what string) {
+	if !isInterface(target) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return
+	}
+	if !boxes(tv.Type) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s boxes %s into %s in noalloc function %s: interface conversion of a non-pointer value allocates",
+		what, tv.Type, target, fd.Name.Name)
+}
+
+// capacityEvidence records which variables this function built with
+// provable capacity: a 3-arg make, or a make under a cap() guard (the
+// grow-once pattern keeps capacity monotone).
+func capacityEvidence(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if len(call.Args) == 3 || underCapGuard(stack) {
+				if obj := baseObject(pass, as.Lhs[i]); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// underCapGuard reports whether the stack passes through an if statement
+// whose condition mentions cap() — the shape of "grow only when too
+// small".
+func underCapGuard(stack []ast.Node) bool {
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cap" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// closureCaptures lists the names a FuncLit captures from the enclosing
+// function (captures force the closure, and often the captured variable,
+// onto the heap).
+func closureCaptures(pass *Pass, fd *ast.FuncDecl, fl *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		pos := obj.Pos()
+		// Captured: declared inside the annotated function (including its
+		// parameters) but outside this literal.
+		inFunc := pos >= fd.Pos() && pos < fd.End()
+		inLit := pos >= fl.Pos() && pos < fl.End()
+		if inFunc && !inLit && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// baseObject resolves the root variable of x, x.f, or x[i] to its
+// types.Object (fields resolve to the field variable).
+func baseObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return baseObject(pass, e.X)
+	case *ast.IndexExpr:
+		return baseObject(pass, e.X)
+	}
+	return nil
+}
+
+// enclosingSignature finds the signature of the innermost function
+// containing the stack tip (the FuncDecl itself or a nested FuncLit).
+func enclosingSignature(pass *Pass, fd *ast.FuncDecl, stack []ast.Node) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok {
+			if tv, ok := pass.TypesInfo.Types[fl]; ok {
+				if sig, ok := tv.Type.(*types.Signature); ok {
+					return sig
+				}
+			}
+			return nil
+		}
+	}
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		return obj.Type().(*types.Signature)
+	}
+	return nil
+}
+
+// typeAsSignature extracts the called signature of a non-builtin,
+// non-conversion call expression.
+func typeAsSignature(info *types.Info, fun ast.Expr) (*types.Signature, bool) {
+	tv, ok := info.Types[fun]
+	if !ok || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: pointer-shaped types (pointers, channels, maps, funcs,
+// unsafe.Pointer) ride in the interface word directly, everything else
+// is copied to the heap.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		switch u.Kind() {
+		case types.UnsafePointer, types.UntypedNil:
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+// convAllocates reports the conversions that copy into a fresh backing
+// array: string <-> []byte/[]rune.
+func convAllocates(target, src types.Type) bool {
+	if isString(target) {
+		if _, ok := src.Underlying().(*types.Slice); ok {
+			return true
+		}
+	}
+	if _, ok := target.Underlying().(*types.Slice); ok && isString(src) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package analyzers
+
+// shadow: a standard-library reimplementation of the stock `shadow` vet
+// analyzer (the x/tools original cannot be vendored into this
+// dependency-free module). It follows the original's noise-control
+// heuristics: a declaration shadows only if the outer variable is
+// function-local (parameters included), has an identical type, and is
+// still used after the inner scope ends — the configuration in which a
+// reader can plausibly believe the inner assignment reached the outer
+// variable. Test files are exempt (table-test rebinding idioms shadow on
+// purpose).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow is the stdlib shadow pass. See the file comment for the
+// contract.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "report inner declarations that shadow an identically-typed outer variable still used after the inner scope",
+	Run:  runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShadows(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkShadows(pass *Pass, fd *ast.FuncDecl) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		// Only statement-level declarations shadow reportably: the
+		// `if err := f(); err != nil` and `for i := 0; ...` init-clause
+		// idioms deliberately scope a fresh variable to the statement, and
+		// parameters/range variables are declarations the reader cannot
+		// miss.
+		var names []*ast.Ident
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			if d.Tok != token.DEFINE || isInitClause(d, stack) {
+				return true
+			}
+			for _, lhs := range d.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					names = append(names, id)
+				}
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range d.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					names = append(names, vs.Names...)
+				}
+			}
+		default:
+			return true
+		}
+		for _, id := range names {
+			checkShadowedName(pass, fd, id)
+		}
+		return true
+	})
+}
+
+// isInitClause reports whether the assignment is the Init clause of its
+// enclosing if/for/switch statement.
+func isInitClause(as *ast.AssignStmt, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.IfStmt:
+		return p.Init == ast.Stmt(as)
+	case *ast.ForStmt:
+		return p.Init == ast.Stmt(as)
+	case *ast.SwitchStmt:
+		return p.Init == ast.Stmt(as)
+	case *ast.TypeSwitchStmt:
+		return p.Init == ast.Stmt(as)
+	}
+	return false
+}
+
+func checkShadowedName(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok || obj.IsField() || obj.Parent() == nil || obj.Parent().Parent() == nil {
+		return
+	}
+	_, outer := obj.Parent().Parent().LookupParent(obj.Name(), obj.Pos())
+	ov, ok := outer.(*types.Var)
+	if !ok || ov.IsField() {
+		return
+	}
+	// Function-local outers only (a package-level shadow is almost
+	// always intentional naming, per the stock analyzer).
+	if ov.Pos() < fd.Pos() || ov.Pos() > fd.End() {
+		return
+	}
+	if !types.Identical(obj.Type(), ov.Type()) {
+		return
+	}
+	if !usedAfter(pass, ov, obj.Parent().End()) {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer variable is still used afterwards",
+		id.Name, pass.Fset.Position(ov.Pos()))
+}
+
+// usedAfter reports whether obj is referenced at any position past end.
+func usedAfter(pass *Pass, obj types.Object, end token.Pos) bool {
+	for id, o := range pass.TypesInfo.Uses {
+		if o == obj && id.Pos() > end {
+			return true
+		}
+	}
+	return false
+}

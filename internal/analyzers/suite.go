@@ -1,0 +1,16 @@
+package analyzers
+
+// All returns the full distcolorvet suite in reporting order: the four
+// repository-invariant passes, then the stdlib reimplementations of the
+// stock nilness and shadow vet passes (one -vettool invocation covers
+// stock and custom checks).
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detcheck,
+		Noallochot,
+		Lockguard,
+		Ctxfirst,
+		Nilness,
+		Shadow,
+	}
+}

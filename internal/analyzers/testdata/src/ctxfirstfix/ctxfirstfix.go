@@ -1,0 +1,32 @@
+// Package ctxfirstfix is the positive/negative/suppression fixture for
+// the ctxfirst pass, including the stale-suppression finding.
+package ctxfirstfix
+
+import "context"
+
+// First is the negative: ctx in position one is the contract.
+func First(ctx context.Context, n int) int { return n }
+
+func Second(n int, ctx context.Context) int { // want "Second takes context.Context as parameter 2"
+	return n
+}
+
+func Detached() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func Todo() context.Context {
+	return context.TODO() // want "context.TODO in library code"
+}
+
+// SuppressedRoot exercises the suppression grammar.
+func SuppressedRoot() context.Context {
+	//distcolor:ignore ctxfirst fixture: deliberate root context
+	return context.Background()
+}
+
+// stale demonstrates the auditability rule: a suppression that covers no
+// finding is itself a finding.
+func stale() {
+	//distcolor:ignore ctxfirst nothing on this line needs a waiver // want "stale suppression: no ctxfirst finding"
+}

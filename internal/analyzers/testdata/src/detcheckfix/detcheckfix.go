@@ -1,0 +1,73 @@
+// Package detcheckfix is the positive/negative/suppression fixture for
+// the detcheck pass. The package is not on detcheck's built-in path list;
+// the directive below opts it in.
+//
+//distcolor:deterministic
+package detcheckfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func MapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want "range over map m: iteration order is randomized"
+		s += k
+	}
+	return s
+}
+
+// SliceRange is the negative twin: slices iterate in index order.
+func SliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func WallClock() time.Duration {
+	t0 := time.Now()      // want "wall-clock read time.Now"
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+// LocalRand is the negative twin: a locally constructed, explicitly
+// seeded source is exactly what the pass demands.
+func LocalRand(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+func TwoReady(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// OneCase is the negative twin: a single communication case blocks
+// deterministically.
+func OneCase(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	}
+}
+
+// SuppressedMapRange exercises the suppression grammar: the fold is
+// commutative, so iteration order cannot reach the result.
+func SuppressedMapRange(m map[int]int) int {
+	s := 0
+	//distcolor:ignore detcheck order-independent: commutative sum over values
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

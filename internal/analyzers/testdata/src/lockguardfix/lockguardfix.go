@@ -1,0 +1,95 @@
+// Package lockguardfix is the positive/negative/suppression fixture for
+// the lockguard pass: the bare spec ("guarded by mu", lock on the same
+// struct), the dotted spec ("guarded by s.mu", lock on a named outer
+// struct), both caller-holds conventions, construction exemption, and
+// the function-literal fresh-context rule.
+package lockguardfix
+
+import "sync"
+
+type counterSet struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counterSet) Good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counterSet) GoodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counterSet) Bad() {
+	c.n++ // want "c.n is guarded by c.mu, which Bad does not hold on this path"
+}
+
+// BranchLeak locks inside a conditional: the lock state must not survive
+// the join.
+func (c *counterSet) BranchLeak(grow bool) {
+	if grow {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want "c.n is guarded by c.mu, which BranchLeak does not hold"
+}
+
+// bumpLocked is a negative: the Locked suffix is the caller-holds naming
+// convention.
+func (c *counterSet) bumpLocked() {
+	c.n++
+}
+
+// addLoud must be called while holding c.mu. (A negative: the doc
+// comment states the caller-holds contract.)
+func (c *counterSet) addLoud(d int) {
+	c.n += d
+}
+
+// fresh is a negative: an unpublished value needs no lock.
+func fresh() *counterSet {
+	c := &counterSet{}
+	c.n = 1
+	return c
+}
+
+// Closure locks around the call, but a function literal is a fresh
+// context: the literal itself must take the lock.
+func (c *counterSet) Closure() {
+	f := func() {
+		c.n++ // want "c.n is guarded by c.mu, which Closure does not hold"
+	}
+	c.mu.Lock()
+	f()
+	c.mu.Unlock()
+}
+
+// Snapshot exercises the suppression grammar on a deliberate racy read.
+func (c *counterSet) Snapshot() int {
+	//distcolor:ignore lockguard fixture: racy snapshot read is acceptable here
+	return c.n
+}
+
+type instruments struct {
+	hits int // guarded by s.mu
+}
+
+type server struct {
+	mu  sync.Mutex
+	obs *instruments
+}
+
+func (s *server) Record() {
+	s.mu.Lock()
+	s.obs.hits++
+	s.mu.Unlock()
+}
+
+func (s *server) BadRecord() {
+	s.obs.hits++ // want "s.obs.hits is guarded by s.mu, which BadRecord does not hold"
+}

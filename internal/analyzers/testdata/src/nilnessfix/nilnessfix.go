@@ -1,0 +1,70 @@
+// Package nilnessfix is the positive/negative/suppression fixture for
+// the nilness pass.
+package nilnessfix
+
+type box struct{ v int }
+
+func Deref(p *int) int {
+	if p == nil {
+		return *p // want "nil dereference: p is nil on this branch"
+	}
+	return *p
+}
+
+func Field(b *box) int {
+	if b == nil {
+		return b.v // want "nil dereference: b is nil on this branch"
+	}
+	return b.v
+}
+
+// Mirror flags the else-branch of the inverted comparison.
+func Mirror(p *int) int {
+	if p != nil {
+		return *p
+	} else {
+		return *p // want "nil dereference: p is nil on this branch"
+	}
+}
+
+func Index(xs []int) int {
+	if xs == nil {
+		return xs[0] // want "index of nil xs"
+	}
+	return xs[0]
+}
+
+func Call(f func() int) int {
+	if f == nil {
+		return f() // want "call of nil function f"
+	}
+	return f()
+}
+
+// Reassigned is the negative: p is repaired before the use.
+func Reassigned(p *int) int {
+	if p == nil {
+		p = new(int)
+		return *p
+	}
+	return *p
+}
+
+func Impossible(p *int) int {
+	if p == nil {
+		return 0
+	} else if p == nil { // want "impossible condition: p is non-nil on this branch"
+		return 1
+	}
+	return *p
+}
+
+// SuppressedDeref exercises the suppression grammar on a documented
+// deliberate crash.
+func SuppressedDeref(p *int) int {
+	if p == nil {
+		//distcolor:ignore nilness fixture: crash-on-purpose sentinel
+		return *p
+	}
+	return *p
+}

@@ -1,0 +1,94 @@
+// Package noallocfix is the positive/negative/suppression fixture for
+// the noallochot pass.
+package noallocfix
+
+type point struct{ x, y int }
+
+//distcolor:noalloc
+func MakesMap(n int) {
+	m := make(map[int]int, n) // want "make.map. in noalloc function MakesMap"
+	_ = m
+}
+
+//distcolor:noalloc
+func MapWrite(m map[int]int) {
+	m[1] = 2 // want "map write in noalloc function MapWrite"
+}
+
+//distcolor:noalloc
+func BareAppend(xs []int, v int) []int {
+	return append(xs, v) // want "append in noalloc function BareAppend without capacity evidence"
+}
+
+// ResliceAppend is a negative: appending into a reslice reuses the
+// existing backing array.
+//
+//distcolor:noalloc
+func ResliceAppend(xs []int, v int) []int {
+	return append(xs[:0], v)
+}
+
+// GrowOnce is a negative: the cap-guarded make is the scratch-slab
+// cold path (grow once, then reuse forever).
+//
+//distcolor:noalloc
+func GrowOnce(scratch []int64, k int) []int64 {
+	if cap(scratch) < k {
+		scratch = make([]int64, k)
+	}
+	return scratch[:k]
+}
+
+//distcolor:noalloc
+func UnguardedMake(k int) []int64 {
+	return make([]int64, k) // want "make.slice. in noalloc function UnguardedMake without a cap.. guard"
+}
+
+//distcolor:noalloc
+func Boxes(v int64) any {
+	return v // want "return boxes int64 into any"
+}
+
+// PointerNoBox is a negative: pointers ride in the interface word
+// without allocating.
+//
+//distcolor:noalloc
+func PointerNoBox(p *point) any {
+	return p
+}
+
+//distcolor:noalloc
+func Captures(n int) func() int {
+	f := func() int { return n } // want "closure in noalloc function Captures captures n"
+	return f
+}
+
+//distcolor:noalloc
+func Escapes() *point {
+	return &point{1, 2} // want "&composite literal in noalloc function Escapes"
+}
+
+//distcolor:noalloc
+func Spawns() {
+	go noop() // want "go statement in noalloc function Spawns"
+}
+
+//distcolor:noalloc
+func Concat(a, b string) string {
+	return a + b // want "string concatenation in noalloc function Concat"
+}
+
+// Unchecked is a negative: no directive, no check — the pass is strictly
+// opt-in.
+func Unchecked() map[int]int { return make(map[int]int) }
+
+// SuppressedBox exercises the suppression grammar on a deliberate
+// cold-path boxing.
+//
+//distcolor:noalloc
+func SuppressedBox(v int64) any {
+	//distcolor:ignore noallochot fixture: cold error path, boxing accepted
+	return v
+}
+
+func noop() {}

@@ -1,0 +1,56 @@
+// Package shadowfix is the positive/negative/suppression fixture for the
+// shadow pass.
+package shadowfix
+
+import "errors"
+
+func Shadowed() error {
+	err := errors.New("outer")
+	for i := 0; i < 1; i++ {
+		err := errors.New("inner") // want "declaration of .err. shadows declaration"
+		_ = err
+	}
+	return err
+}
+
+func VarShadow() error {
+	err := errors.New("outer")
+	{
+		var err error // want "declaration of .err. shadows declaration"
+		_ = err
+	}
+	return err
+}
+
+// InitClause is the negative for the deliberate statement-scoped idiom.
+func InitClause() error {
+	err := errors.New("outer")
+	if err := work(); err != nil {
+		return err
+	}
+	return err
+}
+
+// DeadOuter is the negative for an outer variable never read after the
+// inner scope: the inner declaration cannot be mistaken for it.
+func DeadOuter() {
+	err := errors.New("outer")
+	_ = err
+	{
+		err := errors.New("inner")
+		_ = err
+	}
+}
+
+// Suppressed exercises the suppression grammar on a deliberate rebinding.
+func Suppressed() error {
+	err := errors.New("outer")
+	for i := 0; i < 1; i++ {
+		//distcolor:ignore shadow fixture: deliberate per-iteration rebinding
+		err := errors.New("inner")
+		_ = err
+	}
+	return err
+}
+
+func work() error { return nil }

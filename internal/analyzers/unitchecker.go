@@ -1,0 +1,248 @@
+package analyzers
+
+// The `go vet -vettool` protocol, on the standard library. The go
+// command drives a vet tool in three ways:
+//
+//   tool -V=full        print an identity line used as the cache key
+//   tool -flags         print a JSON description of the tool's flags
+//   tool <file>.cfg     analyze one package described by the JSON config
+//
+// The .cfg file carries everything needed to re-typecheck the package
+// without loading the build graph: file lists, the import map, and the
+// compiler export-data file of every dependency (already built, because
+// vet runs after compilation). x/tools ships this driver as
+// go/analysis/unitchecker; this is the same protocol implemented on
+// go/importer so the module stays dependency-free. See DESIGN.md §10.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON the go command writes for each package; the
+// field set (and JSON spelling) is fixed by cmd/go.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/distcolorvet: parse the protocol flags,
+// then analyze the .cfg package (exit 0 clean, 2 on findings, 1 on
+// internal errors — the go command treats any nonzero exit as a vet
+// failure).
+func Main(as ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (the go command's tool-ID probe)")
+	flagsFlag := fs.Bool("flags", false, "print a JSON description of the tool's flags and exit")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON instead of plain text")
+	enabled := make(map[string]*bool, len(as))
+	for _, a := range as {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" pass: "+a.Doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		printVersion(progname, *versionFlag)
+		return
+	}
+	if *flagsFlag {
+		printFlags(fs)
+		return
+	}
+
+	var active []*Analyzer
+	for _, a := range as {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <file>.cfg\n(this tool is driven by `go vet -vettool=%s`; see make lint)\n", progname, progname)
+		os.Exit(1)
+	}
+	diags, fset, err := checkPackage(fs.Arg(0), active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	exit := 0
+	suppressed := make(map[string]int)
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed[d.Analyzer]++
+			continue
+		}
+		exit = 2
+		if *jsonFlag {
+			json.NewEncoder(os.Stderr).Encode(map[string]string{
+				"posn": fset.Position(d.Pos).String(), "analyzer": d.Analyzer, "message": d.Message,
+			})
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	// The suppression audit trail: every waived finding is counted per
+	// pass, so `make lint` output shows how much of the invariant is held
+	// by comment rather than by proof.
+	if len(suppressed) > 0 {
+		keys := make([]string, 0, len(suppressed))
+		for k := range suppressed {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s:%d", k, suppressed[k])
+		}
+		fmt.Fprintf(os.Stderr, "%s: note: suppressed findings: %s\n", progname, strings.Join(parts, " "))
+	}
+	os.Exit(exit)
+}
+
+// printVersion answers the -V probe. The go command requires the first
+// two fields to be the tool's basename and the literal "version", and
+// caches vet results keyed on the rest — so the build ID must change
+// when the tool binary does, which hashing the executable guarantees.
+func printVersion(progname, mode string) {
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err2 := os.Open(exe); err2 == nil {
+			h := sha256.New()
+			io.Copy(h, f)
+			f.Close()
+			fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+			return
+		}
+	}
+	fmt.Printf("%s version devel\n", progname)
+}
+
+// printFlags answers the -flags probe: the go command uses it to
+// distinguish tool flags from package patterns when users pass analyzer
+// flags through `go vet`.
+func printFlags(fs *flag.FlagSet) {
+	type jsonFlagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlagDesc
+	fs.VisitAll(func(f *flag.Flag) {
+		b, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlagDesc{Name: f.Name, Bool: isBool && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, _ := json.Marshal(out)
+	os.Stdout.Write(data)
+}
+
+// checkPackage loads one vet config, re-typechecks the package from its
+// sources plus the dependencies' export data, and runs the analyzers.
+func checkPackage(cfgPath string, as []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// The go command expects the facts file to exist afterward even
+	// though this suite exchanges no inter-package facts; an empty file
+	// keeps the protocol (and vet result caching) happy.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: facts written (none), no diagnostics due.
+		return nil, token.NewFileSet(), nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			return nil, nil, perr
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewTypesInfo()
+	tcfg := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := RunAnalyzers(as, fset, files, pkg, info)
+	return diags, fset, err
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers read
+// populated (shared by the vet driver and the analysistest harness).
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

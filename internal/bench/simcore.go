@@ -245,8 +245,8 @@ func measurePlane(ctx context.Context, name string, eng sim.Exec, topo *sim.Topo
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
 	}
 	ns, allocs, bytes, err := MeasureOp(func() error {
-		_, err := eng.Run(ctx, topo, prog(simCoreRounds), simCoreRounds+2)
-		return err
+		_, runErr := eng.Run(ctx, topo, prog(simCoreRounds), simCoreRounds+2)
+		return runErr
 	})
 	if err != nil {
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
@@ -306,8 +306,8 @@ func measureAlgo(name string, run func(verify bool) (colors int64, stats sim.Sta
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
 	}
 	ns, allocs, bytes, err := MeasureOp(func() error {
-		_, _, err := run(false)
-		return err
+		_, _, runErr := run(false)
+		return runErr
 	})
 	if err != nil {
 		return SimCoreResult{}, fmt.Errorf("bench: simcore %s: %w", name, err)
@@ -374,9 +374,9 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 			// workloads as environment-gated on both sides.
 			continue
 		}
-		r, err := measurePlane(ctx, pr.name, pr.eng, planeTopo, pr.prog, pr.perRound)
-		if err != nil {
-			return nil, err
+		r, runErr := measurePlane(ctx, pr.name, pr.eng, planeTopo, pr.prog, pr.perRound)
+		if runErr != nil {
+			return nil, runErr
 		}
 		rep.Results = append(rep.Results, r)
 	}
@@ -392,9 +392,9 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 	}
 	lg.CSR()
 	linialRun, err := measureAlgo("algo/linial/sequential-10k", func(check bool) (int64, sim.Stats, error) {
-		lin, err := linial.Reduce(ctx, sim.Sequential, sim.NewTopology(lg), int64(lg.N()))
-		if err != nil {
-			return 0, sim.Stats{}, err
+		lin, runErr := linial.Reduce(ctx, sim.Sequential, sim.NewTopology(lg), int64(lg.N()))
+		if runErr != nil {
+			return 0, sim.Stats{}, runErr
 		}
 		if check {
 			if err := verify.VertexColoring(lg, lin.Colors, lin.Palette); err != nil {
@@ -420,9 +420,9 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 		return nil, err
 	}
 	starRun, err := measureAlgo("algo/star-x1/sequential-d32", func(check bool) (int64, sim.Stats, error) {
-		res, err := star.EdgeColor(ctx, sg, st, 1, star.Options{})
-		if err != nil {
-			return 0, sim.Stats{}, err
+		res, runErr := star.EdgeColor(ctx, sg, st, 1, star.Options{})
+		if runErr != nil {
+			return 0, sim.Stats{}, runErr
 		}
 		if check {
 			if err := verify.EdgeColoring(sg, res.Colors, res.Palette); err != nil {
@@ -449,9 +449,9 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 	}
 	ct := cd.ChooseT(cov.MaxCliqueSize(), 1)
 	cdRun, err := measureAlgo("algo/cd-x1/sequential-h3", func(check bool) (int64, sim.Stats, error) {
-		res, err := cd.Color(ctx, hlg.L, cov, ct, 1, cd.Options{})
-		if err != nil {
-			return 0, sim.Stats{}, err
+		res, runErr := cd.Color(ctx, hlg.L, cov, ct, 1, cd.Options{})
+		if runErr != nil {
+			return 0, sim.Stats{}, runErr
 		}
 		if check {
 			if err := verify.VertexColoring(hlg.L, res.Colors, res.Palette); err != nil {
@@ -477,9 +477,9 @@ func RunSimCore(ctx context.Context) (*SimCoreReport, error) {
 		return nil, err
 	}
 	pipeRun, err := measureAlgo("algo/edgepipe-x1/sequential-100k", func(check bool) (int64, sim.Stats, error) {
-		res, err := star.EdgeColor(ctx, pg, pt, 1, star.Options{})
-		if err != nil {
-			return 0, sim.Stats{}, err
+		res, runErr := star.EdgeColor(ctx, pg, pt, 1, star.Options{})
+		if runErr != nil {
+			return 0, sim.Stats{}, runErr
 		}
 		if check {
 			if err := verify.EdgeColoring(pg, res.Colors, res.Palette); err != nil {

@@ -141,12 +141,14 @@ func decomposeRec(ctx context.Context, g *graph.Graph, ids, seed []int64, seedPa
 // cover clique restricted to any one class has at most bound vertices.
 func VerifyDecomposition(cover *cliques.Cover, dec *Decomposition) error {
 	for qi, cl := range cover.Cliques {
+		// Check the bound at increment time rather than ranging over the
+		// count map afterwards: the first violation in clique order is
+		// reported, independent of map iteration order.
 		counts := make(map[int64]int)
 		for _, v := range cl {
-			counts[dec.Class[v]]++
-		}
-		for class, cnt := range counts {
-			if cnt > dec.CliqueBound {
+			class := dec.Class[v]
+			counts[class]++
+			if cnt := counts[class]; cnt > dec.CliqueBound {
 				return fmt.Errorf("cd: clique %d has %d vertices in class %d, bound %d", qi, cnt, class, dec.CliqueBound)
 			}
 		}

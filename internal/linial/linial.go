@@ -185,6 +185,8 @@ func newMachine(info sim.NodeInfo, schedule []Step, sink *int64) sim.Machine {
 // StepWord implements sim.WordMachine. Round 0 broadcasts the starting
 // color; round r ≥ 1 applies schedule[r-1] to the colors received in round
 // r-1 and broadcasts the result, halting after the last step.
+//
+//distcolor:noalloc
 func (mc *machine) StepWord(round int, in, out []sim.Word) bool {
 	if round == 0 {
 		if len(mc.schedule) == 0 {
@@ -206,6 +208,8 @@ func (mc *machine) StepWord(round int, in, out []sim.Word) bool {
 
 // applyStep performs one polynomial reduction at a single vertex, writing
 // all coefficient vectors into the machine's scratch slabs.
+//
+//distcolor:noalloc
 func (mc *machine) applyStep(in []sim.Word, st Step) int64 {
 	d, q := st.D, st.Q
 	k := int(d + 1)
@@ -243,6 +247,7 @@ func (mc *machine) applyStep(in []sim.Word, st Step) int64 {
 		}
 	}
 	// Unreachable when q > dΔ and the input coloring is proper.
+	//distcolor:ignore noallochot the Sprintf boxing is on the unreachable invariant-violation panic path
 	panic(fmt.Sprintf("linial: no evaluation point in F_%d for degree %d with %d neighbors", q, d, cnt))
 }
 

@@ -117,9 +117,13 @@ type Counter struct {
 
 // Add increments the counter by n (n must be non-negative; this is not
 // checked on the hot path).
+//
+//distcolor:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//distcolor:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value reads the current count.
@@ -131,9 +135,13 @@ type Gauge struct {
 }
 
 // Set stores the gauge value.
+//
+//distcolor:noalloc
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the gauge by n (negative to decrease).
+//
+//distcolor:noalloc
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value reads the current gauge value.
@@ -183,6 +191,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//distcolor:noalloc
 func (h *Histogram) Observe(v int64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -282,6 +282,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll, timeout time.Duratio
 //
 // Deprecated: use Wait with a context, which can be canceled between polls.
 func (c *Client) WaitTimeout(id string, poll, timeout time.Duration) (JobStatus, error) {
+	//distcolor:ignore ctxfirst deprecated pre-context shim; the timeout below bounds the wait
 	return c.Wait(context.Background(), id, poll, timeout)
 }
 

@@ -66,12 +66,12 @@ var metricsSeries = map[string]string{
 type serverObs struct {
 	reg *obs.Registry
 
-	submitted, completed, failed, canceled, rejected *obs.Counter
-	shed, recovered                                  *obs.Counter
-	cacheHits, cacheMisses, cacheBadHits             *obs.Counter
-	cacheSkipped                                     *obs.Counter
-	roundsTotal, messagesTotal, wallMSTotal          *obs.Counter
-	running                                          *obs.Gauge
+	submitted, completed, failed, canceled, rejected *obs.Counter // guarded by s.mu
+	shed, recovered                                  *obs.Counter // guarded by s.mu
+	cacheHits, cacheMisses, cacheBadHits             *obs.Counter // guarded by s.mu
+	cacheSkipped                                     *obs.Counter // guarded by s.mu
+	roundsTotal, messagesTotal, wallMSTotal          *obs.Counter // guarded by s.mu
+	running                                          *obs.Gauge   // guarded by s.mu
 
 	// stage is the admit→serve latency histogram family, one histogram per
 	// lifecycle stage; observed lock-free at each stage boundary.

@@ -282,20 +282,20 @@ type job struct {
 	sobs *serverObs
 
 	mu         sync.Mutex
-	cond       *sync.Cond    // broadcast on every state/trace change
-	done       chan struct{} // closed exactly once, on the terminal transition
-	state      State
-	err        string
-	resp       *distcolor.Response
-	cacheHit   bool
-	cancelReq  bool
-	wallMS     int64
-	trace      []TraceEvent
-	traceStart int // seq of trace[0] (earlier events were dropped)
-	traceSeq   int // next seq to assign
-	lastExec   int
-	lastN      int
-	sawRound   bool
+	cond       *sync.Cond          // broadcast on every state/trace change
+	done       chan struct{}       // closed exactly once, on the terminal transition
+	state      State               // guarded by mu
+	err        string              // guarded by mu
+	resp       *distcolor.Response // guarded by mu
+	cacheHit   bool                // guarded by mu
+	cancelReq  bool                // guarded by mu
+	wallMS     int64               // guarded by mu
+	trace      []TraceEvent        // guarded by mu
+	traceStart int                 // guarded by mu; seq of trace[0] (earlier events were dropped)
+	traceSeq   int                 // guarded by mu; next seq to assign
+	lastExec   int                 // guarded by mu
+	lastN      int                 // guarded by mu
+	sawRound   bool                // guarded by mu
 
 	// Lifecycle span tree (see DESIGN.md §9): offsets are µs since
 	// spanBase. spans is nil for jobs recovered terminal from the journal;
@@ -363,14 +363,14 @@ type Server struct {
 	store *Store // write-ahead job store; nil without Config.DataDir
 
 	mu            sync.Mutex
-	queueCond     *sync.Cond // signaled when queue gains work or the server closes
-	closed        bool
-	nextID        int64
-	jobs          map[string]*job
-	order         []string // submission order, for bounded retention
-	queue         []*job   // FIFO of not-yet-started jobs; canceled jobs are removed in place
-	queueReserved int      // admitted submissions journaling outside s.mu, not yet in queue
-	inflightBytes int64    // admission charge of accepted-but-unfinished jobs
+	queueCond     *sync.Cond      // signaled when queue gains work or the server closes
+	closed        bool            // guarded by mu
+	nextID        int64           // guarded by mu
+	jobs          map[string]*job // guarded by mu
+	order         []string        // guarded by mu; submission order, for bounded retention
+	queue         []*job          // guarded by mu; FIFO of not-yet-started jobs; canceled jobs are removed in place
+	queueReserved int             // guarded by mu; admitted submissions journaling outside s.mu, not yet in queue
+	inflightBytes int64           // guarded by mu; admission charge of accepted-but-unfinished jobs
 	wg            sync.WaitGroup
 
 	// obs holds every exported instrument (see obs.go); counters and the
@@ -431,6 +431,11 @@ func NewServer(cfg Config) (*Server, error) {
 // journal's maximum: an ID is never reused, so restarting cannot duplicate
 // or alias a job.
 func (s *Server) recover(recs []distcolor.JobRecord) error {
+	// Recovery runs before the worker pool exists, but it mutates the same
+	// guarded state the workers will; holding s.mu keeps the lock invariant
+	// uniform (and costs one uncontended acquisition at startup).
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	// Resume ID assignment past everything the journal has EVER seen — not
 	// just the recovered table: a job dropped by retention (forgotten
 	// marker) is gone from the table but its ID must stay burned, or a
@@ -456,6 +461,7 @@ func (s *Server) recover(recs []distcolor.JobRecord) error {
 			wallMS:     rec.WallMS,
 		}
 		j.cond = sync.NewCond(&j.mu)
+		//distcolor:ignore ctxfirst recovered jobs outlive any request; Close and /cancel cancel via j.cancel
 		j.ctx, j.cancel = context.WithCancelCause(context.Background())
 		st := State(rec.State)
 		if st.Terminal() {
@@ -575,6 +581,7 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 
 	j := &job{req: req, g: g, state: StateQueued, traceDepth: s.cfg.TraceDepth, done: make(chan struct{}), sobs: s.obs}
 	j.cond = sync.NewCond(&j.mu)
+	//distcolor:ignore ctxfirst a job outlives the submitting request; Close and /cancel cancel via j.cancel
 	j.ctx, j.cancel = context.WithCancelCause(context.Background())
 	j.initSpans(begin)
 	j.spanAdmit = j.spans.Start(stageAdmit, j.spanRoot, 0)

@@ -407,6 +407,8 @@ func (a *sendStats) add(b sendStats) {
 // are written right before Step reads them), the current outbox window is
 // cleared per the Machine contract, and the emitted slots are scanned for
 // Stats while still hot.
+//
+//distcolor:noalloc
 func (inst *instance) stepVertex(v, round int) (sendStats, bool) {
 	if inst.done[v] {
 		return sendStats{}, false
@@ -451,6 +453,8 @@ func (inst *instance) stepVertex(v, round int) (sendStats, bool) {
 
 // stepVertexWord is stepVertex on the packed plane: same delivery, same
 // clearing discipline, with NoWord in place of nil and no boxing anywhere.
+//
+//distcolor:noalloc
 func (inst *instance) stepVertexWord(v, round int) (sendStats, bool) {
 	prevOut, curOut := inst.wouts[(round&1)^1], inst.wouts[round&1]
 	lo, hi := inst.csr.Range(v)
@@ -492,6 +496,8 @@ func (inst *instance) stepVertexWord(v, round int) (sendStats, bool) {
 // a halted vertex the vertex's region is silent in both slabs and is never
 // written again, so inbox materialization reads silence from it forever —
 // the cost is O(deg) once per vertex, not per round.
+//
+//distcolor:noalloc
 func (inst *instance) retireRound(round int) {
 	if inst.words {
 		consumed := inst.wouts[(round&1)^1]
@@ -505,6 +511,7 @@ func (inst *instance) retireRound(round int) {
 	inst.pending, inst.newly = inst.newly, inst.pending[:0]
 }
 
+//distcolor:noalloc
 func (inst *instance) retireInto(slab []Message, vs []int32) {
 	for _, v := range vs {
 		lo, hi := inst.csr.Range(int(v))
@@ -514,6 +521,7 @@ func (inst *instance) retireInto(slab []Message, vs []int32) {
 	}
 }
 
+//distcolor:noalloc
 func (inst *instance) retireWordsInto(slab []Word, vs []int32) {
 	for _, v := range vs {
 		lo, hi := inst.csr.Range(int(v))
@@ -527,6 +535,7 @@ func (inst *instance) retireWordsInto(slab []Word, vs []int32) {
 // background context.
 func orBackground(ctx context.Context) context.Context {
 	if ctx == nil {
+		//distcolor:ignore ctxfirst nil-ctx normalization: there is no caller context to inherit here
 		return context.Background()
 	}
 	return ctx

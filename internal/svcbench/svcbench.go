@@ -72,15 +72,15 @@ func OverloadResult(ctx context.Context) (bench.SimCoreResult, error) {
 	op := func() error {
 		n := 0
 		for i := 0; i < overloadBurst; i++ {
-			_, err := c.Submit(ctx, overloadRequest())
+			_, subErr := c.Submit(ctx, overloadRequest())
 			var he *service.HTTPError
 			switch {
-			case errors.As(err, &he) && he.Code == http.StatusTooManyRequests:
+			case errors.As(subErr, &he) && he.Code == http.StatusTooManyRequests:
 				n++
-			case err == nil:
+			case subErr == nil:
 				return fmt.Errorf("burst submission %d was accepted; frozen occupancy leaked", i)
 			default:
-				return err
+				return subErr
 			}
 		}
 		sheds = n
