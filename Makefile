@@ -15,7 +15,7 @@ BENCH_TOLERANCE ?= 0.15
 # Samples per benchmark for bench-algos; use 10+ for benchstat-grade runs.
 BENCH_COUNT ?= 1
 
-.PHONY: build test vet lint fmt-check staticcheck race bench bench-algos bench-baseline bench-check tables fuzz profile ci
+.PHONY: build test vet lint lint-codec fmt-check staticcheck race bench bench-algos bench-baseline bench-check bench-codec tables fuzz profile ci
 
 # Where `make profile` writes cpu.pprof/heap.pprof; CI uploads it as an
 # artifact on pull requests.
@@ -41,6 +41,23 @@ vet:
 lint:
 	$(GO) build -o bin/distcolorvet ./cmd/distcolorvet
 	$(GO) vet -vettool=$(abspath bin/distcolorvet) ./...
+	@$(MAKE) --no-print-directory lint-codec
+
+# distcolor.Codec is the single encode/decode surface for wire types: any
+# raw encoding/json call on a Request/Response/GraphSpec/Coloring/JobRecord
+# outside the root codec files (or tests) bypasses the codec dispatch and
+# the binary wire. Grep-grade by design — cheap, zero deps, and the codec
+# files it exempts are exactly where such calls belong.
+lint-codec:
+	@bad=$$(grep -rn --include='*.go' \
+		-e 'json\.\(Marshal\|MarshalIndent\|Unmarshal\|NewEncoder\|NewDecoder\)' \
+		cmd internal | \
+		grep -v '_test\.go' | \
+		grep -e 'distcolor\.\(Request\|Response\|GraphSpec\|Coloring\|JobRecord\)\b' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "wire types must go through distcolor.Codec (codec.go), not raw encoding/json:"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # CI fails on unformatted files; gofmt -l prints them for the log.
 fmt-check:
@@ -106,9 +123,18 @@ tables:
 profile:
 	$(GO) run ./cmd/colorbench -profile $(PROFILE_DIR) -profile-duration $(PROFILE_DURATION)
 
-# Fuzz the edge-list parser (the one surface that reads arbitrary user
-# bytes). Corpus findings land in internal/graph/testdata/fuzz.
+# Fuzz the surfaces that read arbitrary user bytes: the edge-list parser
+# and the binary wire-frame decoder. Go allows one -fuzz per invocation, so
+# the targets run back to back; corpus findings land in each package's
+# testdata/fuzz.
 fuzz:
 	$(GO) test ./internal/graph/ -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME)
+
+# The JSON-vs-binary codec benchmark (encode/decode of the 100k pipeline
+# request). `make bench-codec BENCH_COUNT=10 > codec.txt` gives benchstat
+# samples; CI uploads the json-vs-binary comparison on pull requests.
+bench-codec:
+	$(GO) test . -run '^$$' -bench '^BenchmarkWireCodec' -benchmem -count $(BENCH_COUNT)
 
 ci: build vet lint fmt-check staticcheck test race

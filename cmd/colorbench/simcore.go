@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/bench"
@@ -30,6 +31,11 @@ func runSimCoreJSON(ctx context.Context, outPath, checkPath string, tolerance fl
 		return err
 	}
 	rep.Results = append(rep.Results, overload)
+	ingest, err := svcbench.IngestResult(ctx)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, ingest)
 	printSimCore(rep)
 	if checkPath != "" {
 		return checkSimCore(rep, checkPath, tolerance)
@@ -67,6 +73,16 @@ func printSimCore(rep *bench.SimCoreReport) {
 			r.MaxWordBits, r.CongestViolations, colors)
 	}
 	tw.Flush()
+	// Derived throughput for the ingest workloads: Messages holds exact wire
+	// bytes per op there (see internal/svcbench), so MB/s and vertices/s
+	// fall out of ns/op directly.
+	for _, r := range rep.Results {
+		if strings.HasPrefix(r.Name, "service/ingest/") && r.NsPerOp > 0 {
+			secs := float64(r.NsPerOp) / 1e9
+			fmt.Printf("%s: %.1f MB/s wire, %.0f vertices/s\n",
+				r.Name, float64(r.Messages)/secs/(1<<20), float64(svcbench.IngestVertices)/secs)
+		}
+	}
 }
 
 func checkSimCore(current *bench.SimCoreReport, baselinePath string, tolerance float64) error {

@@ -1,6 +1,10 @@
-// Command colord is the coloring daemon: an HTTP/JSON service that runs the
+// Command colord is the coloring daemon: an HTTP service that runs the
 // distcolor algorithms behind a job queue, a worker pool, and a
 // content-addressed result cache (see internal/service and DESIGN.md §6).
+// Requests and results travel as JSON by default or as the binary wire
+// codec (Content-Type/Accept application/vnd.distcolor.v1+bin, DESIGN.md
+// §11); graphs too large for -max-inflight-bytes are ingested as a chunked
+// binary stream admitted edge-chunk by edge-chunk.
 //
 // Quickstart (see README.md for the full walk-through):
 //
@@ -27,8 +31,9 @@
 // journaled to a write-ahead job store, and a restart (or crash) replays
 // the journal — finished jobs keep serving their results, interrupted jobs
 // re-run. -max-inflight-bytes bounds accepted-but-unfinished work; beyond
-// it submissions are shed with 429 + Retry-After instead of growing the
-// queue without bound. See DESIGN.md §6.
+// it buffered submissions are shed with 429 + Retry-After instead of
+// growing the queue without bound, while a chunked binary stream is still
+// admitted one edge chunk at a time. See DESIGN.md §6 and §11.
 //
 // Observability (DESIGN.md §9): GET /metrics serves the Prometheus text
 // exposition, every job's trace stream ends with its admit→serve span tree,

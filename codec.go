@@ -2,19 +2,30 @@ package distcolor
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"mime"
 )
 
-// This file is the stable wire codec of the library: a JSON-friendly
-// Request/Response pair, plus Execute, which dispatches a Request through
-// the algorithm registry (registry.go). The codec holds no per-algorithm
-// knowledge: algorithm names, parameter validation, and applicability all
-// come from the registered descriptors, so a newly registered algorithm is
-// wire-reachable with no codec changes. The colord service
-// (internal/service, cmd/colord) speaks exactly these types over HTTP;
-// keeping them here makes the same codec usable in-process, which is how
-// cmd/colorbench can target either a live daemon or the library with one
-// workload description.
+// This file is the stable wire codec of the library: the
+// Request/Response pair, the Codec interface with its JSON implementation
+// (the binary implementation lives in codecbin.go, the chunked streaming
+// form in codecstream.go), plus Execute, which dispatches a Request
+// through the algorithm registry (registry.go). The codec holds no
+// per-algorithm knowledge: algorithm names, parameter validation, and
+// applicability all come from the registered descriptors, so a newly
+// registered algorithm is wire-reachable with no codec changes. The colord
+// service (internal/service, cmd/colord) speaks exactly these types over
+// HTTP; keeping them here makes the same codec usable in-process, which is
+// how cmd/colorbench can target either a live daemon or the library with
+// one workload description.
+//
+// Codec is the single encode/decode surface for the wire types: every
+// serialization of a GraphSpec, Request, Response, Coloring, or JobRecord
+// — HTTP bodies, the WAL journal, in-process ExecuteBytes — dispatches
+// through a Codec, never through raw json.Marshal (`make lint` checks
+// this). See DESIGN.md §11 for the binary frame grammar and the streaming
+// admission protocol.
 
 // GraphSpec is the wire form of a graph: a vertex count and an edge list.
 // For cover-requiring algorithms (vertex/cd) it additionally carries the
@@ -69,12 +80,23 @@ type Request struct {
 	// all shorthand fields it keeps its pre-registry tolerance: an
 	// algorithm whose schema has no such parameter ignores it instead of
 	// rejecting the request.
+	//
+	// Deprecated on the wire (but permanently supported): set
+	// Params["x"] instead. The colord service answers requests that use
+	// any shorthand field with a `Deprecation: true` response header; see
+	// the README migration table.
 	X int `json:"x,omitempty"`
 	// Arboricity is the legacy shorthand for Params["arboricity"] fed to
 	// the sparse algorithms; 0 means "estimate with ArboricityUpperBound".
+	//
+	// Deprecated on the wire (but permanently supported): set
+	// Params["arboricity"] instead.
 	Arboricity int `json:"arboricity,omitempty"`
 	// Q is the legacy shorthand for Params["q"], the Section 5 threshold
 	// multiplier (0 selects the default 3).
+	//
+	// Deprecated on the wire (but permanently supported): set Params["q"]
+	// instead.
 	Q float64 `json:"q,omitempty"`
 	// Parallel selects the goroutine-sharded engine.
 	Parallel bool `json:"parallel,omitempty"`
@@ -245,4 +267,125 @@ func ExecuteOn(ctx context.Context, r *Request, g *Graph, opt Options) (*Respons
 		resp.Arboricity = int(arb)
 	}
 	return resp, nil
+}
+
+// Wire media types. ContentTypeBinary is the negotiation token for the
+// CRC-framed binary encoding: a client submits with it as Content-Type and
+// asks for binary results by listing it in Accept; JSON stays the default
+// for everything else.
+const (
+	ContentTypeJSON   = "application/json"
+	ContentTypeBinary = "application/vnd.distcolor.v1+bin"
+)
+
+// Codec is the single public encode/decode surface for the wire types:
+// *GraphSpec, *Request, *Response, *Coloring, and *JobRecord (Encode also
+// accepts the non-pointer forms). Two implementations exist — CodecJSON,
+// the historical human-readable encoding, and CodecBinary, the
+// length-prefixed CRC-framed encoding (codecbin.go) — and everything that
+// serializes a wire type (HTTP bodies, the WAL journal, ExecuteBytes)
+// dispatches through one of them. Both are stateless and safe for
+// concurrent use.
+type Codec interface {
+	// Name is the stable short identifier: "json" or "binary".
+	Name() string
+	// ContentType is the HTTP media type this codec negotiates under.
+	ContentType() string
+	// Encode serializes one wire value.
+	Encode(v any) ([]byte, error)
+	// Decode parses data into the pointed-to wire value. The binary codec
+	// rejects trailing bytes, corrupt frames, and version/feature flags it
+	// does not know.
+	Decode(data []byte, v any) error
+}
+
+// CodecJSON encodes the wire types as the stable JSON the service has
+// always spoken; golden fixtures under testdata/codec pin the exact shape.
+var CodecJSON Codec = jsonCodec{}
+
+// CodecBinary encodes the wire types as length-prefixed, CRC-framed binary
+// records (see codecbin.go for the frame grammar).
+var CodecBinary Codec = binaryCodec{}
+
+// CodecByName resolves "json" or "binary".
+func CodecByName(name string) (Codec, bool) {
+	switch name {
+	case CodecJSON.Name():
+		return CodecJSON, true
+	case CodecBinary.Name():
+		return CodecBinary, true
+	}
+	return nil, false
+}
+
+// CodecForContentType resolves a Content-Type (or one Accept alternative)
+// header value, parameters ignored; ok is false for media types neither
+// codec speaks.
+func CodecForContentType(contentType string) (Codec, bool) {
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return nil, false
+	}
+	switch mt {
+	case ContentTypeJSON:
+		return CodecJSON, true
+	case ContentTypeBinary:
+		return CodecBinary, true
+	}
+	return nil, false
+}
+
+// jsonCodec adapts encoding/json to the Codec contract. It is restricted
+// to the wire types on purpose: the restriction is what lets `make lint`
+// state "wire types serialize only through a Codec" and mean it.
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string        { return "json" }
+func (jsonCodec) ContentType() string { return ContentTypeJSON }
+
+func (jsonCodec) Encode(v any) ([]byte, error) {
+	if _, err := wireKindOf(v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+func (jsonCodec) Decode(data []byte, v any) error {
+	if _, err := wireKindOf(v); err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// wireKindOf maps a wire value to its binary frame kind and doubles as the
+// codecs' type gate.
+func wireKindOf(v any) (byte, error) {
+	switch v.(type) {
+	case *GraphSpec, GraphSpec:
+		return kindGraphSpec, nil
+	case *Request, Request:
+		return kindRequest, nil
+	case *Response, Response:
+		return kindResponse, nil
+	case *Coloring, Coloring:
+		return kindColoring, nil
+	case *JobRecord, JobRecord:
+		return kindJobRecord, nil
+	}
+	return 0, fmt.Errorf("distcolor: %T is not a wire type (want *GraphSpec, *Request, *Response, *Coloring, or *JobRecord)", v)
+}
+
+// ExecuteBytes is Execute behind a Codec: it decodes an encoded Request,
+// runs it, and returns the encoded Response — the in-process form of the
+// service's wire loop, usable with either codec.
+func ExecuteBytes(ctx context.Context, c Codec, data []byte, opt Options) ([]byte, error) {
+	var req Request
+	if err := c.Decode(data, &req); err != nil {
+		return nil, err
+	}
+	resp, err := Execute(ctx, &req, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encode(resp)
 }

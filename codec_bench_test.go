@@ -1,0 +1,45 @@
+package distcolor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkWireCodec measures encode/decode of the 100k-vertex pipeline
+// request under both codecs. CI runs it on pull requests and publishes a
+// benchstat comparison of the json vs binary columns (see
+// .github/workflows/ci.yml); `make bench-codec` runs it locally.
+func BenchmarkWireCodec(b *testing.B) {
+	g, err := gen.NearRegular(100_000, 8, 2017)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &Request{Algorithm: AlgoEdgeSparse, Graph: Spec(g), Params: Params{"arboricity": 8}}
+	for _, c := range []Codec{CodecJSON, CodecBinary} {
+		data, err := c.Encode(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("encode/%s", c.Name()), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decode/%s", c.Name()), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var out Request
+				if err := c.Decode(data, &out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

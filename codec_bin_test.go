@@ -1,0 +1,439 @@
+package distcolor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// randRequest builds an arbitrary (not necessarily valid) request: the
+// codec must round-trip anything representable, including shapes Build or
+// Validate would reject.
+func randRequest(rng *rand.Rand) *Request {
+	n := rng.Intn(2000)
+	m := rng.Intn(500)
+	var edges [][2]int
+	if m > 0 {
+		edges = make([][2]int, m)
+		sorted := rng.Intn(2) == 0
+		u := 0
+		for i := range edges {
+			if sorted && n > 0 {
+				u += rng.Intn(3)
+				edges[i] = [2]int{u % n, (u + 1 + rng.Intn(4)) % n}
+			} else if n > 0 {
+				edges[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+			}
+			if rng.Intn(50) == 0 {
+				// Occasional out-of-range endpoint: forces the delta
+				// fallback, which must stay faithful.
+				edges[i] = [2]int{-1 - rng.Intn(10), n + rng.Intn(10)}
+			}
+		}
+	}
+	var cliques [][]int32
+	for i := rng.Intn(4); i > 0; i-- {
+		c := make([]int32, 1+rng.Intn(5))
+		for j := range c {
+			c[j] = int32(rng.Intn(n + 1))
+		}
+		cliques = append(cliques, c)
+	}
+	var params Params
+	for i := rng.Intn(3); i > 0; i-- {
+		if params == nil {
+			params = Params{}
+		}
+		params[[]string{"x", "q", "arboricity", "weird"}[rng.Intn(4)]] = float64(rng.Intn(100)) / 3
+	}
+	return &Request{
+		Algorithm:  []string{AlgoEdgeGreedy, AlgoEdgeStar, "no/such", ""}[rng.Intn(4)],
+		Graph:      GraphSpec{N: n, Edges: edges, Cliques: cliques},
+		Params:     params,
+		X:          rng.Intn(4),
+		Arboricity: rng.Intn(6),
+		Q:          float64(rng.Intn(8)) / 2,
+		Parallel:   rng.Intn(2) == 0,
+	}
+}
+
+func randResponse(rng *rand.Rand) *Response {
+	var colors []int64
+	for i := rng.Intn(300); i > 0; i-- {
+		colors = append(colors, int64(rng.Intn(1000)-3))
+	}
+	return &Response{
+		Kind:      []Kind{KindEdge, KindVertex}[rng.Intn(2)],
+		Algorithm: "star-partition/x=2",
+		Colors:    colors,
+		Palette:   int64(rng.Intn(1 << 20)),
+		Stats: Stats{
+			Rounds:            rng.Intn(1000),
+			Messages:          int64(rng.Intn(1 << 30)),
+			Bits:              int64(rng.Intn(1 << 30)),
+			MaxMessageBits:    int64(rng.Intn(256)),
+			CongestViolations: int64(rng.Intn(3)),
+		},
+		Delta:      rng.Intn(64),
+		Arboricity: rng.Intn(16),
+	}
+}
+
+// TestBinaryJSONEquivalence is the JSON↔binary property test: for randomly
+// generated wire values, decode(binary(v)) and decode(json(v)) must agree
+// — the two codecs describe one wire model, differing only in bytes.
+func TestBinaryJSONEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2017))
+	for i := 0; i < 300; i++ {
+		req := randRequest(rng)
+		var fromBin, fromJSON Request
+		roundTripBoth(t, req, &fromBin, &fromJSON)
+		if !reflect.DeepEqual(fromBin, fromJSON) {
+			t.Fatalf("request %d: binary %+v != json %+v", i, fromBin, fromJSON)
+		}
+
+		resp := randResponse(rng)
+		var rBin, rJSON Response
+		roundTripBoth(t, resp, &rBin, &rJSON)
+		if !reflect.DeepEqual(rBin, rJSON) {
+			t.Fatalf("response %d: binary %+v != json %+v", i, rBin, rJSON)
+		}
+
+		rec := &JobRecord{Schema: JobRecordSchema, ID: "j1", State: "done", Request: req, Response: resp, WallMS: int64(i), CacheHit: i%2 == 0}
+		var jrBin, jrJSON JobRecord
+		roundTripBoth(t, rec, &jrBin, &jrJSON)
+		if !reflect.DeepEqual(jrBin, jrJSON) {
+			t.Fatalf("job record %d: binary %+v != json %+v", i, jrBin, jrJSON)
+		}
+	}
+}
+
+func roundTripBoth(t *testing.T, v any, binOut, jsonOut any) {
+	t.Helper()
+	bb, err := CodecBinary.Encode(v)
+	if err != nil {
+		t.Fatalf("binary encode %T: %v", v, err)
+	}
+	if err := CodecBinary.Decode(bb, binOut); err != nil {
+		t.Fatalf("binary decode %T: %v", v, err)
+	}
+	jb, err := CodecJSON.Encode(v)
+	if err != nil {
+		t.Fatalf("json encode %T: %v", v, err)
+	}
+	if err := CodecJSON.Decode(jb, jsonOut); err != nil {
+		t.Fatalf("json decode %T: %v", v, err)
+	}
+}
+
+// TestBinaryRoundTripColoring covers the Coloring wire type, which has no
+// JSON fixture of its own.
+func TestBinaryRoundTripColoring(t *testing.T) {
+	c := &Coloring{
+		Kind: KindVertex, Colors: []int64{0, 2, 1, 0}, Palette: 3,
+		Stats:     Stats{Rounds: 7, Messages: 99},
+		Algorithm: "delta1", Params: Params{"x": 2},
+	}
+	b, err := CodecBinary.Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Coloring
+	if err := CodecBinary.Decode(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*c, got) {
+		t.Fatalf("coloring round trip: got %+v want %+v", got, *c)
+	}
+}
+
+// TestBinaryEdgeModes pins that both edge encodings are exercised and
+// chosen by exact size: a dense random-order list picks the packed mode, a
+// sorted list picks deltas, and both decode back identically.
+func TestBinaryEdgeModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 16
+	random := make([][2]int, 4096)
+	for i := range random {
+		random[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	sorted := make([][2]int, 4096)
+	for i := range sorted {
+		sorted[i] = [2]int{i, i + 1}
+	}
+	for name, tc := range map[string]struct {
+		edges [][2]int
+		mode  byte
+		flag  uint16
+	}{
+		"random-picks-packed": {random, edgeModePacked, flagPackedEdges},
+		"sorted-picks-delta":  {sorted, edgeModeDelta, flagDeltaEdges},
+	} {
+		t.Run(name, func(t *testing.T) {
+			spec := &GraphSpec{N: n, Edges: tc.edges}
+			b, err := CodecBinary.Encode(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// count varint + mode byte after the 8+6 frame/header prefix.
+			body := b[framePrefixLen+frameHeaderLen:]
+			d := &binDec{buf: body}
+			d.intv() // N
+			d.uv()   // edge count
+			if got := d.byte1(); got != tc.mode {
+				t.Fatalf("edge mode = %d, want %d", got, tc.mode)
+			}
+			var dec GraphSpec
+			if err := CodecBinary.Decode(b, &dec); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(spec.Edges, dec.Edges) {
+				t.Fatal("edge list did not round-trip")
+			}
+		})
+	}
+}
+
+// TestBinaryDecodeRejects pins the decoder's refusal paths: corruption,
+// truncation, version and feature-flag skew, kind mismatch, trailing
+// bytes.
+func TestBinaryDecodeRejects(t *testing.T) {
+	good, err := CodecBinary.Encode(&Request{Algorithm: AlgoEdgeGreedy, Graph: GraphSpec{N: 3, Edges: [][2]int{{0, 1}, {1, 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"flipped payload bit": mut(func(b []byte) []byte { b[len(b)-1] ^= 1; return b }),
+		"truncated":           mut(func(b []byte) []byte { return b[:len(b)-3] }),
+		"trailing bytes":      mut(func(b []byte) []byte { return append(b, 0) }),
+		"future version": mut(func(b []byte) []byte {
+			b[framePrefixLen+1] = frameVersion + 1
+			return refreshCRC(b)
+		}),
+		"unknown feature flag": mut(func(b []byte) []byte {
+			b[framePrefixLen+5] |= 0x80
+			return refreshCRC(b)
+		}),
+		"reserved byte set": mut(func(b []byte) []byte {
+			b[framePrefixLen+3] = 7
+			return refreshCRC(b)
+		}),
+		"empty": {},
+	}
+	for name, data := range cases {
+		var req Request
+		if err := CodecBinary.Decode(data, &req); err == nil {
+			t.Errorf("%s: decode accepted corrupt frame", name)
+		}
+	}
+	// Kind mismatch: a Request frame decoded as a Response.
+	var resp Response
+	if err := CodecBinary.Decode(good, &resp); err == nil {
+		t.Error("kind mismatch: request frame decoded as response")
+	}
+}
+
+// refreshCRC re-seals a mutated frame so the corruption under test is the
+// header skew itself, not a CRC mismatch.
+func refreshCRC(b []byte) []byte {
+	payload := b[framePrefixLen:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
+	return b
+}
+
+// TestStreamRoundTrip drives the chunked form end to end, including a
+// chunk size that does not divide the edge count.
+func TestStreamRoundTrip(t *testing.T) {
+	g, err := gen.NearRegular(500, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{
+		Algorithm: AlgoEdgeSparse, Graph: Spec(g),
+		Params: Params{"arboricity": 4}, Q: 2.5, Parallel: true,
+	}
+	var buf bytes.Buffer
+	if err := WriteRequestStream(&buf, req, 97); err != nil {
+		t.Fatal(err)
+	}
+	if got := RequestStreamLen(req, 97); got != int64(buf.Len()) {
+		t.Fatalf("RequestStreamLen = %d, stream is %d bytes", got, buf.Len())
+	}
+	rr := NewRequestReader(&buf)
+	skel, err := rr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Chunked() {
+		t.Fatal("stream not recognized as chunked")
+	}
+	if rr.Declared() != len(req.Graph.Edges) {
+		t.Fatalf("declared %d edges, want %d", rr.Declared(), len(req.Graph.Edges))
+	}
+	var edges [][2]int
+	chunks := 0
+	for {
+		chunk, done, err := rr.ReadChunk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		chunks++
+		edges = append(edges, chunk...)
+	}
+	if want := (len(req.Graph.Edges) + 96) / 97; chunks != want {
+		t.Fatalf("stream used %d chunks, want %d", chunks, want)
+	}
+	skel.Graph.Edges = edges
+	if !reflect.DeepEqual(req, skel) {
+		t.Fatalf("stream round trip: got %+v want %+v", skel, req)
+	}
+}
+
+// TestStreamSingleFrameBegin pins that RequestReader accepts a plain
+// Request frame (the non-chunked binary submit path).
+func TestStreamSingleFrameBegin(t *testing.T) {
+	req := &Request{Algorithm: AlgoEdgeGreedy, Graph: GraphSpec{N: 4, Edges: [][2]int{{0, 1}, {2, 3}}}}
+	b, err := CodecBinary.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRequestReader(bytes.NewReader(b))
+	got, err := rr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Chunked() {
+		t.Fatal("single frame misread as chunked")
+	}
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("got %+v want %+v", got, req)
+	}
+}
+
+// TestStreamTallyMismatch pins that a stream lying about its edge count is
+// rejected at the end frame, not silently accepted.
+func TestStreamTallyMismatch(t *testing.T) {
+	req := &Request{Algorithm: AlgoEdgeGreedy, Graph: GraphSpec{N: 10, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}}
+	var buf bytes.Buffer
+	if err := WriteRequestStream(&buf, req, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the declared count in the header frame: re-encode with a lie.
+	lying := &Request{Algorithm: req.Algorithm, Graph: GraphSpec{N: 10, Edges: req.Graph.Edges[:2]}}
+	var lieBuf bytes.Buffer
+	if err := WriteRequestStream(&lieBuf, lying, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Header declares 2 edges; splice the 3-edge stream's chunks behind it.
+	hdrLen := headerFrameLen(&lieBuf)
+	spliced := append(append([]byte(nil), lieBuf.Bytes()[:hdrLen]...), buf.Bytes()[headerFrameLen(&buf):]...)
+	rr := NewRequestReader(bytes.NewReader(spliced))
+	if _, err := rr.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, done, err := rr.ReadChunk()
+		if err != nil {
+			return // expected: tally/declared mismatch surfaced
+		}
+		if done {
+			t.Fatal("stream with mismatched tally accepted")
+		}
+	}
+}
+
+func headerFrameLen(buf *bytes.Buffer) int {
+	return framePrefixLen + int(binary.LittleEndian.Uint32(buf.Bytes()[0:4]))
+}
+
+// TestExecuteBytes runs the in-process wire loop under both codecs.
+func TestExecuteBytes(t *testing.T) {
+	req := &Request{Algorithm: AlgoEdgeGreedy, Graph: GraphSpec{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}}
+	for _, c := range []Codec{CodecJSON, CodecBinary} {
+		in, err := c.Encode(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ExecuteBytes(t.Context(), c, in, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		var resp Response
+		if err := c.Decode(out, &resp); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if resp.Kind != KindEdge || len(resp.Colors) != 4 {
+			t.Fatalf("%s: bad response %+v", c.Name(), resp)
+		}
+	}
+}
+
+// TestCodecLookup pins the negotiation helpers.
+func TestCodecLookup(t *testing.T) {
+	if c, ok := CodecForContentType("application/vnd.distcolor.v1+bin; charset=x"); !ok || c.Name() != "binary" {
+		t.Fatalf("binary content type did not resolve: %v %v", c, ok)
+	}
+	if c, ok := CodecForContentType("application/json"); !ok || c.Name() != "json" {
+		t.Fatalf("json content type did not resolve: %v %v", c, ok)
+	}
+	if _, ok := CodecForContentType("text/plain"); ok {
+		t.Fatal("text/plain resolved to a codec")
+	}
+	if _, ok := CodecByName("binary"); !ok {
+		t.Fatal("binary codec not found by name")
+	}
+	if _, err := CodecBinary.Encode(42); err == nil {
+		t.Fatal("binary codec encoded a non-wire type")
+	}
+	if err := CodecJSON.Decode([]byte("{}"), &struct{}{}); err == nil {
+		t.Fatal("json codec decoded into a non-wire type")
+	}
+}
+
+// TestBinarySmallerAndFaster pins the PR's acceptance criterion on the
+// deterministic half: binary encoding of the 100k-vertex §4 pipeline graph
+// must stay ≥3x smaller than JSON (sizes are exact and platform-free; the
+// ≥5x encode+decode speedup is recorded in EXPERIMENTS.md and tracked by
+// BenchmarkWireCodec rather than asserted in a unit test, where it would
+// flake on loaded machines).
+func TestBinarySmallerThanJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the 100k pipeline graph")
+	}
+	g, err := gen.NearRegular(100_000, 8, 2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Algorithm: AlgoEdgeGreedy, Graph: Spec(g)}
+	jb, err := CodecJSON.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := CodecBinary.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(jb)) / float64(len(bb)); ratio < 3 {
+		t.Fatalf("binary is only %.2fx smaller than JSON (%d vs %d bytes), want ≥3x", ratio, len(bb), len(jb))
+	}
+	var dec Request
+	if err := CodecBinary.Decode(bb, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req.Graph.Edges, dec.Graph.Edges) {
+		t.Fatal("100k edge list did not round-trip")
+	}
+}

@@ -1,0 +1,95 @@
+package distcolor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the binary frame decoder with arbitrary bytes:
+// it must never panic or over-allocate, and anything it does accept must
+// re-encode and re-decode to the same value (the decoder and encoder agree
+// on one wire model). The stream reader is driven over the same input, so
+// chunked-ingest parsing shares the corpus. Wired into `make fuzz`; corpus
+// findings land in testdata/fuzz/FuzzDecodeFrame.
+func FuzzDecodeFrame(f *testing.F) {
+	seedReq := &Request{
+		Algorithm: AlgoEdgeSparse,
+		Graph: GraphSpec{N: 8, Edges: [][2]int{{0, 1}, {1, 2}, {5, 7}},
+			Cliques: [][]int32{{0, 1, 2}, {3, 4}}},
+		Params: Params{"arboricity": 2}, X: 1, Q: 2.5,
+	}
+	if b, err := CodecBinary.Encode(seedReq); err == nil {
+		f.Add(b)
+	}
+	if b, err := CodecBinary.Encode(&Response{Kind: KindEdge, Algorithm: "greedy", Colors: []int64{0, 1, 2}, Palette: 3, Stats: Stats{Rounds: 2, Messages: 12}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := CodecBinary.Encode(&GraphSpec{N: 1 << 16, Edges: [][2]int{{9, 13}, {40000, 2}}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := CodecBinary.Encode(&JobRecord{Schema: JobRecordSchema, ID: "j7", State: "queued", Request: seedReq}); err == nil {
+		f.Add(b)
+	}
+	var stream bytes.Buffer
+	if WriteRequestStream(&stream, seedReq, 2) == nil {
+		f.Add(stream.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if CodecBinary.Decode(data, &req) == nil {
+			reencodeCheck(t, &req, func() any { return &Request{} })
+		}
+		var resp Response
+		if CodecBinary.Decode(data, &resp) == nil {
+			reencodeCheck(t, &resp, func() any { return &Response{} })
+		}
+		var spec GraphSpec
+		if CodecBinary.Decode(data, &spec) == nil {
+			reencodeCheck(t, &spec, func() any { return &GraphSpec{} })
+		}
+		var col Coloring
+		if CodecBinary.Decode(data, &col) == nil {
+			reencodeCheck(t, &col, func() any { return &Coloring{} })
+		}
+		var rec JobRecord
+		if CodecBinary.Decode(data, &rec) == nil {
+			reencodeCheck(t, &rec, func() any { return &JobRecord{} })
+		}
+
+		// Drive the chunked-stream reader over the same bytes; it must fail
+		// cleanly or terminate, never panic or loop.
+		rr := NewRequestReader(bytes.NewReader(data))
+		if skel, err := rr.Begin(); err == nil && skel != nil && rr.Chunked() {
+			for {
+				_, done, err := rr.ReadChunk()
+				if err != nil || done {
+					break
+				}
+			}
+		}
+	})
+}
+
+// reencodeCheck asserts the codec is a fixed point on accepted values:
+// encode(decode(data)) re-decodes and re-encodes to identical bytes. Bytes,
+// not reflect.DeepEqual — float fields may carry NaN payloads, which are
+// preserved bit-exactly but never compare equal as values.
+func reencodeCheck(t *testing.T, v any, fresh func() any) {
+	t.Helper()
+	b, err := CodecBinary.Encode(v)
+	if err != nil {
+		t.Fatalf("re-encode of accepted %T failed: %v", v, err)
+	}
+	out := fresh()
+	if err := CodecBinary.Decode(b, out); err != nil {
+		t.Fatalf("re-decode of %T failed: %v", v, err)
+	}
+	b2, err := CodecBinary.Encode(out)
+	if err != nil {
+		t.Fatalf("second re-encode of %T failed: %v", v, err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("%T not byte-stable under re-encode", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/gen"
@@ -46,6 +47,10 @@ func goldenCases(t *testing.T) map[string]*Request {
 
 func goldenPath(name, kind string) string {
 	return filepath.Join("testdata", "codec", name+"."+kind+".json")
+}
+
+func goldenBinPath(name, kind string) string {
+	return filepath.Join("testdata", "codec", name+"."+kind+".bin")
 }
 
 func writeOrCompare(t *testing.T, path string, got []byte) {
@@ -100,6 +105,56 @@ func TestCodecGoldenFiles(t *testing.T) {
 			}
 			respJSON = append(respJSON, '\n')
 			writeOrCompare(t, goldenPath(name, "response"), respJSON)
+		})
+	}
+}
+
+// TestCodecGoldenBinary pins the binary frame encoding byte-for-byte against
+// checked-in fixtures, and cross-checks codec equivalence: the binary fixture
+// must decode to the same value as the JSON fixture for every golden case.
+// `-update` regenerates the .bin files alongside the JSON ones.
+func TestCodecGoldenBinary(t *testing.T) {
+	for name, req := range goldenCases(t) {
+		t.Run(name, func(t *testing.T) {
+			reqBin, err := CodecBinary.Encode(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeOrCompare(t, goldenBinPath(name, "request"), reqBin)
+
+			var fromBin Request
+			if err := CodecBinary.Decode(reqBin, &fromBin); err != nil {
+				t.Fatal(err)
+			}
+			reqJSON, err := CodecJSON.Encode(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fromJSON Request
+			if err := CodecJSON.Decode(reqJSON, &fromJSON); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&fromBin, &fromJSON) {
+				t.Fatalf("binary and JSON codecs disagree on %s:\nbinary: %+v\njson:   %+v", name, fromBin, fromJSON)
+			}
+
+			resp, err := Execute(context.Background(), &fromBin, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			respBin, err := CodecBinary.Encode(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeOrCompare(t, goldenBinPath(name, "response"), respBin)
+
+			var respBack Response
+			if err := CodecBinary.Decode(respBin, &respBack); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp, &respBack) {
+				t.Fatalf("binary response round trip drifted for %s", name)
+			}
 		})
 	}
 }

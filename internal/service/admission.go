@@ -52,15 +52,26 @@ func (e *OverloadError) Is(target error) bool {
 // buffer headroom, bookkeeping) on top of the graph-proportional terms.
 const jobCostBase = 4096
 
+// jobCostPerEdge prices one edge: the spec pair, the CSR arcs, and the
+// simulator's per-arc message slabs. Chunked ingest charges admission with
+// the same constant, so a streamed job's accumulated charge equals what
+// jobCost would have said had the request arrived buffered.
+const jobCostPerEdge = 96
+
 // jobCost estimates the resident bytes a submission pins while in flight:
 // the spec, the built graph with its CSR view, and the simulator's per-arc
 // message slabs all scale with edges; vertex state scales with n. It is a
 // deliberate overestimate-leaning heuristic — admission is a memory fuse,
 // not an allocator.
 func jobCost(req *distcolor.Request) int64 {
+	return jobCostSansEdges(req) + int64(len(req.Graph.Edges))*jobCostPerEdge
+}
+
+// jobCostSansEdges is jobCost's edge-independent part — what a chunked
+// stream charges up front, before any edge bytes arrive.
+func jobCostSansEdges(req *distcolor.Request) int64 {
 	cost := int64(jobCostBase)
 	cost += int64(req.Graph.N) * 16
-	cost += int64(len(req.Graph.Edges)) * 96
 	for _, cl := range req.Graph.Cliques {
 		cost += int64(len(cl)) * 16
 	}
@@ -94,6 +105,34 @@ func (s *Server) admitLocked(cost int64) error {
 // releaseLocked returns a job's admission charge; the caller holds s.mu.
 func (s *Server) releaseLocked(cost int64) {
 	s.inflightBytes -= cost
+}
+
+// admitChunkLocked charges one edge chunk of an in-progress ingest stream.
+// held is the charge the stream has accumulated so far: it is subtracted
+// from the occupancy check, so a stream is bounded by what the REST of the
+// server holds plus one chunk — not by its own size. That asymmetry is the
+// point of chunked ingest: a graph larger than MaxInflightBytes is
+// admissible as long as each chunk fits next to everyone else's work,
+// because by the time later chunks arrive the stream has already been
+// granted the earlier ones. The queue slot was reserved with the stream's
+// base charge (admitLocked), so no depth check here.
+func (s *Server) admitChunkLocked(chunk, held int64) error {
+	if s.cfg.MaxInflightBytes > 0 && s.inflightBytes-held+chunk > s.cfg.MaxInflightBytes {
+		s.obs.shed.Inc()
+		return &OverloadError{Reason: "inflight-bytes", RetryAfter: s.retryAfterLocked()}
+	}
+	s.inflightBytes += chunk
+	return nil
+}
+
+// releaseStream abandons an in-progress (or handed-off-then-rejected)
+// ingest stream: its queue reservation and accumulated byte charge return
+// to the admission budget.
+func (s *Server) releaseStream(held int64) {
+	s.mu.Lock()
+	s.queueReserved--
+	s.releaseLocked(held)
+	s.mu.Unlock()
 }
 
 // retryAfterLocked estimates when shed work could be re-submitted: the

@@ -132,11 +132,16 @@ func TestInflightBytesBound(t *testing.T) {
 		t.Fatalf("inflight bytes %d, want %d", m.InflightBytes, 2*one)
 	}
 
-	// A request whose own cost exceeds the bound is rejected outright.
+	// A buffered request whose own cost exceeds the bound sheds with 429 —
+	// it can still arrive via chunked binary ingest, which admits per chunk,
+	// so the refusal is not permanent.
 	tiny := frozenServer(t, Config{QueueDepth: 100, MaxInflightBytes: 100})
 	_, err = tiny.Submit(cycleRequest(16))
-	if err == nil || errors.Is(err, ErrOverloaded) {
-		t.Fatalf("oversized request got %v, want a permanent (non-overload) rejection", err)
+	if !errors.As(err, &ov) || ov.Reason != "inflight-bytes" {
+		t.Fatalf("oversized buffered request got %v, want inflight-bytes shed", err)
+	}
+	if m := tiny.Metrics(); m.Shed != 1 || m.InflightBytes != 0 {
+		t.Fatalf("oversized shed accounting: %+v", m)
 	}
 }
 

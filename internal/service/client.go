@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -15,12 +16,18 @@ import (
 	distcolor "repro"
 )
 
-// Client talks to a running colord instance over its JSON API. It is what
+// Client talks to a running colord instance over its wire API. It is what
 // cmd/colorbench uses in -server mode, and doubles as the reference client
 // for the wire protocol. Every method is context-aware, and requests shed
 // by the server's admission control (HTTP 429) are retried with backoff,
 // honoring the server's Retry-After hint — a 429 means the work was not
 // accepted, so retrying can never duplicate a job.
+//
+// Submissions auto-negotiate their encoding by payload size: small requests
+// go as JSON (debuggable, the historical wire), large ones as a binary
+// frame, and very large ones as a chunked binary stream that the server
+// admits per edge chunk — the only way past the server's in-flight byte
+// bound. Set Codec to pin a choice.
 type Client struct {
 	// Base is the server root, e.g. "http://localhost:8080".
 	Base string
@@ -35,7 +42,26 @@ type Client struct {
 	// attempt up to 5s; the server's Retry-After header overrides the
 	// computed backoff when larger.
 	RetryBase time.Duration
+	// Codec pins the submission encoding: "json", "binary", or "" for
+	// size-based auto-negotiation. "json" also turns off the binary Accept
+	// header on Result. ("binary" still upgrades to the chunked stream for
+	// graphs over the streaming threshold — a frame that large defeats the
+	// point.)
+	Codec string
+	// ChunkEdges is the edge-chunk size for streamed submissions
+	// (distcolor.DefaultChunkEdges when 0).
+	ChunkEdges int
 }
+
+// Auto-negotiation thresholds, in edges. Below autoBinaryEdges JSON wins on
+// debuggability and loses nothing measurable; past it the binary frame's
+// 3-4x size and ~9x encode+decode advantage dominates; past autoStreamEdges
+// the request is big enough that buffering it server-side fights the
+// admission bound, so it streams.
+const (
+	autoBinaryEdges = 65_536
+	autoStreamEdges = 262_144
+)
 
 // HTTPError is a non-2xx response from the server, with the decoded error
 // body when one was sent. Retries are exhausted before it surfaces.
@@ -111,29 +137,52 @@ func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
 	return d
 }
 
-// do sends a request and decodes the JSON body into out (skipped when out
-// is nil). Non-2xx responses decode the server's error body into an
-// *HTTPError; 429s are retried first.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body []byte
-	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = b
+// bodySpec describes a request body for roundTrip: the factory is invoked
+// per attempt, so a retried request never reuses a consumed reader, and
+// length (when >= 0) becomes the Content-Length header — set whenever it is
+// known, even for streamed bodies, so the server can account the upload
+// without chunked transfer encoding.
+type bodySpec struct {
+	contentType string
+	length      int64
+	mk          func() (io.Reader, error)
+}
+
+// bytesBody is the bodySpec for an already-materialized payload.
+func bytesBody(contentType string, data []byte) *bodySpec {
+	return &bodySpec{
+		contentType: contentType,
+		length:      int64(len(data)),
+		mk:          func() (io.Reader, error) { return bytes.NewReader(data), nil },
 	}
+}
+
+// roundTrip sends a request and decodes the response body into out (skipped
+// when out is nil), dispatching on the response Content-Type — JSON or a
+// binary frame. Non-2xx responses decode the server's error body into an
+// *HTTPError; 429s are retried first, rebuilding the body each attempt.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body *bodySpec, accept string, out any) error {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
 		if body != nil {
-			rd = bytes.NewReader(body)
+			r, err := body.mk()
+			if err != nil {
+				return err
+			}
+			rd = r
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
 		if err != nil {
 			return err
 		}
 		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Content-Type", body.contentType)
+			if body.length >= 0 {
+				req.ContentLength = body.length
+			}
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
 		}
 		resp, err := c.http().Do(req)
 		if err != nil {
@@ -163,15 +212,97 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if out == nil {
 			return nil
 		}
-		return json.NewDecoder(resp.Body).Decode(out)
+		return decodeResponse(resp, out)
 	}
 }
 
+// decodeResponse decodes a 2xx body by its Content-Type.
+func decodeResponse(resp *http.Response, out any) error {
+	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err == nil && mt == distcolor.ContentTypeBinary {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return distcolor.CodecBinary.Decode(data, out)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// do is the JSON-envelope path (batch, generate, status, metrics, …): the
+// payload is a service envelope type, not a distcolor wire type, so it is
+// marshaled here rather than through a distcolor.Codec.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body *bodySpec
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytesBody("application/json", b)
+	}
+	return c.roundTrip(ctx, method, path, body, "", out)
+}
+
 // Submit sends one workload and returns its job status (already done on a
-// cache hit).
+// cache hit). The encoding follows Codec, or auto-negotiates by size.
 func (c *Client) Submit(ctx context.Context, req *distcolor.Request) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	m := len(req.Graph.Edges)
+	mode := c.Codec
+	switch {
+	case mode == "":
+		switch {
+		case m >= autoStreamEdges:
+			mode = "stream"
+		case m >= autoBinaryEdges:
+			mode = "binary"
+		default:
+			mode = "json"
+		}
+	case mode == "binary" && m >= autoStreamEdges:
+		mode = "stream"
+	}
+	switch mode {
+	case "stream":
+		return c.SubmitStream(ctx, req)
+	case "binary":
+		data, err := distcolor.CodecBinary.Encode(req)
+		if err != nil {
+			return st, err
+		}
+		err = c.roundTrip(ctx, http.MethodPost, "/v1/jobs", bytesBody(distcolor.ContentTypeBinary, data), "", &st)
+		return st, err
+	case "json":
+		data, err := distcolor.CodecJSON.Encode(req)
+		if err != nil {
+			return st, err
+		}
+		err = c.roundTrip(ctx, http.MethodPost, "/v1/jobs", bytesBody(distcolor.ContentTypeJSON, data), "", &st)
+		return st, err
+	default:
+		return st, fmt.Errorf("colord: unknown codec %q", c.Codec)
+	}
+}
+
+// SubmitStream sends req as a chunked binary frame stream: the body is
+// produced incrementally through a pipe — never buffered whole — while
+// Content-Length is still set exactly (RequestStreamLen pre-computes it),
+// and the server admits the graph chunk by chunk. This is the submission
+// path for graphs whose admission cost exceeds the server's in-flight byte
+// bound; Submit upgrades to it automatically past autoStreamEdges.
+func (c *Client) SubmitStream(ctx context.Context, req *distcolor.Request) (JobStatus, error) {
+	chunk := c.ChunkEdges
+	body := &bodySpec{
+		contentType: distcolor.ContentTypeBinary,
+		length:      distcolor.RequestStreamLen(req, chunk),
+		mk: func() (io.Reader, error) {
+			pr, pw := io.Pipe()
+			go func() { pw.CloseWithError(distcolor.WriteRequestStream(pw, req, chunk)) }()
+			return pr, nil
+		},
+	}
+	var st JobStatus
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/jobs", body, "", &st)
 	return st, err
 }
 
@@ -205,10 +336,16 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
-// Result fetches the coloring of a done job.
+// Result fetches the coloring of a done job. Unless Codec pins "json", it
+// asks for the binary frame encoding (Accept) and decodes whichever the
+// server chose from the response Content-Type.
 func (c *Client) Result(ctx context.Context, id string) (*distcolor.Response, error) {
+	accept := distcolor.ContentTypeBinary
+	if c.Codec == "json" {
+		accept = ""
+	}
 	var resp distcolor.Response
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &resp); err != nil {
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, accept, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

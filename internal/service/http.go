@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	distcolor "repro"
@@ -17,6 +19,10 @@ import (
 // HTTP surface of the service (JSON unless noted):
 //
 //	POST /v1/jobs              Request                → JobStatus (202; 200 on cache hit; 429 + Retry-After when shed)
+//	                           Content-Type selects the request codec: application/json (default) or
+//	                           application/vnd.distcolor.v1+bin — one binary frame, or a chunked stream
+//	                           admitted per edge chunk (DESIGN.md §11). Requests using the legacy
+//	                           shorthand fields (x/arboricity/q) get a Deprecation: true response header.
 //	GET  /v1/jobs/{id}         —                      → JobStatus
 //	GET  /v1/jobs/{id}/result  —                      → Response (409 until done)
 //	GET  /v1/jobs/{id}/trace   ?after=<seq>           → NDJSON stream of TraceEvents, then {"span":…} lifecycle
@@ -254,9 +260,15 @@ func (s *Server) withRequestLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := "r" + strconv.FormatInt(s.reqID.Add(1), 10)
 		w.Header().Set("X-Request-Id", id)
+		cr := &countingReader{rc: r.Body}
+		r.Body = cr
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
+		s.mu.Lock()
+		s.obs.bytesIn.Add(cr.n)
+		s.obs.bytesOut.Add(sw.wrote)
+		s.mu.Unlock()
 		lvl := slog.LevelDebug
 		if sw.code >= 400 {
 			lvl = slog.LevelWarn
@@ -267,16 +279,39 @@ func (s *Server) withRequestLog(next http.Handler) http.Handler {
 	})
 }
 
-// statusWriter captures the response status for the request log, passing
-// Flush through so NDJSON trace streaming keeps working behind it.
+// countingReader counts request body bytes actually read by the handler,
+// feeding colord_http_request_bytes_total.
+type countingReader struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+// statusWriter captures the response status and body size for the request
+// log and the byte counters, passing Flush through so NDJSON trace
+// streaming keeps working behind it.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.wrote += int64(n)
+	return n, err
 }
 
 func (w *statusWriter) Flush() {
@@ -348,13 +383,105 @@ func writeSubmitErr(w http.ResponseWriter, err error) {
 	writeErr(w, submitCode(err), err)
 }
 
+// submitCodec resolves a submission's Content-Type to a request codec. An
+// absent header means JSON (the pre-binary wire, and the sane default for
+// small requests), and so does curl's implicit `-d` default,
+// application/x-www-form-urlencoded — every quickstart example posts JSON
+// that way, and rejecting it would break the documented front door.
+func submitCodec(contentType string) (distcolor.Codec, bool) {
+	if strings.TrimSpace(contentType) == "" {
+		return distcolor.CodecJSON, true
+	}
+	if mt, _, err := mime.ParseMediaType(contentType); err == nil && mt == "application/x-www-form-urlencoded" {
+		return distcolor.CodecJSON, true
+	}
+	return distcolor.CodecForContentType(contentType)
+}
+
+// acceptsBinary reports whether the request's Accept header asks for the
+// binary frame encoding. Anything else — absent header, */*, JSON — keeps
+// the JSON default.
+func acceptsBinary(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		if mt, _, err := mime.ParseMediaType(strings.TrimSpace(part)); err == nil && mt == distcolor.ContentTypeBinary {
+			return true
+		}
+	}
+	return false
+}
+
+// countCodec bumps the submissions-by-codec counter named by choice; the
+// counters are guarded by s.mu, so selection happens under the lock.
+func (s *Server) countCodec(choice string) {
+	s.mu.Lock()
+	switch choice {
+	case "json":
+		s.obs.codecJSON.Inc()
+	case "binary":
+		s.obs.codecBinary.Inc()
+	case "stream":
+		s.obs.codecStream.Inc()
+	}
+	s.mu.Unlock()
+}
+
+// noteDeprecated marks responses to requests that used the legacy shorthand
+// parameter fields (x/arboricity/q) with a Deprecation header, and logs the
+// migration pointer once per process. The fields keep working — PR-2
+// tolerance semantics are pinned by test — this is the signpost to the
+// params map (README migration table).
+func (s *Server) noteDeprecated(w http.ResponseWriter, reqs ...*distcolor.Request) {
+	for _, req := range reqs {
+		if req.X != 0 || req.Arboricity != 0 || req.Q != 0 {
+			w.Header().Set("Deprecation", "true")
+			s.deprecatedOnce.Do(func() {
+				s.log.Warn("request used deprecated shorthand fields (x/arboricity/q); set params instead — see the README migration table")
+			})
+			return
+		}
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req distcolor.Request
-	if err := json.NewDecoder(s.boundBody(w, r)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	codec, ok := submitCodec(r.Header.Get("Content-Type"))
+	if !ok {
+		writeErr(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("service: unsupported Content-Type %q (use %s or %s)",
+				r.Header.Get("Content-Type"), distcolor.ContentTypeJSON, distcolor.ContentTypeBinary))
 		return
 	}
-	st, err := s.Submit(&req)
+	var st JobStatus
+	var err error
+	if codec == distcolor.CodecBinary {
+		rr := distcolor.NewRequestReader(s.boundBody(w, r))
+		var req *distcolor.Request
+		if req, err = rr.Begin(); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.noteDeprecated(w, req)
+		if rr.Chunked() {
+			s.countCodec("stream")
+			st, err = s.SubmitStream(rr, req)
+		} else {
+			s.countCodec("binary")
+			st, err = s.Submit(req)
+		}
+	} else {
+		s.countCodec("json")
+		body, rerr := io.ReadAll(s.boundBody(w, r))
+		if rerr != nil {
+			writeErr(w, http.StatusBadRequest, rerr)
+			return
+		}
+		var req distcolor.Request
+		if err := codec.Decode(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.noteDeprecated(w, &req)
+		st, err = s.Submit(&req)
+	}
 	if err != nil {
 		writeSubmitErr(w, err)
 		return
@@ -385,7 +512,25 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, st)
 		return
 	}
+	if acceptsBinary(r.Header.Get("Accept")) {
+		writeCodec(w, http.StatusOK, distcolor.CodecBinary, resp)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeCodec renders v through an explicit codec, with Content-Length set
+// (the frame is already materialized, so the length is known).
+func writeCodec(w http.ResponseWriter, code int, c distcolor.Codec, v any) {
+	data, err := c.Encode(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", c.ContentType())
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(code)
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -415,6 +560,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	for i := range req.Requests {
+		s.noteDeprecated(w, &req.Requests[i])
+	}
 	writeJSON(w, http.StatusOK, s.submitAll(req.Requests))
 }
 
@@ -428,6 +576,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.noteDeprecated(w, &req.Template)
 	count := req.Gen.Count
 	if count <= 0 {
 		count = 1

@@ -59,6 +59,11 @@ var metricsSeries = map[string]string{
 	"messages_total":     "colord_messages_total",
 	"wall_ms_total":      "colord_wall_ms_total",
 	"jobs":               "colord_jobs_retained",
+	"bytes_in":           "colord_http_request_bytes_total",
+	"bytes_out":          "colord_http_response_bytes_total",
+	"codec_json":         "colord_codec_json_requests_total",
+	"codec_binary":       "colord_codec_binary_requests_total",
+	"codec_stream":       "colord_codec_stream_requests_total",
 }
 
 // serverObs bundles the registry and the instruments the Server writes.
@@ -72,6 +77,11 @@ type serverObs struct {
 	cacheSkipped                                     *obs.Counter // guarded by s.mu
 	roundsTotal, messagesTotal, wallMSTotal          *obs.Counter // guarded by s.mu
 	running                                          *obs.Gauge   // guarded by s.mu
+
+	// Wire-plane accounting (DESIGN.md §11): request/response body bytes as
+	// seen by the HTTP layer, and submissions by codec choice.
+	bytesIn, bytesOut                   *obs.Counter // guarded by s.mu
+	codecJSON, codecBinary, codecStream *obs.Counter // guarded by s.mu
 
 	// stage is the admit→serve latency histogram family, one histogram per
 	// lifecycle stage; observed lock-free at each stage boundary.
@@ -101,6 +111,11 @@ func newServerObs() *serverObs {
 		messagesTotal: r.NewCounter("colord_messages_total", "Simulator messages delivered across all completed jobs."),
 		wallMSTotal:   r.NewCounter("colord_wall_ms_total", "Execution wall time of completed jobs, milliseconds."),
 		running:       r.NewGauge("colord_jobs_running", "Jobs currently executing on the worker pool."),
+		bytesIn:       r.NewCounter("colord_http_request_bytes_total", "HTTP request body bytes read, all endpoints."),
+		bytesOut:      r.NewCounter("colord_http_response_bytes_total", "HTTP response body bytes written, all endpoints."),
+		codecJSON:     r.NewCounter("colord_codec_json_requests_total", "Submissions decoded from JSON bodies."),
+		codecBinary:   r.NewCounter("colord_codec_binary_requests_total", "Submissions decoded from single binary frames."),
+		codecStream:   r.NewCounter("colord_codec_stream_requests_total", "Submissions ingested as chunked binary streams."),
 		stage:         make(map[string]*obs.Histogram, 5),
 		roundMaxBits: r.NewHistogram("colord_round_max_message_bits",
 			"Largest single message of each observed simulator round, bits.",

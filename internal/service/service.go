@@ -234,6 +234,13 @@ type Metrics struct {
 	MessagesTotal int64 `json:"messages_total"`
 	WallMSTotal   int64 `json:"wall_ms_total"`
 	Jobs          int   `json:"jobs"`
+	// BytesIn/BytesOut count HTTP body traffic; CodecJSON/CodecBinary/
+	// CodecStream count submissions by wire encoding (see DESIGN.md §11).
+	BytesIn     int64 `json:"bytes_in"`
+	BytesOut    int64 `json:"bytes_out"`
+	CodecJSON   int64 `json:"codec_json"`
+	CodecBinary int64 `json:"codec_binary"`
+	CodecStream int64 `json:"codec_stream"`
 }
 
 // ErrQueueFull matches (via errors.Is) the queue-depth load shed; retained
@@ -379,6 +386,10 @@ type Server struct {
 	obs   *serverObs
 	log   *slog.Logger
 	reqID atomic.Int64 // HTTP request-log ID source
+
+	// deprecatedOnce rate-limits the legacy-shorthand-fields warning to one
+	// log line per process; the Deprecation response header fires every time.
+	deprecatedOnce sync.Once
 }
 
 // NewServer opens the job store (when Config.DataDir is set), replays and
@@ -546,37 +557,57 @@ func (s *Server) Close() {
 // to the journal before Submit returns, so an ID handed to a client
 // survives any crash.
 func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
+	return s.submit(req, -1)
+}
+
+// submit is Submit's engine. pre < 0 is the buffered path: the request is
+// admitted here, in one decision. pre >= 0 is the chunked-ingest handoff
+// from SubmitStream: the request was already admitted incrementally — pre
+// bytes are charged against the in-flight budget and one queue reservation
+// is held — so admission is skipped and every rejection path must return
+// the reservation and charge (releaseStream) before erroring.
+func (s *Server) submit(req *distcolor.Request, pre int64) (JobStatus, error) {
 	begin := time.Now() // span base: every lifecycle offset is µs since here
-	if err := req.Validate(); err != nil {
+	preAdmitted := pre >= 0
+	reject := func(err error) (JobStatus, error) {
+		if preAdmitted {
+			s.releaseStream(pre)
+		}
 		s.countRejected()
 		return JobStatus{}, err
 	}
+	if err := req.Validate(); err != nil {
+		return reject(err)
+	}
 	if s.cfg.MaxVertices > 0 && req.Graph.N > s.cfg.MaxVertices {
-		s.countRejected()
-		return JobStatus{}, fmt.Errorf("service: graph has %d vertices, limit %d", req.Graph.N, s.cfg.MaxVertices)
+		return reject(fmt.Errorf("service: graph has %d vertices, limit %d", req.Graph.N, s.cfg.MaxVertices))
 	}
 	if s.cfg.MaxEdges > 0 && len(req.Graph.Edges) > s.cfg.MaxEdges {
-		s.countRejected()
-		return JobStatus{}, fmt.Errorf("service: graph has %d edges, limit %d", len(req.Graph.Edges), s.cfg.MaxEdges)
+		return reject(fmt.Errorf("service: graph has %d edges, limit %d", len(req.Graph.Edges), s.cfg.MaxEdges))
 	}
 	cost := jobCost(req)
-	if s.cfg.MaxInflightBytes > 0 && cost > s.cfg.MaxInflightBytes {
-		// Could never be admitted: a permanent rejection, not a shed.
-		s.countRejected()
-		return JobStatus{}, fmt.Errorf("service: request costs ~%d bytes in flight, limit %d", cost, s.cfg.MaxInflightBytes)
+	if !preAdmitted && s.cfg.MaxInflightBytes > 0 && cost > s.cfg.MaxInflightBytes {
+		// A buffered request whose own estimate exceeds the whole budget can
+		// never be admitted in one decision — but it CAN arrive via chunked
+		// binary ingest, which admits per chunk. Shed with a 429 pointing
+		// there rather than rejecting outright.
+		s.mu.Lock()
+		s.obs.shed.Inc()
+		ra := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.log.Warn("submission shed", "reason", "inflight-bytes", "retry_after", ra)
+		return JobStatus{}, &OverloadError{Reason: "inflight-bytes", RetryAfter: ra}
 	}
 	// An out-of-range clique-cover vertex could only fail at execution, and
 	// hashing it would alias a valid cover's cache key. Reject it up front —
 	// unconditionally, not just on the cacheable path, so the same invalid
 	// request is a 400 regardless of the server's cache configuration.
 	if err := validateCoverRange(req); err != nil {
-		s.countRejected()
-		return JobStatus{}, err
+		return reject(err)
 	}
 	g, err := req.Graph.Build()
 	if err != nil {
-		s.countRejected()
-		return JobStatus{}, err
+		return reject(err)
 	}
 
 	j := &job{req: req, g: g, state: StateQueued, traceDepth: s.cfg.TraceDepth, done: make(chan struct{}), sobs: s.obs}
@@ -593,8 +624,7 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 	if cacheable {
 		canon, err := canonicalize(g, req)
 		if err != nil {
-			s.countRejected()
-			return JobStatus{}, err
+			return reject(err)
 		}
 		j.canon = canon
 		j.key = cacheKey(j.canon, req)
@@ -609,10 +639,20 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 
 	s.mu.Lock()
 	if s.closed {
+		if preAdmitted {
+			s.queueReserved--
+			s.releaseLocked(pre)
+		}
 		s.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
 	if hit != nil {
+		if preAdmitted {
+			// The stream's incremental charge is no longer needed: the hit
+			// serves from cache without ever entering the queue.
+			s.queueReserved--
+			s.releaseLocked(pre)
+		}
 		// Served from cache: load re-verified the remapped coloring against
 		// this submission's graph.
 		j.state = StateDone
@@ -650,15 +690,22 @@ func (s *Server) Submit(req *distcolor.Request) (JobStatus, error) {
 		s.log.Debug("job served from cache", "job", j.id)
 		return j.status(), nil
 	}
-	if err := s.admitLocked(cost); err != nil {
-		s.mu.Unlock()
-		var ov *OverloadError
-		if errors.As(err, &ov) {
-			s.log.Warn("submission shed", "reason", ov.Reason, "retry_after", ov.RetryAfter)
+	if preAdmitted {
+		// Chunked ingest admitted this job while reading it; the held charge
+		// (and the queue reservation taken with the first chunk) transfer to
+		// the job as-is.
+		j.cost = pre
+	} else {
+		if err := s.admitLocked(cost); err != nil {
+			s.mu.Unlock()
+			var ov *OverloadError
+			if errors.As(err, &ov) {
+				s.log.Warn("submission shed", "reason", ov.Reason, "retry_after", ov.RetryAfter)
+			}
+			return JobStatus{}, err
 		}
-		return JobStatus{}, err
+		j.cost = cost
 	}
-	j.cost = cost
 	evicted := s.register(j) // the job is visible (Status finds it) but not yet runnable
 	s.mu.Unlock()
 	s.journalForgotten(evicted)
@@ -986,6 +1033,11 @@ func (s *Server) Metrics() Metrics {
 		MessagesTotal: s.obs.messagesTotal.Value(),
 		WallMSTotal:   s.obs.wallMSTotal.Value(),
 		Jobs:          len(s.jobs),
+		BytesIn:       s.obs.bytesIn.Value(),
+		BytesOut:      s.obs.bytesOut.Value(),
+		CodecJSON:     s.obs.codecJSON.Value(),
+		CodecBinary:   s.obs.codecBinary.Value(),
+		CodecStream:   s.obs.codecStream.Value(),
 	}
 	if s.cfg.MaxInflightBytes > 0 {
 		m.MaxInflightBytes = s.cfg.MaxInflightBytes

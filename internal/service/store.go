@@ -2,7 +2,6 @@ package service
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -190,7 +189,7 @@ func frame(payload []byte) []byte {
 // later appends and reported by Err).
 func (st *Store) Append(rec distcolor.JobRecord, sync bool) error {
 	rec.Schema = distcolor.JobRecordSchema
-	payload, err := json.Marshal(rec)
+	payload, err := distcolor.CodecJSON.Encode(&rec)
 	if err != nil {
 		return fmt.Errorf("service: job store: %w", err)
 	}
@@ -346,7 +345,7 @@ func (st *Store) compactLocked() (err error) {
 		})
 	}
 	for _, rec := range condensed {
-		payload, err := json.Marshal(rec)
+		payload, err := distcolor.CodecJSON.Encode(&rec)
 		if err != nil {
 			f.Close()
 			return fmt.Errorf("service: job store: %w", err)
@@ -499,7 +498,7 @@ func replayBytes(data []byte, table map[string]*distcolor.JobRecord, maxID *int6
 			return off, nil // torn payload
 		}
 		var rec distcolor.JobRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		if err := distcolor.CodecJSON.Decode(payload, &rec); err != nil {
 			// The CRC held, so the payload is byte-exact what the writer
 			// framed — undecodable JSON is a writer bug, not a crash tear.
 			return off, fmt.Errorf("crc-intact record does not decode: %w", err)

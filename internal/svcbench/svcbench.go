@@ -15,6 +15,7 @@ import (
 
 	distcolor "repro"
 	"repro/internal/bench"
+	"repro/internal/gen"
 	"repro/internal/service"
 )
 
@@ -98,5 +99,74 @@ func OverloadResult(ctx context.Context) (bench.SimCoreResult, error) {
 		AllocsPerRound: -1, // not a round-structured workload
 		Rounds:         overloadQueue,
 		Messages:       int64(sheds),
+	}, nil
+}
+
+// The ingest-throughput workload: one op streams the 100k-vertex pipeline
+// graph into a frozen colord over real HTTP as a chunked binary request
+// (DESIGN.md §11), then cancels the queued job to return its admission
+// charge. The server's in-flight bound is set far below the graph's
+// admission cost, so the op exercises exactly the path the binary wire
+// exists for — a graph only chunked ingest can admit. ns/op is end-to-end
+// ingest latency (client encode, HTTP, per-chunk admission, server decode,
+// graph build); colorbench derives MB/s and vertices/s from it. The
+// deterministic columns are repurposed as with the overload workload:
+// Rounds is the edge-chunk count and Messages the exact wire bytes per op —
+// both must reproduce everywhere or the stream encoding changed.
+const (
+	// IngestVertices is the streamed graph's vertex count, exported so
+	// colorbench can derive vertices/s from ns/op.
+	IngestVertices = 100_000
+	ingestDegree   = 8
+	ingestSeed     = 2017
+	// ingestBound is the server's MaxInflightBytes: ~8 MiB against a graph
+	// whose admission cost is ~40 MB, so buffered submission is impossible.
+	ingestBound = 8 << 20
+)
+
+// IngestResult measures chunked binary ingest end to end and returns it in
+// the simulator-core suite's result shape.
+func IngestResult(ctx context.Context) (bench.SimCoreResult, error) {
+	name := fmt.Sprintf("service/ingest/stream-pipe%dk", IngestVertices/1000)
+	g, err := gen.NearRegular(IngestVertices, ingestDegree, ingestSeed)
+	if err != nil {
+		return bench.SimCoreResult{}, fmt.Errorf("svcbench: %s: %w", name, err)
+	}
+	req := &distcolor.Request{Algorithm: distcolor.AlgoEdgeGreedy, Graph: distcolor.Spec(g)}
+	srv, err := service.NewServer(service.Config{
+		Workers: 1, Frozen: true, QueueDepth: 64, CacheEntries: -1, MaxInflightBytes: ingestBound,
+	})
+	if err != nil {
+		return bench.SimCoreResult{}, fmt.Errorf("svcbench: %s: %w", name, err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &service.Client{Base: ts.URL, MaxRetries: -1}
+
+	streamBytes := distcolor.RequestStreamLen(req, 0)
+	chunks := (len(req.Graph.Edges) + distcolor.DefaultChunkEdges - 1) / distcolor.DefaultChunkEdges
+	op := func() error {
+		st, subErr := c.SubmitStream(ctx, req)
+		if subErr != nil {
+			return subErr
+		}
+		// The server is frozen, so the job sits queued; cancel returns its
+		// admission charge and queue slot for the next op.
+		_, cancelErr := c.Cancel(ctx, st.ID)
+		return cancelErr
+	}
+	ns, allocs, bytes, err := bench.MeasureOp(op)
+	if err != nil {
+		return bench.SimCoreResult{}, fmt.Errorf("svcbench: %s: %w", name, err)
+	}
+	return bench.SimCoreResult{
+		Name:           name,
+		NsPerOp:        ns,
+		AllocsPerOp:    allocs,
+		BytesPerOp:     bytes,
+		AllocsPerRound: -1, // not a round-structured workload
+		Rounds:         chunks,
+		Messages:       streamBytes,
 	}, nil
 }
