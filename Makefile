@@ -15,7 +15,12 @@ BENCH_TOLERANCE ?= 0.15
 # Samples per benchmark for bench-algos; use 10+ for benchstat-grade runs.
 BENCH_COUNT ?= 1
 
-.PHONY: build test vet lint lint-codec fmt-check staticcheck race bench bench-algos bench-baseline bench-check bench-codec tables fuzz profile ci
+# Seed for the deterministic chaos suite (`make chaos`). Every fault the
+# schedule fires is a pure function of this value, so a failing run is
+# replayed exactly by re-running with the seed from its report.
+CHAOS_SEED ?= 1
+
+.PHONY: build test vet lint lint-codec fmt-check staticcheck race bench bench-algos bench-baseline bench-check bench-codec tables fuzz profile chaos ci
 
 # Where `make profile` writes cpu.pprof/heap.pprof; CI uploads it as an
 # artifact on pull requests.
@@ -130,6 +135,17 @@ profile:
 fuzz:
 	$(GO) test ./internal/graph/ -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME)
+
+# The deterministic chaos suite (DESIGN.md §12): one seeded schedule drives
+# a 200-job workload through every injection point — scheduled panics,
+# injected execution errors, deadline overruns, admission faults, a dying
+# then healing journal disk, a torn journal tail across a restart, and a
+# flaky client transport — and asserts the failure-domain invariants (no
+# job lost or duplicated, no ID reuse, typed terminals, process survival,
+# degraded entered AND exited). A failure report embeds the full schedule,
+# so `make chaos CHAOS_SEED=<seed from the report>` replays it bit-for-bit.
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test ./internal/service -run '^TestChaos$$' -v -count=1
 
 # The JSON-vs-binary codec benchmark (encode/decode of the 100k pipeline
 # request). `make bench-codec BENCH_COUNT=10 > codec.txt` gives benchstat

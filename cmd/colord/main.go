@@ -68,6 +68,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run every job on the goroutine-sharded simulator engine (results are bit-identical; wall-clock policy only)")
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead job store; submissions and results survive crashes and are replayed on restart (empty = memory-only)")
 	maxInflight := flag.Int64("max-inflight-bytes", 0, "admission bound on the estimated bytes of accepted-but-unfinished jobs; submissions beyond it get 429 + Retry-After (0 = default 256 MiB, negative disables)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job execution deadline; a run over it terminates in state deadline_exceeded, a request's deadline_ms tightens it (0 = unbounded)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling aid; keep off on untrusted networks)")
 	logLevel := flag.String("log-level", "info", "log floor: debug|info|warn|error (debug includes per-request lines)")
 	flag.Parse()
@@ -88,6 +89,7 @@ func main() {
 		Parallel:         *parallel,
 		DataDir:          *dataDir,
 		MaxInflightBytes: *maxInflight,
+		JobTimeout:       *jobTimeout,
 		Logger:           logger,
 	})
 	if err != nil {

@@ -100,6 +100,14 @@ type Request struct {
 	Q float64 `json:"q,omitempty"`
 	// Parallel selects the goroutine-sharded engine.
 	Parallel bool `json:"parallel,omitempty"`
+	// DeadlineMS bounds the job's execution wall time in milliseconds
+	// (0 = no per-request deadline; the server may still apply its own
+	// -job-timeout default). A job that exceeds it terminates in the
+	// distinct deadline_exceeded state. On the binary wire the field is
+	// flag-gated (flagDeadlineMS): requests without a deadline encode
+	// byte-identically to the pre-deadline format, and a deadline-carrying
+	// frame fails loudly on decoders that predate the flag.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // params merges the legacy shorthand fields over the Params map into one
@@ -170,6 +178,13 @@ type JobRecord struct {
 	Response *Response `json:"response,omitempty"`
 	WallMS   int64     `json:"wall_ms,omitempty"`
 	CacheHit bool      `json:"cache_hit,omitempty"`
+	// Attempts counts execution starts journaled for this job. Replay uses
+	// it to quarantine poison jobs: a non-terminal record that already
+	// started twice is marked failed instead of re-enqueued, so a job whose
+	// handler panics cannot crash-loop the daemon across restarts. On the
+	// binary wire the field is flag-gated (flagJobAttempts), keeping
+	// attempt-free records byte-identical to the pre-attempts format.
+	Attempts int64 `json:"attempts,omitempty"`
 }
 
 // Response is the result of executing a Request. Kind tells whether Colors
@@ -206,6 +221,9 @@ func (r *Request) Validate() error {
 	}
 	if r.Arboricity < 0 {
 		return fmt.Errorf("distcolor: negative arboricity %d", r.Arboricity)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("distcolor: negative deadline_ms %d", r.DeadlineMS)
 	}
 	if _, err := a.resolve(r.params(a)); err != nil {
 		return err

@@ -42,6 +42,9 @@ func goldenCases(t *testing.T) map[string]*Request {
 		"sparse_params": {Algorithm: AlgoEdgeSparse53, Graph: Spec(forest), Params: Params{"arboricity": 3}},
 		"delta1_cycle":  {Algorithm: AlgoVertexDelta1, Graph: cycle},
 		"cd_linecover":  {Algorithm: AlgoVertexCD, Graph: cdSpec, X: 1},
+		// A deadline-carrying request pins the flag-gated deadline_ms field
+		// on both wire formats (flagDeadlineMS on the binary frame).
+		"greedy_deadline": {Algorithm: AlgoEdgeGreedy, Graph: cycle, DeadlineMS: 1500},
 	}
 }
 

@@ -73,8 +73,17 @@ const (
 const (
 	flagPackedEdges uint16 = 1 << 0
 	flagDeltaEdges  uint16 = 1 << 1
+	// flagDeadlineMS marks a body whose Request carries the deadline_ms
+	// field (appended after Parallel). Gating the field on a flag keeps
+	// deadline-free requests byte-identical to the pre-deadline wire, and
+	// makes deadline-carrying frames fail loudly on older decoders instead
+	// of misparsing.
+	flagDeadlineMS uint16 = 1 << 2
+	// flagJobAttempts marks a JobRecord body carrying the attempts counter
+	// (appended after CacheHit), under the same compatibility discipline.
+	flagJobAttempts uint16 = 1 << 3
 
-	flagsKnown = flagPackedEdges | flagDeltaEdges
+	flagsKnown = flagPackedEdges | flagDeltaEdges | flagDeadlineMS | flagJobAttempts
 )
 
 // Edge-array modes (the body-level tag; the frame flags advertise the
@@ -146,11 +155,11 @@ func (binaryCodec) Decode(data []byte, v any) error {
 	if err != nil {
 		return err
 	}
-	body, err := decodeFrame(data, kind)
+	body, flags, err := decodeFrame(data, kind)
 	if err != nil {
 		return err
 	}
-	d := &binDec{buf: body}
+	d := &binDec{buf: body, flags: flags}
 	switch t := v.(type) {
 	case *GraphSpec:
 		*t = d.graphSpec()
@@ -199,47 +208,49 @@ func (e *binEnc) frame() []byte {
 }
 
 // decodeFrame validates one self-contained frame (no trailing bytes) and
-// returns its body.
-func decodeFrame(data []byte, wantKind byte) ([]byte, error) {
+// returns its body and feature flags.
+func decodeFrame(data []byte, wantKind byte) ([]byte, uint16, error) {
 	if len(data) < framePrefixLen+frameMinPayload {
-		return nil, fmt.Errorf("distcolor: frame truncated: %d bytes", len(data))
+		return nil, 0, fmt.Errorf("distcolor: frame truncated: %d bytes", len(data))
 	}
 	n := binary.LittleEndian.Uint32(data[0:4])
 	if n > frameMaxBytes {
-		return nil, fmt.Errorf("distcolor: frame payload %d bytes exceeds limit %d", n, frameMaxBytes)
+		return nil, 0, fmt.Errorf("distcolor: frame payload %d bytes exceeds limit %d", n, frameMaxBytes)
 	}
 	if int(n) != len(data)-framePrefixLen {
-		return nil, fmt.Errorf("distcolor: frame length %d does not match %d payload bytes", n, len(data)-framePrefixLen)
+		return nil, 0, fmt.Errorf("distcolor: frame length %d does not match %d payload bytes", n, len(data)-framePrefixLen)
 	}
 	payload := data[framePrefixLen:]
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[4:8]); got != want {
-		return nil, fmt.Errorf("distcolor: frame CRC mismatch (corrupt or torn record)")
+		return nil, 0, fmt.Errorf("distcolor: frame CRC mismatch (corrupt or torn record)")
 	}
 	return checkPayloadHeader(payload, wantKind)
 }
 
 // checkPayloadHeader validates magic/version/flags and the expected kind,
-// returning the body after the header.
-func checkPayloadHeader(payload []byte, wantKind byte) ([]byte, error) {
+// returning the body after the header and the frame's feature flags (they
+// gate optional body fields, so the decoder needs them).
+func checkPayloadHeader(payload []byte, wantKind byte) ([]byte, uint16, error) {
 	if len(payload) < frameHeaderLen {
-		return nil, fmt.Errorf("distcolor: frame payload %d bytes, below %d-byte header", len(payload), frameHeaderLen)
+		return nil, 0, fmt.Errorf("distcolor: frame payload %d bytes, below %d-byte header", len(payload), frameHeaderLen)
 	}
 	if payload[0] != frameMagic {
-		return nil, fmt.Errorf("distcolor: bad frame magic 0x%02x", payload[0])
+		return nil, 0, fmt.Errorf("distcolor: bad frame magic 0x%02x", payload[0])
 	}
 	if payload[1] != frameVersion {
-		return nil, fmt.Errorf("distcolor: unsupported frame version %d (this decoder speaks %d)", payload[1], frameVersion)
+		return nil, 0, fmt.Errorf("distcolor: unsupported frame version %d (this decoder speaks %d)", payload[1], frameVersion)
 	}
 	if payload[3] != 0 {
-		return nil, fmt.Errorf("distcolor: nonzero reserved frame byte 0x%02x", payload[3])
+		return nil, 0, fmt.Errorf("distcolor: nonzero reserved frame byte 0x%02x", payload[3])
 	}
-	if flags := binary.LittleEndian.Uint16(payload[4:6]); flags&^flagsKnown != 0 {
-		return nil, fmt.Errorf("distcolor: unknown frame feature flags 0x%04x (this decoder knows 0x%04x)", flags, flagsKnown)
+	flags := binary.LittleEndian.Uint16(payload[4:6])
+	if flags&^flagsKnown != 0 {
+		return nil, 0, fmt.Errorf("distcolor: unknown frame feature flags 0x%04x (this decoder knows 0x%04x)", flags, flagsKnown)
 	}
 	if payload[2] != wantKind {
-		return nil, fmt.Errorf("distcolor: frame kind %d, want %d", payload[2], wantKind)
+		return nil, 0, fmt.Errorf("distcolor: frame kind %d, want %d", payload[2], wantKind)
 	}
-	return payload[frameHeaderLen:], nil
+	return payload[frameHeaderLen:], flags, nil
 }
 
 // --- primitives ---
@@ -275,9 +286,10 @@ func (e *binEnc) boolb(b bool) {
 // failure is a no-op returning zero values, and finish() reports the first
 // failure (or trailing garbage).
 type binDec struct {
-	buf []byte
-	off int
-	err error
+	buf   []byte
+	off   int
+	flags uint16 // frame feature flags; gate optional body fields
+	err   error
 }
 
 func (d *binDec) fail(format string, args ...any) {
@@ -731,10 +743,16 @@ func (e *binEnc) request(r *Request) {
 	e.zig(int64(r.Arboricity))
 	e.f64(r.Q)
 	e.boolb(r.Parallel)
+	// The deadline rides behind its feature flag: a zero deadline encodes
+	// nothing, so pre-deadline fixtures and wire bytes are unchanged.
+	if r.DeadlineMS != 0 {
+		e.flags |= flagDeadlineMS
+		e.zig(r.DeadlineMS)
+	}
 }
 
 func (d *binDec) request() Request {
-	return Request{
+	r := Request{
 		Algorithm:  d.str(),
 		Graph:      d.graphSpec(),
 		Params:     d.params(),
@@ -743,6 +761,10 @@ func (d *binDec) request() Request {
 		Q:          d.f64(),
 		Parallel:   d.boolb(),
 	}
+	if d.flags&flagDeadlineMS != 0 {
+		r.DeadlineMS = d.zig()
+	}
+	return r
 }
 
 func (e *binEnc) response(r *Response) {
@@ -802,6 +824,10 @@ func (e *binEnc) jobRecord(jr *JobRecord) {
 	}
 	e.zig(jr.WallMS)
 	e.boolb(jr.CacheHit)
+	if jr.Attempts != 0 {
+		e.flags |= flagJobAttempts
+		e.zig(jr.Attempts)
+	}
 }
 
 func (d *binDec) jobRecord() JobRecord {
@@ -821,5 +847,8 @@ func (d *binDec) jobRecord() JobRecord {
 	}
 	jr.WallMS = d.zig()
 	jr.CacheHit = d.boolb()
+	if d.flags&flagJobAttempts != 0 {
+		jr.Attempts = d.zig()
+	}
 	return jr
 }

@@ -51,6 +51,10 @@ func WriteRequestStream(w io.Writer, req *Request, chunkEdges int) error {
 	h.zig(int64(req.Arboricity))
 	h.f64(req.Q)
 	h.boolb(req.Parallel)
+	if req.DeadlineMS != 0 {
+		h.flags |= flagDeadlineMS
+		h.zig(req.DeadlineMS)
+	}
 	if _, err := w.Write(h.frame()); err != nil {
 		return err
 	}
@@ -116,11 +120,11 @@ func (rr *RequestReader) Begin() (*Request, error) {
 		return nil, errors.New("distcolor: RequestReader.Begin called twice")
 	}
 	rr.began = true
-	kind, body, err := readFrame(rr.r)
+	kind, body, flags, err := readFrame(rr.r)
 	if err != nil {
 		return nil, err
 	}
-	d := &binDec{buf: body}
+	d := &binDec{buf: body, flags: flags}
 	switch kind {
 	case kindRequest:
 		req := d.request()
@@ -138,6 +142,9 @@ func (rr *RequestReader) Begin() (*Request, error) {
 		req.Arboricity = d.intv()
 		req.Q = d.f64()
 		req.Parallel = d.boolb()
+		if d.flags&flagDeadlineMS != 0 {
+			req.DeadlineMS = d.zig()
+		}
 		if err := d.finish(); err != nil {
 			return nil, err
 		}
@@ -167,11 +174,11 @@ func (rr *RequestReader) ReadChunk() ([][2]int, bool, error) {
 	if !rr.chunked {
 		return nil, false, errors.New("distcolor: ReadChunk on a non-chunked stream")
 	}
-	kind, body, err := readFrame(rr.r)
+	kind, body, flags, err := readFrame(rr.r)
 	if err != nil {
 		return nil, false, err
 	}
-	d := &binDec{buf: body}
+	d := &binDec{buf: body, flags: flags}
 	switch kind {
 	case kindEdgeChunk:
 		edges := d.edges(rr.n)
@@ -198,19 +205,19 @@ func (rr *RequestReader) ReadChunk() ([][2]int, bool, error) {
 }
 
 // readFrame reads one frame off r, validating the prefix, CRC, and payload
-// header, and returns its kind and body. io.EOF surfaces untouched only at
-// a clean frame boundary.
-func readFrame(r io.Reader) (byte, []byte, error) {
+// header, and returns its kind, body, and feature flags. io.EOF surfaces
+// untouched only at a clean frame boundary.
+func readFrame(r io.Reader) (byte, []byte, uint16, error) {
 	var prefix [framePrefixLen]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return 0, nil, io.EOF
+			return 0, nil, 0, io.EOF
 		}
-		return 0, nil, fmt.Errorf("distcolor: reading frame prefix: %w", err)
+		return 0, nil, 0, fmt.Errorf("distcolor: reading frame prefix: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(prefix[0:4])
 	if n < frameMinPayload || n > frameMaxBytes {
-		return 0, nil, fmt.Errorf("distcolor: frame payload length %d out of range", n)
+		return 0, nil, 0, fmt.Errorf("distcolor: frame payload length %d out of range", n)
 	}
 	// Grow the payload buffer only as bytes actually arrive: the declared
 	// length is attacker-controlled (up to frameMaxBytes), and allocating it
@@ -220,15 +227,16 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		body.Grow(int(n))
 	}
 	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
-		return 0, nil, fmt.Errorf("distcolor: reading %d-byte frame payload: %w", n, err)
+		return 0, nil, 0, fmt.Errorf("distcolor: reading %d-byte frame payload: %w", n, err)
 	}
 	payload := body.Bytes()
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(prefix[4:8]); got != want {
-		return 0, nil, errors.New("distcolor: frame CRC mismatch (corrupt or torn record)")
+		return 0, nil, 0, errors.New("distcolor: frame CRC mismatch (corrupt or torn record)")
 	}
 	kind := payload[2]
-	if _, err := checkPayloadHeader(payload, kind); err != nil {
-		return 0, nil, err
+	_, flags, err := checkPayloadHeader(payload, kind)
+	if err != nil {
+		return 0, nil, 0, err
 	}
-	return kind, payload[frameHeaderLen:], nil
+	return kind, payload[frameHeaderLen:], flags, nil
 }

@@ -124,6 +124,7 @@ var fixtures = []struct {
 	{"noallocfix", Noallochot, 1},
 	{"lockguardfix", Lockguard, 1},
 	{"ctxfirstfix", Ctxfirst, 1},
+	{"recovercheckfix", Recovercheck, 1},
 	{"nilnessfix", Nilness, 1},
 	{"shadowfix", Shadow, 1},
 }

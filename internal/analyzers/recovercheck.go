@@ -1,0 +1,85 @@
+package analyzers
+
+// recovercheck: recovery-point accounting for the panic-quarantine
+// failure domain (DESIGN.md §12).
+//
+// The service survives panicking jobs by recovering them at exactly one
+// place — the worker's execute wrapper — and converting them into typed
+// terminal failures. That containment argument only holds while the set
+// of recovery points is known: an ad-hoc recover() deep in a library
+// swallows the panic before the quarantine machinery sees it, hiding
+// both the failure and the stack that explains it.
+//
+// The pass therefore reports every call of the builtin recover() in
+// non-test files, except in repro/internal/fault (the injection layer
+// manufactures and re-absorbs panics by design), unless the call site
+// carries a `//distcolor:recover <reason>` annotation on its line or the
+// line directly above. The annotation is a declaration, not a waiver:
+// grepping for it enumerates every recovery point in the tree.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Recovercheck is the recovery-point accounting pass. See the file
+// comment for the contract.
+var Recovercheck = &Analyzer{
+	Name: "recovercheck",
+	Doc:  "require every recover() outside internal/fault to carry a //distcolor:recover <reason> annotation",
+	Run:  runRecovercheck,
+}
+
+// recoverMarkRe is the annotation grammar: a mandatory free-text reason,
+// mirroring the suppression grammar's auditability rule.
+var recoverMarkRe = regexp.MustCompile(`//distcolor:recover\s+\S`)
+
+const faultPkgPath = "repro/internal/fault"
+
+func runRecovercheck(pass *Pass) error {
+	if pass.Pkg.Path() == faultPkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		marked := recoverMarkLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "recover" {
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[id]; !ok || obj != types.Universe.Lookup("recover") {
+				return true // a shadowing declaration, not the builtin
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			if marked[line] || marked[line-1] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "recover() outside internal/fault must carry a //distcolor:recover <reason> annotation (panic quarantine owns recovery points)")
+			return true
+		})
+	}
+	return nil
+}
+
+// recoverMarkLines collects the lines of f holding a well-formed
+// //distcolor:recover annotation.
+func recoverMarkLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if recoverMarkRe.MatchString(c.Text) {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

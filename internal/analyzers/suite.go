@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		Noallochot,
 		Lockguard,
 		Ctxfirst,
+		Recovercheck,
 		Nilness,
 		Shadow,
 	}

@@ -1,0 +1,51 @@
+// Package recovercheckfix is the positive/negative/suppression fixture
+// for the recovercheck pass.
+package recovercheckfix
+
+// Annotated is the negative: a declared recovery point passes.
+func Annotated() (err error) {
+	defer func() {
+		//distcolor:recover fixture: declared recovery point
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	return nil
+}
+
+// AnnotatedSameLine exercises the same-line annotation placement.
+func AnnotatedSameLine() {
+	defer func() {
+		_ = recover() //distcolor:recover fixture: same-line annotation
+	}()
+}
+
+// Naked is the positive: an undeclared recover is a finding.
+func Naked() {
+	defer func() {
+		_ = recover() // want "recover.. outside internal/fault must carry"
+	}()
+}
+
+// Suppressed exercises the suppression grammar (distinct from the
+// annotation: a suppression says "this finding is acceptable", an
+// annotation says "this is a declared recovery point").
+func Suppressed() {
+	defer func() {
+		//distcolor:ignore recovercheck fixture: deliberate naked recover
+		_ = recover()
+	}()
+}
+
+// shadowed proves the pass resolves the builtin: a local function named
+// recover is not a recovery point.
+func shadowed() {
+	recover := func() any { return nil }
+	_ = recover()
+}
+
+// stale demonstrates the auditability rule: a suppression that covers no
+// finding is itself a finding.
+func stale() {
+	//distcolor:ignore recovercheck nothing here recovers // want "stale suppression: no recovercheck finding"
+}

@@ -1,0 +1,290 @@
+// Package fault is colord's deterministic fault-injection layer: named
+// hook sites with seeded schedules (Points) and an injectable filesystem
+// with scriptable failures (FS/Inject, fs.go). It exists so the service's
+// failure branches — worker panics, WAL fsync errors, disk-full, torn
+// writes, slow executions against a deadline — are driven by tests instead
+// of waiting for production to drive them.
+//
+// Determinism is the design center. A Points schedule is a pure function
+// of (seed, site, hit index): the set of hit indexes that fire at a site
+// never depends on goroutine interleaving, so a failing chaos run is
+// replayable from its seed alone. The package has zero dependencies
+// outside the standard library and is safe for concurrent use.
+//
+// Disabled cost: every hook site in the service guards on a nil *Points
+// (Hit is nil-receiver safe), so production pays one pointer compare and
+// zero allocations per site. See DESIGN.md §12 for the injection-point
+// catalog.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by a firing ActionErr plan;
+// every injected error matches it via errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// InjectedError is the concrete error a firing plan returns: the site and
+// hit index identify exactly which scheduled fault produced it.
+type InjectedError struct {
+	Site string
+	Hit  int64
+	Err  error // the plan's Err (ErrInjected when unset)
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("%v (site %s, hit %d)", e.Err, e.Site, e.Hit)
+}
+
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// PanicValue is what an injected ActionPanic panics with, so a recovering
+// worker (and its test) can tell a scheduled panic from a genuine bug.
+type PanicValue struct {
+	Site string
+	Hit  int64
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("fault: injected panic (site %s, hit %d)", p.Site, p.Hit)
+}
+
+// Action is what a firing plan does to the hook site.
+type Action uint8
+
+const (
+	// ActionErr makes Hit return an error (the plan's Err, or ErrInjected).
+	ActionErr Action = iota
+	// ActionPanic makes Hit panic with a *PanicValue.
+	ActionPanic
+	// ActionSleep makes Hit sleep the plan's Delay, then return nil — the
+	// deterministic way to drive executions past a deadline.
+	ActionSleep
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionErr:
+		return "err"
+	case ActionPanic:
+		return "panic"
+	case ActionSleep:
+		return "sleep"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Plan schedules one fault at one site. A site's hits are numbered from 1
+// in arrival order; a plan fires on hit k when k is listed in On, or when
+// the seeded coin for (seed, site, k) lands under Rate — so the firing
+// set is reproducible from the seed regardless of goroutine interleaving.
+type Plan struct {
+	// Site names the hook site this plan targets.
+	Site string
+	// Rate is the per-hit firing probability in [0,1], decided by a seeded
+	// hash of the hit index (not a live RNG): the same seed always selects
+	// the same hit indexes.
+	Rate float64
+	// On lists explicit 1-based hit indexes that always fire, independent
+	// of Rate — the way a test guarantees "the 3rd append fails" while the
+	// Rate term adds reproducible background chaos.
+	On []int64
+	// After suppresses firing on the first After hits.
+	After int64
+	// Count caps the total fires of this plan (0 = unlimited). Which
+	// candidates consume the cap can depend on interleaving; the candidate
+	// set itself never does.
+	Count int64
+	// Action selects error/panic/sleep; Err and Delay parameterize it.
+	Action Action
+	Err    error
+	Delay  time.Duration
+}
+
+type planState struct {
+	Plan
+	on    map[int64]struct{}
+	fired atomic.Int64
+}
+
+type siteState struct {
+	hits  atomic.Int64 // hit indexes handed out (1-based)
+	fires atomic.Int64 // hits on which some plan fired
+	hash  uint64       // seeded site hash, mixed per hit
+	plans []*planState
+}
+
+// Points is a set of named hook sites with seeded fault schedules. The
+// zero of *Points (nil) is a valid, permanently-disabled instance: Hit on
+// it returns nil after one pointer compare and no allocation, which is
+// the production configuration.
+type Points struct {
+	seed  int64
+	sites map[string]*siteState
+}
+
+// New builds a Points from a seed and its plans. Sites not named by any
+// plan are unknown to the instance: Hit on them is a no-op (and is not
+// counted).
+func New(seed int64, plans ...Plan) *Points {
+	p := &Points{seed: seed, sites: make(map[string]*siteState)}
+	for _, pl := range plans {
+		st := p.sites[pl.Site]
+		if st == nil {
+			st = &siteState{hash: splitmix64(uint64(seed) ^ strhash(pl.Site))}
+			p.sites[pl.Site] = st
+		}
+		ps := &planState{Plan: pl}
+		if len(pl.On) > 0 {
+			ps.on = make(map[int64]struct{}, len(pl.On))
+			for _, k := range pl.On {
+				ps.on[k] = struct{}{}
+			}
+		}
+		st.plans = append(st.plans, ps)
+	}
+	return p
+}
+
+// Hit reports one arrival at a hook site and applies the first plan whose
+// schedule fires on it: ActionErr returns an *InjectedError, ActionPanic
+// panics with a *PanicValue, ActionSleep sleeps and returns nil. On a nil
+// receiver or an unplanned site it returns nil immediately.
+func (p *Points) Hit(site string) error {
+	if p == nil {
+		return nil
+	}
+	st := p.sites[site]
+	if st == nil {
+		return nil
+	}
+	k := st.hits.Add(1)
+	for _, pl := range st.plans {
+		if !pl.firesOn(st, k) {
+			continue
+		}
+		if pl.Count > 0 && pl.fired.Add(1) > pl.Count {
+			continue
+		}
+		if pl.Count <= 0 {
+			pl.fired.Add(1)
+		}
+		st.fires.Add(1)
+		switch pl.Action {
+		case ActionPanic:
+			panic(&PanicValue{Site: site, Hit: k})
+		case ActionSleep:
+			time.Sleep(pl.Delay)
+			return nil
+		default:
+			err := pl.Err
+			if err == nil {
+				err = ErrInjected
+			}
+			return &InjectedError{Site: site, Hit: k, Err: err}
+		}
+	}
+	return nil
+}
+
+// firesOn reports whether the plan's schedule selects hit k — a pure
+// function of (seed, site, k, plan), never of timing.
+func (pl *planState) firesOn(st *siteState, k int64) bool {
+	if k <= pl.After {
+		return false
+	}
+	if _, ok := pl.on[k]; ok {
+		return true
+	}
+	if pl.Rate <= 0 {
+		return false
+	}
+	h := splitmix64(st.hash ^ uint64(k))
+	return float64(h>>11)/(1<<53) < pl.Rate
+}
+
+// Hits reports how many times a site has been reached; Fires how many of
+// those hits had a plan fire. Both are 0 for unplanned sites.
+func (p *Points) Hits(site string) int64 {
+	if p == nil || p.sites[site] == nil {
+		return 0
+	}
+	return p.sites[site].hits.Load()
+}
+
+// Fires reports the number of hits on which some plan fired at site.
+func (p *Points) Fires(site string) int64 {
+	if p == nil || p.sites[site] == nil {
+		return 0
+	}
+	return p.sites[site].fires.Load()
+}
+
+// Schedule lists the hit indexes in [1, upto] on which site's plans would
+// fire (Count caps ignored) — the replayable description of a seed's
+// fault schedule, rendered into chaos-failure artifacts.
+func (p *Points) Schedule(site string, upto int64) []int64 {
+	if p == nil || p.sites[site] == nil {
+		return nil
+	}
+	st := p.sites[site]
+	var out []int64
+	for k := int64(1); k <= upto; k++ {
+		for _, pl := range st.plans {
+			if pl.firesOn(st, k) {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders the seed and per-site plan summaries, for logs and the
+// chaos suite's failure artifact.
+func (p *Points) String() string {
+	if p == nil {
+		return "fault.Points(nil)"
+	}
+	names := make([]string, 0, len(p.sites))
+	for name := range p.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault.Points(seed=%d)", p.seed)
+	for _, name := range names {
+		st := p.sites[name]
+		for _, pl := range st.plans {
+			fmt.Fprintf(&b, "\n  %s: %s rate=%g on=%v after=%d count=%d hits=%d fires=%d",
+				name, pl.Action, pl.Rate, pl.On, pl.After, pl.Count, st.hits.Load(), st.fires.Load())
+		}
+	}
+	return b.String()
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche 64-bit mix,
+// the standard cheap way to turn (seed, index) into an independent coin.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// strhash is FNV-1a, inlined to keep the package dependency-free of even
+// hash/fnv's allocation.
+func strhash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNilPointsIsDisabled(t *testing.T) {
+	var p *Points
+	if err := p.Hit("anything"); err != nil {
+		t.Fatalf("nil Points.Hit = %v, want nil", err)
+	}
+	if p.Hits("anything") != 0 || p.Fires("anything") != 0 {
+		t.Fatal("nil Points should report zero activity")
+	}
+	if p.Schedule("anything", 10) != nil {
+		t.Fatal("nil Points should have no schedule")
+	}
+}
+
+// The disabled path (nil Points, unplanned site) must be allocation-free:
+// it runs on the service's submit and worker hot paths.
+func TestDisabledHitAllocsZero(t *testing.T) {
+	var nilPts *Points
+	if n := testing.AllocsPerRun(100, func() { _ = nilPts.Hit("site") }); n != 0 {
+		t.Fatalf("nil Hit allocates %v times/op, want 0", n)
+	}
+	p := New(1, Plan{Site: "planned", Rate: 0})
+	if n := testing.AllocsPerRun(100, func() { _ = p.Hit("unplanned") }); n != 0 {
+		t.Fatalf("unplanned Hit allocates %v times/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = p.Hit("planned") }); n != 0 {
+		t.Fatalf("non-firing planned Hit allocates %v times/op, want 0", n)
+	}
+}
+
+func TestExplicitOnSchedule(t *testing.T) {
+	p := New(7, Plan{Site: "s", On: []int64{2, 5}})
+	var fired []int64
+	for k := int64(1); k <= 6; k++ {
+		if err := p.Hit("s"); err != nil {
+			var inj *InjectedError
+			if !errors.As(err, &inj) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v is not an *InjectedError matching ErrInjected", k, err)
+			}
+			if inj.Site != "s" || inj.Hit != k {
+				t.Fatalf("hit %d: injected error identifies (%s, %d)", k, inj.Site, inj.Hit)
+			}
+			fired = append(fired, k)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("fired on %v, want [2 5]", fired)
+	}
+	if p.Hits("s") != 6 || p.Fires("s") != 2 {
+		t.Fatalf("hits=%d fires=%d, want 6/2", p.Hits("s"), p.Fires("s"))
+	}
+}
+
+// The rate schedule is a pure function of the seed: two instances agree
+// hit by hit, and the set of firing hits is invariant under concurrency.
+func TestRateScheduleDeterministic(t *testing.T) {
+	const n = 2000
+	sched := New(42, Plan{Site: "s", Rate: 0.1}).Schedule("s", n)
+	if len(sched) == 0 || len(sched) > n/5 {
+		t.Fatalf("rate 0.1 over %d hits fired %d times — schedule looks broken", n, len(sched))
+	}
+	again := New(42, Plan{Site: "s", Rate: 0.1}).Schedule("s", n)
+	if len(again) != len(sched) {
+		t.Fatalf("same seed, different schedules: %d vs %d fires", len(sched), len(again))
+	}
+	for i := range sched {
+		if sched[i] != again[i] {
+			t.Fatalf("schedule diverged at %d: %d vs %d", i, sched[i], again[i])
+		}
+	}
+	// Live hits must land exactly on the precomputed schedule, even when
+	// hammered from many goroutines (each hit index is taken atomically).
+	p := New(42, Plan{Site: "s", Rate: 0.1})
+	var mu sync.Mutex
+	fired := make(map[int64]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				err := p.Hit("s")
+				if err != nil {
+					var inj *InjectedError
+					errors.As(err, &inj)
+					mu.Lock()
+					fired[inj.Hit] = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(fired) != len(sched) {
+		t.Fatalf("live run fired %d times, schedule says %d", len(fired), len(sched))
+	}
+	for _, k := range sched {
+		if !fired[k] {
+			t.Fatalf("schedule says hit %d fires, live run did not", k)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1, Plan{Site: "s", Rate: 0.2}).Schedule("s", 500)
+	b := New(2, Plan{Site: "s", Rate: 0.2}).Schedule("s", 500)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestPanicAndSleepActions(t *testing.T) {
+	p := New(1, Plan{Site: "boom", On: []int64{1}, Action: ActionPanic})
+	func() {
+		defer func() {
+			//distcolor:recover asserting the injected panic value in a test
+			r := recover()
+			pv, ok := r.(*PanicValue)
+			if !ok || pv.Site != "boom" || pv.Hit != 1 {
+				t.Fatalf("recovered %v, want *PanicValue{boom,1}", r)
+			}
+		}()
+		_ = p.Hit("boom")
+		t.Fatal("ActionPanic did not panic")
+	}()
+
+	p = New(1, Plan{Site: "slow", On: []int64{1}, Action: ActionSleep, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := p.Hit("slow"); err != nil {
+		t.Fatalf("ActionSleep returned error %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("ActionSleep slept %v, want ≥20ms", d)
+	}
+}
+
+func TestCountAndAfter(t *testing.T) {
+	p := New(1, Plan{Site: "s", Rate: 1, After: 3, Count: 2})
+	var fired []int64
+	for k := int64(1); k <= 10; k++ {
+		if p.Hit("s") != nil {
+			fired = append(fired, k)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 4 || fired[1] != 5 {
+		t.Fatalf("fired on %v, want [4 5] (After=3, Count=2)", fired)
+	}
+}
+
+func TestInjectFSFailNthAndENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ifs := NewInject(OS,
+		Rule{Op: OpWrite, Nth: 2, Err: syscall.ENOSPC},
+	)
+	f, err := ifs.OpenFile(filepath.Join(dir, "a.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2 = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "a.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "onethree" {
+		t.Fatalf("file holds %q, want %q (failed write must not land)", got, "onethree")
+	}
+	if string(ifs.Written(filepath.Join(dir, "a.log"))) != "onethree" {
+		t.Fatalf("recorder holds %q, want %q", ifs.Written(filepath.Join(dir, "a.log")), "onethree")
+	}
+}
+
+func TestInjectFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	ifs := NewInject(OS, Rule{Op: OpWrite, Nth: 1, Mode: ModeTorn, TornBytes: 4})
+	f, err := ifs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if n != 4 {
+		t.Fatalf("torn write landed %d bytes, want 4", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcd" {
+		t.Fatalf("file holds %q, want torn prefix %q", got, "abcd")
+	}
+}
+
+func TestInjectFSSyncLieAndCrashBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	ifs := NewInject(OS, Rule{Op: OpSync, Nth: 2, Mode: ModeSyncLie})
+	f, err := ifs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil { // real sync
+		t.Fatal(err)
+	}
+	f.Write([]byte("+lost"))
+	if err := f.Sync(); err != nil { // the lie: reports success
+		t.Fatalf("sync-lie leaked error %v", err)
+	}
+	f.Close()
+	if got := string(ifs.CrashBytes(path)); got != "durable" {
+		t.Fatalf("crash bytes %q, want %q (lied sync must not advance the watermark)", got, "durable")
+	}
+	if got := string(ifs.Written(path)); got != "durable+lost" {
+		t.Fatalf("written bytes %q, want %q", got, "durable+lost")
+	}
+}
+
+func TestInjectFSTruncResetsRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ifs := NewInject(nil)
+	f, _ := ifs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("old"))
+	f.Close()
+	f, _ = ifs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f.Write([]byte("new"))
+	f.Close()
+	if got := string(ifs.Written(path)); got != "new" {
+		t.Fatalf("record after O_TRUNC reopen = %q, want %q", got, "new")
+	}
+}
+
+func TestInjectFSRenameMovesRecord(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	ifs := NewInject(nil)
+	f, _ := ifs.OpenFile(a, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("payload"))
+	f.Sync()
+	f.Close()
+	if err := ifs.Rename(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(ifs.Written(b)); got != "payload" {
+		t.Fatalf("record did not follow rename: %q", got)
+	}
+	if got := string(ifs.CrashBytes(b)); got != "payload" {
+		t.Fatalf("sync watermark did not follow rename: %q", got)
+	}
+}

@@ -1,0 +1,423 @@
+package fault
+
+// FS is the injectable filesystem seam: the slice of the os package the
+// colord WAL store actually uses, behind an interface so tests can script
+// failures (fail-Nth-op, short write, torn tail, ENOSPC, sync-then-lie)
+// and record the exact bytes a journal writer produced. OS is the
+// passthrough production implementation; Inject wraps any FS with rules.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the writable-file surface the WAL needs from an open handle.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the write-ahead job store.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	// OpenFile opens for writing with os.OpenFile semantics; Open opens
+	// read-only (the store uses it to fsync directories).
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	Open(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	Truncate(path string, size int64) error
+}
+
+// OS is the passthrough FS over the real os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) Truncate(path string, size int64) error       { return os.Truncate(path, size) }
+func (osFS) Open(path string) (File, error)               { return os.Open(path) }
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// Op names one filesystem operation class for rule matching.
+type Op uint8
+
+const (
+	OpMkdirAll Op = iota
+	OpReadDir
+	OpReadFile
+	OpOpen
+	OpOpenFile
+	OpRename
+	OpRemove
+	OpTruncate
+	OpWrite
+	OpSync
+	OpClose
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpMkdirAll:
+		return "mkdirall"
+	case OpReadDir:
+		return "readdir"
+	case OpReadFile:
+		return "readfile"
+	case OpOpen:
+		return "open"
+	case OpOpenFile:
+		return "openfile"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mode selects what a firing FS rule does.
+type Mode uint8
+
+const (
+	// ModeFail fails the operation outright with the rule's Err (default
+	// ErrInjected); nothing reaches the underlying FS.
+	ModeFail Mode = iota
+	// ModeTorn applies to OpWrite: a prefix of the buffer reaches the
+	// underlying file, then the write reports the rule's Err — the
+	// mid-record crash artifact the WAL replayer must heal.
+	ModeTorn
+	// ModeSyncLie applies to OpSync: the sync reports success without
+	// syncing, so bytes written since the last real sync are lost by
+	// CrashBytes — the firmware-lies failure model.
+	ModeSyncLie
+)
+
+// Rule scripts one failure family inside an Inject FS. Matching is by
+// operation class and path substring; Nth/Times select which occurrences
+// among the matches fire.
+type Rule struct {
+	// Op is the operation class the rule applies to.
+	Op Op
+	// Path, when non-empty, restricts the rule to operations whose path
+	// contains it as a substring.
+	Path string
+	// Nth is the 1-based first matching occurrence that fires (0 = 1).
+	Nth int64
+	// Times is how many consecutive matching occurrences fire from Nth on
+	// (0 = 1; negative = forever).
+	Times int64
+	// Mode selects fail / torn write / sync-then-lie.
+	Mode Mode
+	// Err is the reported error; ErrInjected when nil. Use syscall.ENOSPC
+	// to script disk-full.
+	Err error
+	// TornBytes is how many bytes of the buffer a ModeTorn write lands
+	// before failing (clamped to len-1; 0 = half the buffer).
+	TornBytes int
+}
+
+type fsRule struct {
+	Rule
+	seen int64 // matching occurrences so far, guarded by Inject.mu
+}
+
+// fires counts one matching occurrence and reports whether it fires. Only
+// match calls it, under Inject.mu.
+func (r *fsRule) fires() bool {
+	//distcolor:ignore lockguard fires is called only from Inject.match, which holds Inject.mu
+	r.seen++
+	first := r.Nth
+	if first <= 0 {
+		first = 1
+	}
+	//distcolor:ignore lockguard fires is called only from Inject.match, which holds Inject.mu
+	if r.seen < first {
+		return false
+	}
+	if r.Times < 0 {
+		return true
+	}
+	times := r.Times
+	if times == 0 {
+		times = 1
+	}
+	//distcolor:ignore lockguard fires is called only from Inject.match, which holds Inject.mu
+	return r.seen < first+times
+}
+
+func (r *fsRule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Inject wraps a base FS with scripted failures and write recording. The
+// recording side keeps, per path, the bytes successfully written through
+// this FS and the prefix length covered by the last real sync — so a test
+// can reconstruct any crash artifact (CrashBytes) or replay the journal's
+// byte stream at every prefix (Written) without re-reading the disk.
+type Inject struct {
+	base FS
+
+	mu     sync.Mutex
+	rules  []*fsRule
+	record map[string][]byte // bytes written per path, post-open-truncate
+	synced map[string]int    // len(record) at the last real sync
+}
+
+// NewInject wraps base (OS when nil) with the given rules.
+func NewInject(base FS, rules ...Rule) *Inject {
+	if base == nil {
+		base = OS
+	}
+	f := &Inject{base: base, record: make(map[string][]byte), synced: make(map[string]int)}
+	for _, r := range rules {
+		f.rules = append(f.rules, &fsRule{Rule: r})
+	}
+	return f
+}
+
+// AddRule appends a rule; occurrence counting starts at the call.
+func (f *Inject) AddRule(r Rule) {
+	f.mu.Lock()
+	f.rules = append(f.rules, &fsRule{Rule: r})
+	f.mu.Unlock()
+}
+
+// ClearRules drops every rule; recorded bytes are kept.
+func (f *Inject) ClearRules() {
+	f.mu.Lock()
+	f.rules = nil
+	f.mu.Unlock()
+}
+
+// match consumes one occurrence of (op, path) and returns the firing
+// rule, nil when none fires.
+func (f *Inject) match(op Op, path string) *fsRule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !contains(path, r.Path) {
+			continue
+		}
+		if r.fires() {
+			return r
+		}
+	}
+	return nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Written returns a copy of the bytes successfully written to path
+// through this FS (reset by an O_TRUNC open, moved by Rename).
+func (f *Inject) Written(path string) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.record[path]...)
+}
+
+// CrashBytes returns what path would hold after a machine crash: the
+// prefix covered by the last real (non-lied) sync.
+func (f *Inject) CrashBytes(path string) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.record[path][:f.synced[path]]...)
+}
+
+func (f *Inject) MkdirAll(path string, perm os.FileMode) error {
+	if r := f.match(OpMkdirAll, path); r != nil {
+		return r.err()
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *Inject) ReadDir(path string) ([]os.DirEntry, error) {
+	if r := f.match(OpReadDir, path); r != nil {
+		return nil, r.err()
+	}
+	return f.base.ReadDir(path)
+}
+
+func (f *Inject) ReadFile(path string) ([]byte, error) {
+	if r := f.match(OpReadFile, path); r != nil {
+		return nil, r.err()
+	}
+	return f.base.ReadFile(path)
+}
+
+func (f *Inject) Rename(oldpath, newpath string) error {
+	if r := f.match(OpRename, oldpath); r != nil {
+		return r.err()
+	}
+	if err := f.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if rec, ok := f.record[oldpath]; ok {
+		f.record[newpath] = rec
+		f.synced[newpath] = f.synced[oldpath]
+		delete(f.record, oldpath)
+		delete(f.synced, oldpath)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Inject) Remove(path string) error {
+	if r := f.match(OpRemove, path); r != nil {
+		return r.err()
+	}
+	if err := f.base.Remove(path); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.record, path)
+	delete(f.synced, path)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Inject) Truncate(path string, size int64) error {
+	if r := f.match(OpTruncate, path); r != nil {
+		return r.err()
+	}
+	if err := f.base.Truncate(path, size); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if rec, ok := f.record[path]; ok && int64(len(rec)) > size {
+		f.record[path] = rec[:size]
+		if f.synced[path] > int(size) {
+			f.synced[path] = int(size)
+		}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Inject) Open(path string) (File, error) {
+	if r := f.match(OpOpen, path); r != nil {
+		return nil, r.err()
+	}
+	fl, err := f.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, f: fl, path: path, record: false}, nil
+}
+
+func (f *Inject) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if r := f.match(OpOpenFile, path); r != nil {
+		return nil, r.err()
+	}
+	fl, err := f.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if flag&os.O_TRUNC != 0 {
+		f.record[path] = nil
+		f.synced[path] = 0
+	} else if _, ok := f.record[path]; !ok {
+		f.record[path] = nil
+	}
+	f.mu.Unlock()
+	return &injectFile{fs: f, f: fl, path: path, record: true}, nil
+}
+
+// injectFile routes a handle's Write/Sync/Close through the rules and the
+// byte recorder. Recording assumes append-mode writes (the WAL's only
+// write pattern), so record[path] is exactly the file's byte stream.
+type injectFile struct {
+	fs     *Inject
+	f      File
+	path   string
+	record bool
+}
+
+func (w *injectFile) Write(p []byte) (int, error) {
+	if r := w.fs.match(OpWrite, w.path); r != nil {
+		if r.Mode == ModeTorn && len(p) > 0 {
+			n := r.TornBytes
+			if n <= 0 {
+				n = len(p) / 2
+			}
+			if n >= len(p) {
+				n = len(p) - 1
+			}
+			wrote, _ := w.f.Write(p[:n])
+			w.recordWrite(p[:wrote])
+			return wrote, r.err()
+		}
+		return 0, r.err()
+	}
+	n, err := w.f.Write(p)
+	w.recordWrite(p[:n])
+	return n, err
+}
+
+func (w *injectFile) recordWrite(p []byte) {
+	if !w.record || len(p) == 0 {
+		return
+	}
+	w.fs.mu.Lock()
+	w.fs.record[w.path] = append(w.fs.record[w.path], p...)
+	w.fs.mu.Unlock()
+}
+
+func (w *injectFile) Sync() error {
+	if r := w.fs.match(OpSync, w.path); r != nil {
+		if r.Mode == ModeSyncLie {
+			return nil // report success; synced watermark does not advance
+		}
+		return r.err()
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if w.record {
+		w.fs.mu.Lock()
+		w.fs.synced[w.path] = len(w.fs.record[w.path])
+		w.fs.mu.Unlock()
+	}
+	return nil
+}
+
+func (w *injectFile) Close() error {
+	if r := w.fs.match(OpClose, w.path); r != nil {
+		return r.err()
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,32 @@
+package fault
+
+import "net/http"
+
+// Transport is the client-side injection point: an http.RoundTripper that
+// consults a Points site before delegating, so a seeded schedule can fail
+// outbound requests without touching the network. GETOnly restricts
+// injection to idempotent reads — the chaos suite uses it so a failed
+// poll never un-accounts a submission the server already accepted.
+type Transport struct {
+	// Base performs the real round trip (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// Points supplies the schedule; a nil Points injects nothing.
+	Points *Points
+	// Site is the hook-site name consulted per request.
+	Site string
+	// GETOnly limits injection to GET/HEAD requests.
+	GETOnly bool
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !t.GETOnly || req.Method == http.MethodGet || req.Method == http.MethodHead {
+		if err := t.Points.Hit(t.Site); err != nil {
+			return nil, err
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -27,6 +27,28 @@ import (
 // ErrOverloaded matches (via errors.Is) every load-shedding rejection.
 var ErrOverloaded = errors.New("service: overloaded")
 
+// ErrDegraded matches (via errors.Is) submissions shed because the server
+// is in read-only degraded mode: the journal cannot make new work durable.
+var ErrDegraded = errors.New("service: degraded, journal unavailable")
+
+// DegradedError is a degraded-mode shed (HTTP 503 + Retry-After): the
+// journal is failing, so a submission that is not a cache hit is refused
+// rather than accepted without durability. It matches ErrDegraded.
+type DegradedError struct {
+	// Reason is the journal error that flipped the server degraded.
+	Reason string
+	// RetryAfter hints when to retry; the server probes the store for
+	// recovery on the same cadence it prices here.
+	RetryAfter time.Duration
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("service: degraded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// Is matches ErrDegraded.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
 // OverloadError is a load-shedding rejection: the work was not accepted and
 // the client should retry after RetryAfter. It matches ErrOverloaded, and —
 // for the queue-bound case — the legacy ErrQueueFull.
@@ -181,14 +203,24 @@ type Health struct {
 	// work, but the journal is not being bounded; an operator should look
 	// at the data dir's disk.
 	StoreDegraded string `json:"store_degraded,omitempty"`
+	// Degraded reports read-only degraded mode: journal appends are
+	// FAILING (not merely unmaintained), Submit sheds everything but cache
+	// hits with 503, and DegradedReason carries the triggering error. The
+	// server probes the store and exits on its own once appends succeed.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // Health snapshots the admission state.
 func (s *Server) Health() Health {
 	s.mu.Lock()
 	h := Health{
-		OK:               true,
-		Ready:            !s.closed && len(s.queue)+s.queueReserved < s.cfg.QueueDepth && (s.cfg.MaxInflightBytes <= 0 || s.inflightBytes < s.cfg.MaxInflightBytes),
+		OK: true,
+		Ready: !s.closed && s.degraded == "" &&
+			len(s.queue)+s.queueReserved < s.cfg.QueueDepth &&
+			(s.cfg.MaxInflightBytes <= 0 || s.inflightBytes < s.cfg.MaxInflightBytes),
+		Degraded:         s.degraded != "",
+		DegradedReason:   s.degraded,
 		QueueDepth:       len(s.queue) + s.queueReserved,
 		QueueCap:         s.cfg.QueueDepth,
 		Running:          int(s.obs.running.Value()),

@@ -153,7 +153,7 @@ func TestInflightBytesReleaseOnTerminal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Wait(st.ID, time.Minute); err != nil {
+	if _, err := s.WaitTimeout(st.ID, time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	// Frozen path: cancel a queued job.
@@ -379,7 +379,7 @@ func TestCoverVertexRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st, err = s.Wait(st.ID, 2*time.Minute); err != nil || st.State != StateDone {
+	if st, err = s.WaitTimeout(st.ID, 2*time.Minute); err != nil || st.State != StateDone {
 		t.Fatalf("valid cover job: %v / %+v", err, st)
 	}
 

@@ -361,20 +361,28 @@ func submitCode(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
 }
 
-// writeSubmitErr renders a submission failure; load sheds get 429 with a
-// Retry-After header carrying the server's backoff estimate (whole seconds,
-// rounded up, per RFC 9110).
+// writeSubmitErr renders a submission failure; load sheds get 429 (and
+// degraded-mode sheds 503) with a Retry-After header carrying the server's
+// backoff estimate (whole seconds, rounded up, per RFC 9110).
 func writeSubmitErr(w http.ResponseWriter, err error) {
+	var retry time.Duration
 	var ov *OverloadError
-	if errors.As(err, &ov) {
-		secs := int64((ov.RetryAfter + time.Second - 1) / time.Second)
+	var dg *DegradedError
+	switch {
+	case errors.As(err, &ov):
+		retry = ov.RetryAfter
+	case errors.As(err, &dg):
+		retry = dg.RetryAfter
+	}
+	if retry > 0 {
+		secs := int64((retry + time.Second - 1) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}

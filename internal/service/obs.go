@@ -45,6 +45,9 @@ var metricsSeries = map[string]string{
 	"rejected":           "colord_jobs_rejected_total",
 	"shed":               "colord_jobs_shed_total",
 	"recovered":          "colord_jobs_recovered_total",
+	"panicked":           "colord_jobs_panicked_total",
+	"deadline_exceeded":  "colord_jobs_deadline_exceeded_total",
+	"degraded":           "colord_degraded",
 	"inflight_bytes":     "colord_inflight_bytes",
 	"max_inflight_bytes": "colord_max_inflight_bytes",
 	"cache_hits":         "colord_cache_hits_total",
@@ -73,6 +76,7 @@ type serverObs struct {
 
 	submitted, completed, failed, canceled, rejected *obs.Counter // guarded by s.mu
 	shed, recovered                                  *obs.Counter // guarded by s.mu
+	panicked, deadlineExceeded                       *obs.Counter // guarded by s.mu
 	cacheHits, cacheMisses, cacheBadHits             *obs.Counter // guarded by s.mu
 	cacheSkipped                                     *obs.Counter // guarded by s.mu
 	roundsTotal, messagesTotal, wallMSTotal          *obs.Counter // guarded by s.mu
@@ -95,14 +99,17 @@ type serverObs struct {
 func newServerObs() *serverObs {
 	r := obs.NewRegistry()
 	o := &serverObs{
-		reg:           r,
-		submitted:     r.NewCounter("colord_jobs_submitted_total", "Accepted submissions (cache hits included)."),
-		completed:     r.NewCounter("colord_jobs_completed_total", "Jobs finished successfully (cache hits included)."),
-		failed:        r.NewCounter("colord_jobs_failed_total", "Jobs that finished in error."),
-		canceled:      r.NewCounter("colord_jobs_canceled_total", "Jobs canceled before or during execution."),
-		rejected:      r.NewCounter("colord_jobs_rejected_total", "Invalid submissions refused up front (HTTP 400)."),
-		shed:          r.NewCounter("colord_jobs_shed_total", "Submissions refused by admission control (HTTP 429)."),
-		recovered:     r.NewCounter("colord_jobs_recovered_total", "Jobs replayed from the write-ahead store at startup."),
+		reg:       r,
+		submitted: r.NewCounter("colord_jobs_submitted_total", "Accepted submissions (cache hits included)."),
+		completed: r.NewCounter("colord_jobs_completed_total", "Jobs finished successfully (cache hits included)."),
+		failed:    r.NewCounter("colord_jobs_failed_total", "Jobs that finished in error."),
+		canceled:  r.NewCounter("colord_jobs_canceled_total", "Jobs canceled before or during execution."),
+		rejected:  r.NewCounter("colord_jobs_rejected_total", "Invalid submissions refused up front (HTTP 400)."),
+		shed:      r.NewCounter("colord_jobs_shed_total", "Submissions refused by admission control (HTTP 429)."),
+		recovered: r.NewCounter("colord_jobs_recovered_total", "Jobs replayed from the write-ahead store at startup."),
+		panicked:  r.NewCounter("colord_jobs_panicked_total", "Jobs whose execution panicked (recovered, failed with a typed error)."),
+		deadlineExceeded: r.NewCounter("colord_jobs_deadline_exceeded_total",
+			"Jobs terminated by their execution deadline (deadline_ms or -job-timeout)."),
 		cacheHits:     r.NewCounter("colord_cache_hits_total", "Submissions served from the canonical result cache."),
 		cacheMisses:   r.NewCounter("colord_cache_misses_total", "Cacheable submissions that missed and ran."),
 		cacheBadHits:  r.NewCounter("colord_cache_bad_hits_total", "Canonical-hash collisions caught by post-remap verification."),
@@ -158,6 +165,14 @@ func (s *Server) registerDerived() {
 	r.NewGaugeFunc("colord_max_inflight_bytes", "In-flight byte bound (0 = unbounded).", func() int64 {
 		if s.cfg.MaxInflightBytes > 0 {
 			return s.cfg.MaxInflightBytes
+		}
+		return 0
+	})
+	r.NewGaugeFunc("colord_degraded", "1 while the server is in read-only degraded mode (journal failing), else 0.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.degraded != "" {
+			return 1
 		}
 		return 0
 	})

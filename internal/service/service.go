@@ -37,12 +37,14 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	distcolor "repro"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -104,6 +106,24 @@ type Config struct {
 	// forever. For admission/overload tests and benchmarks only: it turns
 	// the service into a pure front door with deterministic occupancy.
 	Frozen bool
+	// JobTimeout bounds every job's execution wall time, measured from
+	// worker pickup; a run over it terminates in the distinct
+	// "deadline_exceeded" state. A request's own deadline_ms tightens (never
+	// loosens) this server default. Zero or negative leaves executions
+	// unbounded.
+	JobTimeout time.Duration
+	// DegradedProbe is the minimum interval between write probes while the
+	// server is degraded (journal unavailable); each probe that succeeds
+	// exits degraded mode. Default 1s.
+	DegradedProbe time.Duration
+	// FS routes the job store's filesystem operations; nil means the real
+	// os package (fault.OS). Tests inject a fault.Inject here to script
+	// journal failures.
+	FS fault.FS
+	// Faults arms the server's named fault-injection points (see
+	// DESIGN.md §12); nil — the production value — disables them at the
+	// cost of one pointer load per site.
+	Faults *fault.Points
 	// Logger receives structured server events (recovery, sheds, job
 	// terminals, journal failures) with job IDs attached. Nil discards them.
 	Logger *slog.Logger
@@ -146,6 +166,9 @@ func (c Config) withDefaults() Config {
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 8 << 20
 	}
+	if c.DegradedProbe <= 0 {
+		c.DegradedProbe = time.Second
+	}
 	return c
 }
 
@@ -158,11 +181,15 @@ const (
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	// StateDeadline marks a job whose execution exceeded its deadline (the
+	// request's deadline_ms or the server's -job-timeout). Distinct from
+	// failed so clients can tell "ran out of time" from "the run errored".
+	StateDeadline State = "deadline_exceeded"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateDeadline
 }
 
 // TraceEvent is one executed simulator round of one of a job's constituent
@@ -214,6 +241,15 @@ type Metrics struct {
 	// Recovered counts jobs replayed from the write-ahead store at startup
 	// (both re-enqueued and terminal ones).
 	Recovered int64 `json:"recovered"`
+	// Panicked counts jobs whose execution panicked (recovered into a typed
+	// failure; also counted in Failed). DeadlineExceeded counts jobs
+	// terminated by their execution deadline (its own terminal state, not
+	// in Failed).
+	Panicked         int64 `json:"panicked"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// Degraded is 1 while the journal is failing and the server sheds new
+	// submissions (read-only degraded mode), else 0.
+	Degraded int64 `json:"degraded"`
 	// InflightBytes is the admission charge of accepted-but-unfinished
 	// jobs; MaxInflightBytes is its bound (0 = unbounded).
 	InflightBytes    int64 `json:"inflight_bytes"`
@@ -259,6 +295,29 @@ var ErrNotFound = errors.New("service: no such job")
 // distinguishable from a failed one.
 var errJobCanceled = errors.New("service: job canceled")
 
+// errJobDeadline is the cancellation cause of a job whose execution
+// deadline elapsed; it distinguishes deadline_exceeded from canceled.
+var errJobDeadline = errors.New("service: job deadline exceeded")
+
+// PanicError is the typed terminal error of a job whose execution
+// panicked. The worker recovers the panic (quarantining the failure to the
+// one job instead of killing the daemon) and fails the job with this error;
+// Stack is the goroutine stack captured at the recovery point.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("service: job panicked: %v", e.Value)
+}
+
+// poisonAttempts is how many journaled execution starts mark a job as
+// poisoned: recovery replay fails such a job instead of re-enqueueing it,
+// so a deterministically panicking (or deadline-blowing) job cannot
+// crash-loop or wedge the daemon across restarts.
+const poisonAttempts = 2
+
 // job is the unit of scheduled work.
 type job struct {
 	id         string
@@ -282,6 +341,11 @@ type job struct {
 	// at the terminal transition; 0 for jobs that were never charged
 	// (cache hits, recovered terminal jobs).
 	cost int64
+
+	// attempts counts journaled execution starts, seeded from the recovery
+	// record and incremented at worker pickup; only the worker goroutine
+	// that owns the job touches it after publication.
+	attempts int64
 
 	// sobs points at the server's instruments for the hooks that fire off
 	// the server lock (the round observer); nil in unit tests that build
@@ -365,13 +429,16 @@ func (j *job) status() JobStatus {
 
 // Server is the concurrent coloring service.
 type Server struct {
-	cfg   Config
-	cache *resultCache
-	store *Store // write-ahead job store; nil without Config.DataDir
+	cfg    Config
+	cache  *resultCache
+	store  *Store        // write-ahead job store; nil without Config.DataDir
+	faults *fault.Points // injection points; nil in production
 
 	mu            sync.Mutex
 	queueCond     *sync.Cond      // signaled when queue gains work or the server closes
 	closed        bool            // guarded by mu
+	degraded      string          // guarded by mu; non-empty reason while the journal is failing
+	lastProbe     time.Time       // guarded by mu; last store recovery probe while degraded
 	nextID        int64           // guarded by mu
 	jobs          map[string]*job // guarded by mu
 	order         []string        // guarded by mu; submission order, for bounded retention
@@ -399,10 +466,11 @@ type Server struct {
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		jobs: make(map[string]*job),
-		obs:  newServerObs(),
-		log:  cfg.Logger,
+		cfg:    cfg,
+		faults: cfg.Faults,
+		jobs:   make(map[string]*job),
+		obs:    newServerObs(),
+		log:    cfg.Logger,
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
@@ -412,7 +480,7 @@ func NewServer(cfg Config) (*Server, error) {
 		s.cache = newResultCache(cfg.CacheEntries)
 	}
 	if cfg.DataDir != "" {
-		store, recovered, err := OpenStore(cfg.DataDir, cfg.SegmentBytes)
+		store, recovered, err := OpenStoreFS(cfg.DataDir, cfg.SegmentBytes, cfg.FS)
 		if err != nil {
 			return nil, err
 		}
@@ -486,6 +554,24 @@ func (s *Server) recover(recs []distcolor.JobRecord) error {
 			s.obs.recovered.Inc()
 			continue
 		}
+		// Poison quarantine: a job that already journaled poisonAttempts
+		// execution starts without ever reaching a terminal state has taken
+		// down (or wedged) as many processes. Replaying it again would
+		// crash-loop the daemon, so it turns terminal-failed instead.
+		if rec.Attempts >= poisonAttempts {
+			j.state = StateFailed
+			j.err = fmt.Sprintf("service: job poisoned: %d execution attempts without a terminal state", rec.Attempts)
+			j.cancel(nil)
+			close(j.done)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.obs.recovered.Inc()
+			s.log.Warn("poisoned job quarantined", "job", j.id, "attempts", rec.Attempts)
+			if aerr := s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateFailed), Error: j.err}, true); aerr != nil {
+				return aerr
+			}
+			continue
+		}
 		// Queued or running at the crash: rebuild and re-enqueue. The graph
 		// was validated at original submission; a request that no longer
 		// builds (schema drift across versions) turns terminal-failed
@@ -510,6 +596,7 @@ func (s *Server) recover(recs []distcolor.JobRecord) error {
 		j.g = g
 		j.state = StateQueued
 		j.cost = jobCost(rec.Request)
+		j.attempts = rec.Attempts
 		j.sobs = s.obs
 		// Recovered jobs re-enter at the queue stage: no admit span (the
 		// admission happened in a previous process), offsets re-based at
@@ -578,6 +665,16 @@ func (s *Server) submit(req *distcolor.Request, pre int64) (JobStatus, error) {
 	}
 	if err := req.Validate(); err != nil {
 		return reject(err)
+	}
+	if err := s.faults.Hit("service.admit"); err != nil { // injection point; nil Points = 1 pointer load
+		return reject(err)
+	}
+	// Resolve degraded state once, up front: the probe (and its fsync) must
+	// not run under s.mu, and the answer decides both branches below — a
+	// cache hit is served memory-only, a miss is shed before admission.
+	degraded := ""
+	if s.store != nil {
+		degraded = s.degradedReason()
 	}
 	if s.cfg.MaxVertices > 0 && req.Graph.N > s.cfg.MaxVertices {
 		return reject(fmt.Errorf("service: graph has %d vertices, limit %d", req.Graph.N, s.cfg.MaxVertices))
@@ -677,9 +774,12 @@ func (s *Server) submit(req *distcolor.Request, pre int64) (JobStatus, error) {
 		// One condensed journal entry: submitted and done in the same
 		// instant. Fsync'd and checked like the miss path's — the
 		// durability contract is that any ID handed to a client survives a
-		// crash, cache hit or not.
-		if s.store != nil {
-			if err := s.store.Append(distcolor.JobRecord{
+		// crash, cache hit or not. While degraded the entry is skipped and
+		// the hit serves memory-only: the result is correct and verified,
+		// the caller gets it now, and the one documented durability gap is
+		// that this ID will not survive a restart (DESIGN.md §12).
+		if s.store != nil && degraded == "" {
+			if err := s.journal(distcolor.JobRecord{
 				ID: j.id, State: string(StateDone), Request: req, Response: hit, CacheHit: true,
 			}, true); err != nil {
 				s.log.Error("journal append failed, cache hit withdrawn", "job", j.id, "err", err)
@@ -689,6 +789,20 @@ func (s *Server) submit(req *distcolor.Request, pre int64) (JobStatus, error) {
 		}
 		s.log.Debug("job served from cache", "job", j.id)
 		return j.status(), nil
+	}
+	if degraded != "" {
+		// Read-only shed: new work cannot be made durable, so it is refused
+		// with a typed 503 — distinct from overload, because retrying sooner
+		// will not help until the journal heals.
+		if preAdmitted {
+			s.queueReserved--
+			s.releaseLocked(pre)
+		}
+		s.obs.shed.Inc()
+		ra := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.log.Warn("submission shed", "reason", "degraded", "err", degraded)
+		return JobStatus{}, &DegradedError{Reason: degraded, RetryAfter: ra}
 	}
 	if preAdmitted {
 		// Chunked ingest admitted this job while reading it; the held charge
@@ -719,7 +833,7 @@ func (s *Server) submit(req *distcolor.Request, pre int64) (JobStatus, error) {
 		// journal failure the job is withdrawn (terminal-failed for anyone
 		// who already saw it, then dropped); accepting unjournaled work
 		// would silently demote the durability contract.
-		if err := s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateQueued), Request: req}, true); err != nil {
+		if err := s.journal(distcolor.JobRecord{ID: j.id, State: string(StateQueued), Request: req}, true); err != nil {
 			s.log.Error("journal append failed, submission withdrawn", "job", j.id, "err", err)
 			s.withdraw(j, StateFailed, err.Error())
 			// Best-effort neutralizer: if the failure was in the fsync (the
@@ -855,8 +969,68 @@ func (s *Server) journalForgotten(evicted []string) {
 		return
 	}
 	for _, id := range evicted {
-		_ = s.store.Append(distcolor.JobRecord{ID: id, State: storeStateForgotten}, false)
+		_ = s.journal(distcolor.JobRecord{ID: id, State: storeStateForgotten}, false)
 	}
+}
+
+// journal appends one record to the job store (no-op without one), flipping
+// the server into degraded mode when the append fails. Every store write on
+// a served path goes through here, so a sick disk is noticed at the first
+// failing append, not when an operator reads the log.
+func (s *Server) journal(rec distcolor.JobRecord, sync bool) error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.store.Append(rec, sync)
+	if err != nil {
+		s.enterDegraded(err)
+	}
+	return err
+}
+
+// enterDegraded flips the server read-only: Submit sheds cache misses with
+// a *DegradedError (503) until a probe succeeds, while Status/Result/Trace/
+// Cancel and memory-only cache hits keep serving. The rationale: accepting
+// work the journal cannot record would silently demote the durability
+// contract, but refusing reads would turn a disk hiccup into a full outage.
+func (s *Server) enterDegraded(err error) {
+	s.mu.Lock()
+	entered := s.degraded == ""
+	s.degraded = err.Error()
+	s.mu.Unlock()
+	if entered {
+		s.log.Error("journal failing, entering degraded mode", "err", err)
+	}
+}
+
+// degradedReason returns the current degraded reason ("" when healthy). At
+// most once per Config.DegradedProbe it probes the store with a real synced
+// append (Store.Probe) — outside s.mu, fsync under the server lock would
+// stall the read endpoints — and a successful probe exits degraded mode:
+// the self-heal path after a disk recovers.
+func (s *Server) degradedReason() string {
+	s.mu.Lock()
+	reason := s.degraded
+	probe := reason != "" && time.Since(s.lastProbe) >= s.cfg.DegradedProbe
+	if probe {
+		s.lastProbe = time.Now()
+	}
+	s.mu.Unlock()
+	if !probe {
+		return reason
+	}
+	if err := s.store.Probe(); err != nil {
+		s.mu.Lock()
+		s.degraded = err.Error()
+		reason = s.degraded
+		s.mu.Unlock()
+		return reason
+	}
+	s.mu.Lock()
+	s.degraded = ""
+	s.mu.Unlock()
+	s.log.Info("journal recovered, leaving degraded mode")
+	return ""
 }
 
 func (s *Server) countRejected() {
@@ -939,29 +1113,41 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		s.obs.canceled.Inc()
 		s.releaseLocked(j.cost)
 		s.mu.Unlock()
-		if s.store != nil {
-			_ = s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateCanceled), Error: errJobCanceled.Error()}, true)
-		}
+		_ = s.journal(distcolor.JobRecord{ID: j.id, State: string(StateCanceled), Error: errJobCanceled.Error()}, true)
 	}
 	return j.status(), nil
 }
 
-// Wait blocks until the job reaches a terminal state (or the timeout, when
-// positive) and returns its then-current status.
-func (s *Server) Wait(id string, timeout time.Duration) (JobStatus, error) {
+// Wait blocks until the job reaches a terminal state or ctx is done, and
+// returns the job's then-current status; the caller checks ctx.Err() to
+// tell a timeout from a terminal state.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
 	j, err := s.job(id)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	if timeout > 0 {
-		select {
-		case <-j.done:
-		case <-time.After(timeout):
-		}
-	} else {
-		<-j.done
+	select {
+	case <-j.done:
+	case <-ctx.Done():
 	}
 	return j.status(), nil
+}
+
+// WaitTimeout waits like Wait under a fixed timeout (non-positive blocks
+// until the job is terminal).
+//
+// Deprecated: use Wait with a context. The old form leaked a timer per
+// call (time.After keeps its timer live for the full duration even after
+// the job finishes) and could not observe caller cancellation.
+func (s *Server) WaitTimeout(id string, timeout time.Duration) (JobStatus, error) {
+	//distcolor:ignore ctxfirst deprecated pre-context shim; the timeout below bounds the wait
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return s.Wait(ctx, id)
 }
 
 // Trace copies the job's recorded round-trace events with seq ≥ afterSeq,
@@ -1014,30 +1200,35 @@ func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		Submitted:     s.obs.submitted.Value(),
-		Completed:     s.obs.completed.Value(),
-		Failed:        s.obs.failed.Value(),
-		Canceled:      s.obs.canceled.Value(),
-		Rejected:      s.obs.rejected.Value(),
-		Shed:          s.obs.shed.Value(),
-		Recovered:     s.obs.recovered.Value(),
-		InflightBytes: s.inflightBytes,
-		CacheHits:     s.obs.cacheHits.Value(),
-		CacheMisses:   s.obs.cacheMisses.Value(),
-		CacheBadHits:  s.obs.cacheBadHits.Value(),
-		CacheSkipped:  s.obs.cacheSkipped.Value(),
-		QueueDepth:    len(s.queue) + s.queueReserved,
-		Running:       int(s.obs.running.Value()),
-		Workers:       s.cfg.Workers,
-		RoundsTotal:   s.obs.roundsTotal.Value(),
-		MessagesTotal: s.obs.messagesTotal.Value(),
-		WallMSTotal:   s.obs.wallMSTotal.Value(),
-		Jobs:          len(s.jobs),
-		BytesIn:       s.obs.bytesIn.Value(),
-		BytesOut:      s.obs.bytesOut.Value(),
-		CodecJSON:     s.obs.codecJSON.Value(),
-		CodecBinary:   s.obs.codecBinary.Value(),
-		CodecStream:   s.obs.codecStream.Value(),
+		Submitted:        s.obs.submitted.Value(),
+		Completed:        s.obs.completed.Value(),
+		Failed:           s.obs.failed.Value(),
+		Canceled:         s.obs.canceled.Value(),
+		Rejected:         s.obs.rejected.Value(),
+		Shed:             s.obs.shed.Value(),
+		Recovered:        s.obs.recovered.Value(),
+		Panicked:         s.obs.panicked.Value(),
+		DeadlineExceeded: s.obs.deadlineExceeded.Value(),
+		InflightBytes:    s.inflightBytes,
+		CacheHits:        s.obs.cacheHits.Value(),
+		CacheMisses:      s.obs.cacheMisses.Value(),
+		CacheBadHits:     s.obs.cacheBadHits.Value(),
+		CacheSkipped:     s.obs.cacheSkipped.Value(),
+		QueueDepth:       len(s.queue) + s.queueReserved,
+		Running:          int(s.obs.running.Value()),
+		Workers:          s.cfg.Workers,
+		RoundsTotal:      s.obs.roundsTotal.Value(),
+		MessagesTotal:    s.obs.messagesTotal.Value(),
+		WallMSTotal:      s.obs.wallMSTotal.Value(),
+		Jobs:             len(s.jobs),
+		BytesIn:          s.obs.bytesIn.Value(),
+		BytesOut:         s.obs.bytesOut.Value(),
+		CodecJSON:        s.obs.codecJSON.Value(),
+		CodecBinary:      s.obs.codecBinary.Value(),
+		CodecStream:      s.obs.codecStream.Value(),
+	}
+	if s.degraded != "" {
+		m.Degraded = 1
 	}
 	if s.cfg.MaxInflightBytes > 0 {
 		m.MaxInflightBytes = s.cfg.MaxInflightBytes
@@ -1089,11 +1280,14 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	s.obs.running.Add(1)
 	s.mu.Unlock()
-	if s.store != nil {
-		// Unsynced: losing a "running" entry replays the job as queued,
-		// which merely re-runs it — the at-least-once side of recovery.
-		_ = s.store.Append(distcolor.JobRecord{ID: j.id, State: string(StateRunning)}, false)
-	}
+	j.attempts++
+	// Unsynced on the first attempt: losing a "running" entry replays the
+	// job as queued, which merely re-runs it — the at-least-once side of
+	// recovery. The attempt that would poison the job on the NEXT replay is
+	// fsync'd: quarantine must survive the very crash it exists to record.
+	// (The soft spot is one lost unsynced first attempt, which buys a
+	// poisoned job exactly one extra run — never an unbounded loop.)
+	_ = s.journal(distcolor.JobRecord{ID: j.id, State: string(StateRunning), Attempts: j.attempts}, j.attempts >= poisonAttempts)
 
 	req := j.req
 	if s.cfg.Parallel && !req.Parallel {
@@ -1101,8 +1295,26 @@ func (s *Server) runJob(j *job) {
 		cp.Parallel = true
 		req = &cp
 	}
+	// The execution context layers the deadline over the job's cancel
+	// context: the request's deadline_ms tightens the server's JobTimeout
+	// default, and the typed cause tells the terminal switch "out of time"
+	// apart from "canceled".
+	ctx := j.ctx
+	timeout := s.cfg.JobTimeout
+	if d := req.DeadlineMS; d > 0 {
+		if t := time.Duration(d) * time.Millisecond; timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+	var cancelDeadline context.CancelFunc
+	if timeout > 0 {
+		ctx, cancelDeadline = context.WithTimeoutCause(j.ctx, timeout, errJobDeadline)
+	}
 	start := time.Now()
-	resp, err := distcolor.ExecuteOn(j.ctx, req, j.g, distcolor.Options{Observer: j.observe})
+	resp, err := s.execute(ctx, j, req)
+	if cancelDeadline != nil {
+		cancelDeadline()
+	}
 	wall := time.Since(start).Milliseconds()
 	var execRetUS int64
 	if j.spans != nil { // spanBase is immutable once the job is published
@@ -1118,13 +1330,25 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.wallMS = wall
 	// A canceled job's error chain carries the context cancellation (the
-	// simulator wraps context.Cause, i.e. errJobCanceled).
+	// simulator wraps context.Cause, i.e. errJobCanceled). An explicit
+	// Cancel wins over every other outcome; a panic is a plain failure with
+	// a typed error; a deadline gets its own terminal state.
 	canceled := err != nil && (errors.Is(err, errJobCanceled) || errors.Is(err, context.Canceled) || j.cancelReq)
+	var pe *PanicError
+	panicked := !canceled && errors.As(err, &pe)
+	deadlined := err != nil && !canceled && !panicked &&
+		(errors.Is(err, errJobDeadline) || errors.Is(err, context.DeadlineExceeded))
 	rec := distcolor.JobRecord{ID: j.id, WallMS: wall}
 	switch {
 	case canceled:
 		j.finishLocked(StateCanceled, errJobCanceled.Error())
 		rec.State, rec.Error = string(StateCanceled), errJobCanceled.Error()
+	case panicked:
+		j.finishLocked(StateFailed, pe.Error())
+		rec.State, rec.Error = string(StateFailed), pe.Error()
+	case deadlined:
+		j.finishLocked(StateDeadline, errJobDeadline.Error())
+		rec.State, rec.Error = string(StateDeadline), errJobDeadline.Error()
 	case err != nil:
 		j.finishLocked(StateFailed, err.Error())
 		rec.State, rec.Error = string(StateFailed), err.Error()
@@ -1150,6 +1374,13 @@ func (s *Server) runJob(j *job) {
 		if j.spanExec >= 0 {
 			execUS = j.spans.Spans()[j.spanExec].DurUS
 		}
+		if panicked {
+			// Zero-length marker at the recovery instant, so a trace reader
+			// sees WHERE in the lifecycle the panic surfaced; the stack goes
+			// to the structured log below.
+			pi := j.spans.Start("panic", j.spanRoot, execRetUS)
+			j.spans.End(pi, execRetUS)
+		}
 		if rec.State == string(StateDone) {
 			vi := j.spans.Start(stageVerify, j.spanRoot, execEnd)
 			j.spans.End(vi, execRetUS)
@@ -1165,10 +1396,16 @@ func (s *Server) runJob(j *job) {
 	s.obs.observeStage(stageExecute, execUS)
 	s.obs.observeStage(stageVerify, verifyUS)
 	s.obs.observeStage(stageServe, serveUS)
-	if s.store != nil {
-		// The terminal entry is fsync'd: it is what lets a restart serve
-		// this result instead of re-running the job.
-		_ = s.store.Append(rec, true)
+	// The terminal entry is fsync'd: it is what lets a restart serve this
+	// result instead of re-running the job. A failure cannot un-finish the
+	// job — the in-memory result keeps serving — but it does flip the
+	// server degraded (via journal), since outcomes are no longer durable.
+	if aerr := s.journal(rec, true); aerr != nil {
+		s.log.Error("terminal journal append failed", "job", j.id, "err", aerr)
+	}
+	if panicked {
+		s.log.Error("job panicked, failure quarantined to the job",
+			"job", j.id, "panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
 	}
 	s.log.Info("job finished", "job", j.id, "state", rec.State, "wall_ms", wall)
 
@@ -1178,6 +1415,11 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case canceled:
 		s.obs.canceled.Inc()
+	case panicked:
+		s.obs.failed.Inc()
+		s.obs.panicked.Inc()
+	case deadlined:
+		s.obs.deadlineExceeded.Inc()
 	case err != nil:
 		s.obs.failed.Inc()
 	default:
@@ -1187,6 +1429,23 @@ func (s *Server) runJob(j *job) {
 		s.obs.wallMSTotal.Add(wall)
 	}
 	s.mu.Unlock()
+}
+
+// execute runs one job's simulation, converting an engine panic into a
+// typed *PanicError: the panic fails that one job while the worker — and
+// every queued job behind it — survives. Before this recovery existed, a
+// panicking request took down the whole daemon.
+func (s *Server) execute(ctx context.Context, j *job, req *distcolor.Request) (resp *distcolor.Response, err error) {
+	defer func() {
+		//distcolor:recover quarantine a panicking job to a typed failure instead of killing the worker pool
+		if r := recover(); r != nil {
+			resp, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := s.faults.Hit("worker.execute"); ferr != nil { // injection point (error, panic, or delay)
+		return nil, ferr
+	}
+	return distcolor.ExecuteOn(ctx, req, j.g, distcolor.Options{Observer: j.observe})
 }
 
 // observe is the job's sim round hook: it records the bounded trace

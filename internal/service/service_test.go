@@ -37,7 +37,7 @@ func gnpRequest(algorithm string, n int, p float64, seed int64) *distcolor.Reque
 
 func waitDone(t *testing.T, s *Server, id string) JobStatus {
 	t.Helper()
-	st, err := s.Wait(id, 2*time.Minute)
+	st, err := s.WaitTimeout(id, 2*time.Minute)
 	if err != nil {
 		t.Fatalf("wait %s: %v", id, err)
 	}
@@ -222,7 +222,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	if cst.State != StateCanceled && cst.State != StateRunning && cst.State != StateDone {
 		t.Fatalf("cancel left state %s", cst.State)
 	}
-	final, err := s.Wait(st.ID, time.Minute)
+	final, err := s.WaitTimeout(st.ID, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +382,7 @@ func TestConcurrentHammer(t *testing.T) {
 					errs <- err
 					continue
 				}
-				fin, err := s.Wait(st.ID, 2*time.Minute)
+				fin, err := s.WaitTimeout(st.ID, 2*time.Minute)
 				if err != nil {
 					errs <- err
 					continue

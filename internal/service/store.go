@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	distcolor "repro"
+	"repro/internal/fault"
 )
 
 // Store is the write-ahead job store behind `colord -data-dir`: an append-only
@@ -46,6 +47,7 @@ import (
 // that replays to the same table (duplicate entries merge idempotently).
 type Store struct {
 	dir string
+	fs  fault.FS // filesystem seam; fault.OS in production, injectable in tests
 
 	// Journal activity counters, exported via the server's metric registry
 	// (colord_wal_*_total). Atomic so Counters never contends with an
@@ -53,14 +55,14 @@ type Store struct {
 	appends, fsyncs, compactions atomic.Int64
 
 	mu       sync.Mutex
-	f        *os.File // active segment; nil after a failed rotation until self-heal
-	seg      int64    // active segment index
-	segBytes int64    // bytes appended to the active segment
-	maxSeg   int64    // rotation threshold
-	dirty    bool     // unsynced appends pending
-	segments int      // segment files on disk (including active)
-	maintErr error    // last rotation/compaction failure; cleared on success
-	maxID    int64    // highest numeric job ID ever journaled (survives forgetting)
+	f        fault.File // active segment; nil after a failed rotation until self-heal
+	seg      int64      // active segment index
+	segBytes int64      // bytes appended to the active segment
+	maxSeg   int64      // rotation threshold
+	dirty    bool       // unsynced appends pending
+	segments int        // segment files on disk (including active)
+	maintErr error      // last rotation/compaction failure; cleared on success
+	maxID    int64      // highest numeric job ID ever journaled (survives forgetting)
 	closed   bool
 }
 
@@ -98,18 +100,30 @@ func parseSegName(name string) (int64, bool) {
 // ID order; non-terminal entries are the jobs a crash interrupted. maxSeg
 // caps a segment's size before rotation (<=0 selects 8 MiB).
 func OpenStore(dir string, maxSeg int64) (*Store, []distcolor.JobRecord, error) {
+	return OpenStoreFS(dir, maxSeg, nil)
+}
+
+// OpenStoreFS is OpenStore over an injectable filesystem (nil selects the
+// real one). Every filesystem operation the store performs — including
+// replay, truncation of torn tails, rotation, and compaction — goes
+// through fsys, which is how the fault-injection tests script disk
+// failures without byte surgery.
+func OpenStoreFS(dir string, maxSeg int64, fsys fault.FS) (*Store, []distcolor.JobRecord, error) {
 	if maxSeg <= 0 {
 		maxSeg = 8 << 20
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("service: job store: %w", err)
 	}
-	st := &Store{dir: dir, maxSeg: maxSeg}
+	st := &Store{dir: dir, fs: fsys, maxSeg: maxSeg}
 	segs, err := st.listSegments()
 	if err != nil {
 		return nil, nil, err
 	}
-	table, maxID, tornSeg, tornOff, err := replaySegments(dir, segs)
+	table, maxID, tornSeg, tornOff, err := replaySegments(fsys, dir, segs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,7 +132,7 @@ func OpenStore(dir string, maxSeg int64) (*Store, []distcolor.JobRecord, error) 
 		// Crash artifact in the final segment: truncate to the last intact
 		// record so the next append lands on a clean boundary.
 		path := filepath.Join(dir, segName(tornSeg))
-		if err := os.Truncate(path, tornOff); err != nil {
+		if err := fsys.Truncate(path, tornOff); err != nil {
 			return nil, nil, fmt.Errorf("service: job store: truncating torn tail of %s: %w", path, err)
 		}
 	}
@@ -147,7 +161,7 @@ func OpenStore(dir string, maxSeg int64) (*Store, []distcolor.JobRecord, error) 
 const storeCompactSegments = 4
 
 func (st *Store) listSegments() ([]int64, error) {
-	entries, err := os.ReadDir(st.dir)
+	entries, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: job store: %w", err)
 	}
@@ -162,7 +176,7 @@ func (st *Store) listSegments() ([]int64, error) {
 }
 
 func (st *Store) openSegment(seg int64) error {
-	f, err := os.OpenFile(filepath.Join(st.dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := st.fs.OpenFile(filepath.Join(st.dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("service: job store: %w", err)
 	}
@@ -227,6 +241,16 @@ func (st *Store) Append(rec distcolor.JobRecord, sync bool) error {
 		st.maintErr = st.rotateLocked()
 	}
 	return nil
+}
+
+// Probe appends one replay-invisible record with a full fsync, reporting
+// whether the journal can currently make bytes durable. The record is a
+// "forgotten" marker with an empty ID: jobIDNum("") is 0 so it never moves
+// the ID high-water mark, and replay's merge deletes the (nonexistent)
+// empty-ID table entry — a no-op. The degraded-mode prober uses it to
+// detect that a failing disk has recovered.
+func (st *Store) Probe() error {
+	return st.Append(distcolor.JobRecord{ID: "", State: storeStateForgotten}, true)
 }
 
 // Err reports the last failed rotation/compaction (nil when the journal is
@@ -319,13 +343,13 @@ func (st *Store) compactLocked() (err error) {
 	if err != nil {
 		return err
 	}
-	table, maxID, _, _, err := replaySegments(st.dir, segs)
+	table, maxID, _, _, err := replaySegments(st.fs, st.dir, segs)
 	if err != nil {
 		return err
 	}
 	compactSeg := st.seg + 1
 	tmp := filepath.Join(st.dir, segName(compactSeg)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := st.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("service: job store: %w", err)
 	}
@@ -366,14 +390,14 @@ func (st *Store) compactLocked() (err error) {
 	// The rename is the commit point: after it, replay reaches the condensed
 	// records (they sort after every old segment, so merged state is
 	// unchanged even if deleting the old segments is interrupted).
-	if err := os.Rename(tmp, filepath.Join(st.dir, segName(compactSeg))); err != nil {
+	if err := st.fs.Rename(tmp, filepath.Join(st.dir, segName(compactSeg))); err != nil {
 		return fmt.Errorf("service: job store: %w", err)
 	}
-	if err := syncDir(st.dir); err != nil {
+	if err := syncDir(st.fs, st.dir); err != nil {
 		return err
 	}
 	for _, s := range segs {
-		if err := os.Remove(filepath.Join(st.dir, segName(s))); err != nil {
+		if err := st.fs.Remove(filepath.Join(st.dir, segName(s))); err != nil {
 			return fmt.Errorf("service: job store: %w", err)
 		}
 	}
@@ -385,8 +409,8 @@ func (st *Store) compactLocked() (err error) {
 	return nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("service: job store: %w", err)
 	}
@@ -442,11 +466,11 @@ func (st *Store) Close() error {
 // a torn tail in the final segment (tornSeg = -1 when the journal ends
 // cleanly); a torn record anywhere else is corruption, not a crash
 // artifact, and fails the replay.
-func replaySegments(dir string, segs []int64) (table map[string]*distcolor.JobRecord, maxID int64, tornSeg int64, tornOff int64, err error) {
+func replaySegments(fsys fault.FS, dir string, segs []int64) (table map[string]*distcolor.JobRecord, maxID int64, tornSeg int64, tornOff int64, err error) {
 	table = make(map[string]*distcolor.JobRecord)
 	tornSeg = -1
 	for i, seg := range segs {
-		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
+		data, err := fsys.ReadFile(filepath.Join(dir, segName(seg)))
 		if err != nil {
 			return nil, 0, -1, 0, fmt.Errorf("service: job store: %w", err)
 		}
@@ -543,6 +567,12 @@ func mergeRecord(table map[string]*distcolor.JobRecord, rec *distcolor.JobRecord
 	}
 	if rec.CacheHit {
 		cur.CacheHit = rec.CacheHit
+	}
+	// Attempts only grows: replay may see the entries out of their logical
+	// order after compaction, and a later lower value must never launder a
+	// poisoned job back below the quarantine threshold.
+	if rec.Attempts > cur.Attempts {
+		cur.Attempts = rec.Attempts
 	}
 }
 
