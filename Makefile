@@ -38,11 +38,16 @@ vet:
 
 # The distcolorvet suite: the repository's own go/analysis passes —
 # detcheck (determinism), noallochot (zero-alloc hot paths), lockguard
-# (mutex discipline), ctxfirst (context hygiene) — plus stdlib
-# reimplementations of nilness and shadow, run through `go vet -vettool`
-# so a violation is a build break. Zero unsuppressed findings is the
-# gate; suppressions (//distcolor:ignore) are counted in the output.
-# See DESIGN.md §10 for the contracts and the annotation grammar.
+# (mutex discipline), ctxfirst (context hygiene), recovercheck (declared
+# recovery points), and the flow-sensitive passes on the in-tree CFG +
+# dataflow engine: leakcheck (goroutine lifetime), lockorder
+# (acquisition-order cycles), decodebounds (wire-sized allocations),
+# atomicguard (atomic-vs-plain access) — plus stdlib reimplementations
+# of nilness and shadow, run through `go vet -vettool` so a violation is
+# a build break. Zero unsuppressed findings is the gate; suppressions
+# (//distcolor:ignore) are counted in the output, and `distcolorvet
+# -json` emits NDJSON for tooling. See DESIGN.md §10 for the contracts
+# and the annotation grammar.
 lint:
 	$(GO) build -o bin/distcolorvet ./cmd/distcolorvet
 	$(GO) vet -vettool=$(abspath bin/distcolorvet) ./...

@@ -52,6 +52,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Deps holds the merged cross-package facts of every dependency
+	// (see facts.go). Never nil; empty when the driver has no vetx
+	// inputs (tests, or a stale cache).
+	Deps *PackageFacts
 
 	diagnostics []Diagnostic
 }
@@ -155,13 +159,17 @@ func applySuppressions(fset *token.FileSet, sups []*suppression, diags []Diagnos
 
 // RunAnalyzers runs every analyzer over one type-checked package,
 // applies suppressions, and converts stale suppressions into findings.
-// Diagnostics come back sorted by position.
-func RunAnalyzers(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// deps may be nil (no cross-package facts available). Diagnostics come
+// back sorted by position.
+func RunAnalyzers(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps *PackageFacts) ([]Diagnostic, error) {
+	if deps == nil {
+		deps = &PackageFacts{}
+	}
 	var diags []Diagnostic
 	known := make(map[string]bool, len(as))
 	for _, a := range as {
 		known[a.Name] = true
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Deps: deps}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}

@@ -61,7 +61,7 @@ func checkFixture(dir string, as []*Analyzer) (problems []string, diags []Diagno
 	if err != nil {
 		return nil, nil, fmt.Errorf("typechecking fixture %s: %v", dir, err)
 	}
-	diags, err = RunAnalyzers(as, fset, files, pkg, info)
+	diags, err = RunAnalyzers(as, fset, files, pkg, info, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,6 +125,10 @@ var fixtures = []struct {
 	{"lockguardfix", Lockguard, 1},
 	{"ctxfirstfix", Ctxfirst, 1},
 	{"recovercheckfix", Recovercheck, 1},
+	{"leakcheckfix", Leakcheck, 1},
+	{"lockorderfix", Lockorder, 1},
+	{"decodeboundsfix", Decodebounds, 1},
+	{"atomicguardfix", Atomicguard, 1},
 	{"nilnessfix", Nilness, 1},
 	{"shadowfix", Shadow, 1},
 }

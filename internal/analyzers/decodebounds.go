@@ -1,0 +1,591 @@
+package analyzers
+
+// decodebounds: allocation sizes derived from wire-read integers must
+// be bounds-checked before they reach make (or a buffer Grow).
+//
+// The readFrame DoS fixed in PR 8 — `make` sized by an attacker-
+// controlled varint before any comparison against the bytes actually
+// available — generalized into a gate. A forward taint analysis over
+// the CFG tracks which variables carry wire-derived integers:
+//
+//	sources     encoding/binary reads (Uvarint, Varint, ReadUvarint,
+//	            ReadVarint, ByteOrder.Uint16/32/64) and any function
+//	            this pass has already proven returns a wire integer
+//	            unchecked (package-locally or via the vetx facts:
+//	            PackageFacts.WireIntFuncs)
+//	transfer    assignments, arithmetic, conversions, and calls
+//	            propagate origins; len/cap are barriers (their results
+//	            are bounded by an existing allocation)
+//	blessing    a conditional whose comparison mentions a tainted
+//	            variable against anything but the literal 0 blesses
+//	            those origins in every block the condition dominates —
+//	            the `if n > d.remaining()` / `if n > frameMaxBytes`
+//	            shapes
+//	sinks       make size/cap arguments and bytes/strings Builder/
+//	            Buffer Grow; also call sites passing unblessed taint
+//	            into a parameter known (locally or via
+//	            PackageFacts.AllocSizedParams) to flow into an
+//	            allocation size unchecked
+//
+// A parameter flowing unchecked into a sink is not a finding at the
+// function — it becomes an obligation at every call site, carried
+// across packages through the fact channel. append is deliberately not
+// a sink: appending grows by what was actually decoded, and the DoS is
+// pre-allocation, not accumulation.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Decodebounds is the decoder-bounds pass. See the file comment.
+var Decodebounds = &Analyzer{
+	Name: "decodebounds",
+	Doc:  "check that make/Grow sizes derived from wire-read integers are bounds-checked first",
+	Run:  runDecodebounds,
+}
+
+// dbSummaries is the package-level fixpoint state: function FullNames
+// proven to return unchecked wire integers, parameter indices flowing
+// unchecked into allocation sizes, and param→result propagators.
+type dbSummaries struct {
+	wire  map[string]bool
+	alloc map[string]map[int]bool
+	prop  map[string]map[int]bool
+}
+
+func runDecodebounds(pass *Pass) error {
+	s := decodeboundsFixpoint(pass)
+	decodeboundsSweep(pass, s, true)
+	return nil
+}
+
+// decodeboundsFacts exports the summaries through the vetx channel.
+func decodeboundsFacts(pass *Pass, out *PackageFacts) {
+	s := decodeboundsFixpoint(pass)
+	for fn := range s.wire {
+		out.WireIntFuncs = append(out.WireIntFuncs, fn)
+	}
+	for fn, params := range s.alloc {
+		if len(params) == 0 {
+			continue
+		}
+		if out.AllocSizedParams == nil {
+			out.AllocSizedParams = make(map[string][]int)
+		}
+		var list []int
+		for i := range params {
+			list = append(list, i)
+		}
+		out.AllocSizedParams[fn] = mergeInts(out.AllocSizedParams[fn], list)
+	}
+}
+
+// decodeboundsFixpoint iterates summary extraction over the package's
+// functions until no summary changes (growth is monotone and bounded).
+func decodeboundsFixpoint(pass *Pass) *dbSummaries {
+	s := &dbSummaries{
+		wire:  make(map[string]bool),
+		alloc: make(map[string]map[int]bool),
+		prop:  make(map[string]map[int]bool),
+	}
+	for _, fn := range pass.Deps.WireIntFuncs {
+		s.wire[fn] = true
+	}
+	for fn, params := range pass.Deps.AllocSizedParams {
+		s.alloc[fn] = make(map[int]bool, len(params))
+		for _, i := range params {
+			s.alloc[fn][i] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = decodeboundsSweep(pass, s, false)
+	}
+	return s
+}
+
+// decodeboundsSweep analyzes every function context once. With report
+// set it emits diagnostics; it always folds new facts into s and
+// reports whether any summary grew.
+func decodeboundsSweep(pass *Pass, s *dbSummaries, report bool) bool {
+	changed := false
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if dbAnalyzeContext(pass, s, fn, fd.Type, fd.Body, report) {
+				changed = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					// Literals are fresh contexts; they produce no summaries
+					// (anonymous) but their sinks are checked.
+					if report {
+						dbAnalyzeContext(pass, s, nil, fl.Type, fl.Body, true)
+					}
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return changed
+}
+
+// dbAnalyzeContext runs the taint flow over one function body. fn is
+// nil for literals (no summary is recorded).
+func dbAnalyzeContext(pass *Pass, s *dbSummaries, fn *types.Func, ftyp *ast.FuncType, body *ast.BlockStmt, report bool) bool {
+	cfg := NewCFG(body, pass.TypesInfo)
+
+	// Entry state: integer parameters are their own origins.
+	entry := taintState{}
+	if ftyp.Params != nil {
+		for _, field := range ftyp.Params.List {
+			for _, name := range field.Names {
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || !isIntegerType(obj.Type()) {
+					continue
+				}
+				entry[obj] = set[any]{}
+				entry[obj].add(obj)
+			}
+		}
+	}
+
+	in := Forward(cfg, Flow[taintState]{
+		Entry: entry,
+		Clone: taintState.clone,
+		Merge: func(dst, src taintState) bool { return dst.merge(src) },
+		Transfer: func(b *Block, st taintState) taintState {
+			for _, stmt := range b.Stmts {
+				dbTransferStmt(pass, s, stmt, st)
+			}
+			return st
+		},
+	})
+
+	// Blessed origins per block: the union of guard origins of every
+	// strictly dominating block.
+	idom := cfg.Dominators()
+	guards := make([]set[any], len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		if in[b.Index] == nil || len(b.Stmts) == 0 {
+			continue
+		}
+		// The guard condition reads the state after the block's earlier
+		// statements — the `n, _ := read(); if n > max` shape keeps the
+		// definition and the check in one block.
+		st := in[b.Index].clone()
+		for _, stmt := range b.Stmts[:len(b.Stmts)-1] {
+			dbTransferStmt(pass, s, stmt, st)
+		}
+		guards[b.Index] = dbGuardOrigins(pass, b, st)
+	}
+	blessed := func(b *Block) set[any] {
+		out := set[any]{}
+		for d := idom[b.Index]; d != nil; d = idom[d.Index] {
+			if d != b && guards[d.Index] != nil {
+				out.union(guards[d.Index])
+			}
+			if d == cfg.Entry {
+				break
+			}
+		}
+		return out
+	}
+
+	changed := false
+	fullName := ""
+	if fn != nil {
+		fullName = fn.FullName()
+	}
+	for _, b := range cfg.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		st := in[b.Index].clone()
+		bl := blessed(b)
+		for _, stmt := range b.Stmts {
+			if dbCheckStmt(pass, s, fullName, fn, stmt, st, bl, report) {
+				changed = true
+			}
+			dbTransferStmt(pass, s, stmt, st)
+		}
+	}
+	return changed
+}
+
+// taintState maps each integer variable to the set of origins its
+// value may derive from: *ast.CallExpr wire-source calls, or
+// *types.Var parameters of the enclosing function.
+type taintState map[types.Object]set[any]
+
+func (t taintState) clone() taintState {
+	out := make(taintState, len(t))
+	for obj, origins := range t {
+		out[obj] = origins.clone()
+	}
+	return out
+}
+
+func (t taintState) merge(src taintState) bool {
+	grew := false
+	for obj, origins := range src {
+		dst, ok := t[obj]
+		if !ok {
+			t[obj] = origins.clone()
+			grew = true
+			continue
+		}
+		if dst.union(origins) {
+			grew = true
+		}
+	}
+	return grew
+}
+
+// dbTransferStmt applies one statement's definitions to the state.
+func dbTransferStmt(pass *Pass, s *dbSummaries, stmt ast.Stmt, st taintState) {
+	switch stmt := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(stmt.Lhs) == len(stmt.Rhs) {
+			for i, lhs := range stmt.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				origins := dbExprOrigins(pass, s, stmt.Rhs[i], st)
+				dbAssign(pass, id, origins, stmt.Tok, st)
+			}
+		} else if len(stmt.Rhs) == 1 {
+			origins := dbExprOrigins(pass, s, stmt.Rhs[0], st)
+			for _, lhs := range stmt.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					dbAssign(pass, id, origins, stmt.Tok, st)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var origins set[any]
+					if i < len(vs.Values) {
+						origins = dbExprOrigins(pass, s, vs.Values[i], st)
+					} else if len(vs.Values) == 1 {
+						origins = dbExprOrigins(pass, s, vs.Values[0], st)
+					}
+					dbAssign(pass, name, origins, token.DEFINE, st)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Ranging over a wire-sized collection yields wire-derived
+		// values (the elements were themselves decoded); the index is
+		// bounded by the allocation and stays clean.
+		origins := dbExprOrigins(pass, s, stmt.X, st)
+		if id, ok := stmt.Value.(*ast.Ident); ok && id != nil {
+			dbAssign(pass, id, origins, token.DEFINE, st)
+		}
+	}
+}
+
+// dbAssign installs origins for id (kill on plain assign/define, union
+// on compound ops like +=).
+func dbAssign(pass *Pass, id *ast.Ident, origins set[any], tok token.Token, st taintState) {
+	if id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if tok != token.ASSIGN && tok != token.DEFINE {
+		if len(origins) == 0 {
+			return
+		}
+		cur, ok := st[obj]
+		if !ok {
+			cur = set[any]{}
+			st[obj] = cur
+		}
+		cur.union(origins)
+		return
+	}
+	if len(origins) == 0 {
+		delete(st, obj)
+		return
+	}
+	st[obj] = origins.clone()
+}
+
+// dbExprOrigins collects the taint origins an expression's value may
+// carry. len and cap are barriers; nested func literals are opaque.
+func dbExprOrigins(pass *Pass, s *dbSummaries, e ast.Expr, st taintState) set[any] {
+	out := set[any]{}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				out.union(st[obj])
+			}
+		case *ast.CallExpr:
+			if isLenOrCap(pass, n) {
+				return false
+			}
+			if dbIsWireSource(pass, s, n) {
+				out.add(n)
+			}
+		}
+		return true
+	}
+	ast.Inspect(e, walk)
+	return out
+}
+
+// isLenOrCap reports a call to the len or cap builtin.
+func isLenOrCap(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && (b.Name() == "len" || b.Name() == "cap")
+}
+
+// dbIsWireSource reports whether the call reads a wire integer: an
+// encoding/binary decoder, or a function proven to return unchecked
+// wire integers.
+func dbIsWireSource(pass *Pass, s *dbSummaries, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "encoding/binary" {
+		switch fn.Name() {
+		case "Uvarint", "Varint", "ReadUvarint", "ReadVarint",
+			"Uint16", "Uint32", "Uint64":
+			return true
+		}
+		return false
+	}
+	return s.wire[fn.FullName()]
+}
+
+// dbGuardOrigins extracts the origins blessed by the block's trailing
+// condition: a comparison mentioning a tainted variable against
+// anything but the literal 0.
+func dbGuardOrigins(pass *Pass, b *Block, in taintState) set[any] {
+	if len(b.Stmts) == 0 {
+		return nil
+	}
+	last := b.Stmts[len(b.Stmts)-1]
+	var cond ast.Expr
+	switch last := last.(type) {
+	case *ast.IfStmt:
+		cond = last.Cond
+	case *ast.ForStmt:
+		cond = last.Cond
+	case *ast.SwitchStmt:
+		// switch n { case ...: } compares n against each case value.
+		cond = last.Tag
+	}
+	if cond == nil {
+		return nil
+	}
+	out := set[any]{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		xo := identOrigins(pass, be.X, in)
+		yo := identOrigins(pass, be.Y, in)
+		if len(xo) > 0 && !isZeroLiteral(be.Y) {
+			out.union(xo)
+		}
+		if len(yo) > 0 && !isZeroLiteral(be.X) {
+			out.union(yo)
+		}
+		return true
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// identOrigins collects origins of the plain variables mentioned in e.
+func identOrigins(pass *Pass, e ast.Expr, st taintState) set[any] {
+	out := set[any]{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out.union(st[obj])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	n, err := strconv.ParseInt(bl.Value, 0, 64)
+	return err == nil && n == 0
+}
+
+// dbCheckStmt scans one statement's locally-evaluated parts for sinks,
+// reporting (or recording parameter obligations) for unblessed taint.
+func dbCheckStmt(pass *Pass, s *dbSummaries, fullName string, fn *types.Func, stmt ast.Stmt, st taintState, blessed set[any], report bool) bool {
+	changed := false
+	flag := func(origins set[any], pos token.Pos, what string) {
+		for o := range origins {
+			if blessed.has(o) {
+				continue
+			}
+			switch o := o.(type) {
+			case *ast.CallExpr:
+				if report {
+					src := pass.Fset.Position(o.Pos())
+					pass.Reportf(pos, "%s derives from the wire read at %s:%d without a bounds check against available bytes", what, shortPath(src.Filename), src.Line)
+				}
+			case *types.Var:
+				// A parameter obligation, surfaced at call sites instead.
+				if fullName != "" && paramIndexOf(fn, o) >= 0 {
+					if s.alloc[fullName] == nil {
+						s.alloc[fullName] = make(map[int]bool)
+					}
+					if !s.alloc[fullName][paramIndexOf(fn, o)] {
+						s.alloc[fullName][paramIndexOf(fn, o)] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, root := range BlockLocalNodes(stmt) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// make(T, len, cap)
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+					for _, arg := range call.Args[1:] {
+						flag(dbExprOrigins(pass, s, arg, st), call.Pos(), "make size")
+					}
+					return true
+				}
+			}
+			// Buffer/Builder Grow.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Grow" && len(call.Args) == 1 {
+				if f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil {
+					if p := f.Pkg().Path(); p == "bytes" || p == "strings" {
+						flag(dbExprOrigins(pass, s, call.Args[0], st), call.Pos(), "Grow size")
+					}
+				}
+			}
+			// Calls into functions with alloc-sized parameters.
+			if callee := calleeFunc(pass, call); callee != nil {
+				if params := s.alloc[callee.FullName()]; len(params) > 0 {
+					for i := range params {
+						if i < len(call.Args) {
+							flag(dbExprOrigins(pass, s, call.Args[i], st),
+								call.Pos(), "allocation-sized argument "+strconv.Itoa(i)+" of "+callee.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Wire-int function detection: unblessed source origins escaping
+	// through a return.
+	if ret, ok := stmt.(*ast.ReturnStmt); ok && fullName != "" {
+		for _, res := range ret.Results {
+			for o := range dbExprOrigins(pass, s, res, st) {
+				if _, isCall := o.(*ast.CallExpr); isCall && !blessed.has(o) {
+					if !s.wire[fullName] {
+						s.wire[fullName] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// paramIndexOf returns o's index among fn's parameters, or -1.
+func paramIndexOf(fn *types.Func, o *types.Var) int {
+	if fn == nil {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == o {
+			return i
+		}
+	}
+	return -1
+}
+
+// isIntegerType reports whether t's core type is an integer.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// shortPath trims a long build-system path down to its last two
+// elements for readable messages.
+func shortPath(p string) string {
+	slash := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}

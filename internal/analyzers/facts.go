@@ -1,0 +1,181 @@
+package analyzers
+
+// Cross-package facts. The go command's vet protocol hands every
+// package visit a VetxOutput path to write "export data" for
+// downstream packages, and a PackageVetx map naming the files its
+// direct dependencies wrote. This suite rides that channel with a
+// small JSON document of per-package summaries so the flow-sensitive
+// passes can reason across package boundaries without a whole-program
+// loader:
+//
+//   - WireIntFuncs: exported functions/methods whose results carry
+//     wire-derived integers (decodebounds taint sources).
+//   - AllocSizedParams: exported functions with parameters that flow
+//     into an allocation size without an intervening bounds check
+//     (decodebounds call-site obligations).
+//   - LockEdges / LockAcquires: the mutex-acquisition order graph and
+//     per-function transitive acquire summaries (lockorder).
+//   - AtomicObjs: package-level vars and exported struct fields
+//     accessed through sync/atomic functions (atomicguard).
+//
+// Facts written for a package include its dependencies' facts merged
+// in, so a reader only needs its direct PackageVetx files to see the
+// transitive closure. Every identifier is a stable string: functions
+// as types.Func.FullName, objects as "pkgpath.Type.field" or
+// "pkgpath.var".
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+)
+
+// A LockEdge records that To was acquired while From was held, at Pos
+// (a file:line string, used verbatim in cycle reports).
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Pos  string `json:"pos"`
+}
+
+// PackageFacts is the unit of cross-package exchange. The zero value
+// is a valid empty fact set.
+type PackageFacts struct {
+	WireIntFuncs     []string            `json:"wire_int_funcs,omitempty"`
+	AllocSizedParams map[string][]int    `json:"alloc_sized_params,omitempty"`
+	LockEdges        []LockEdge          `json:"lock_edges,omitempty"`
+	LockAcquires     map[string][]string `json:"lock_acquires,omitempty"`
+	AtomicObjs       []string            `json:"atomic_objs,omitempty"`
+}
+
+// Merge folds src into f (set semantics; deterministic after
+// normalize).
+func (f *PackageFacts) Merge(src *PackageFacts) {
+	if src == nil {
+		return
+	}
+	f.WireIntFuncs = append(f.WireIntFuncs, src.WireIntFuncs...)
+	f.LockEdges = append(f.LockEdges, src.LockEdges...)
+	f.AtomicObjs = append(f.AtomicObjs, src.AtomicObjs...)
+	for fn, params := range src.AllocSizedParams {
+		if f.AllocSizedParams == nil {
+			f.AllocSizedParams = make(map[string][]int)
+		}
+		f.AllocSizedParams[fn] = mergeInts(f.AllocSizedParams[fn], params)
+	}
+	for fn, locks := range src.LockAcquires {
+		if f.LockAcquires == nil {
+			f.LockAcquires = make(map[string][]string)
+		}
+		f.LockAcquires[fn] = mergeStrings(f.LockAcquires[fn], locks)
+	}
+}
+
+// normalize sorts and dedups every list so the serialized form is
+// deterministic — the vetx file participates in the go command's vet
+// result cache, so byte-stable output matters.
+func (f *PackageFacts) normalize() {
+	f.WireIntFuncs = mergeStrings(nil, f.WireIntFuncs)
+	f.AtomicObjs = mergeStrings(nil, f.AtomicObjs)
+	sort.Slice(f.LockEdges, func(i, j int) bool {
+		a, b := f.LockEdges[i], f.LockEdges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Pos < b.Pos
+	})
+	dedup := f.LockEdges[:0]
+	for i, e := range f.LockEdges {
+		if i == 0 || e != f.LockEdges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	f.LockEdges = dedup
+	for fn, params := range f.AllocSizedParams {
+		f.AllocSizedParams[fn] = mergeInts(nil, params)
+	}
+	for fn, locks := range f.LockAcquires {
+		f.LockAcquires[fn] = mergeStrings(nil, locks)
+	}
+}
+
+func mergeStrings(dst, src []string) []string {
+	seen := make(map[string]bool, len(dst)+len(src))
+	var out []string
+	for _, s := range append(dst, src...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mergeInts(dst, src []int) []int {
+	seen := make(map[int]bool, len(dst)+len(src))
+	var out []int
+	for _, n := range append(dst, src...) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReadFactsFile loads one vetx file. Missing, empty, or non-JSON
+// files (a stock vet tool's vetx, or the empty file older versions of
+// this tool wrote) yield an empty fact set, never an error: facts are
+// an acceleration, and the analyzers must degrade to package-local
+// reasoning without them.
+func ReadFactsFile(path string) *PackageFacts {
+	f := &PackageFacts{}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return f
+	}
+	if json.Unmarshal(data, f) != nil {
+		return &PackageFacts{}
+	}
+	return f
+}
+
+// WriteFactsFile serializes facts (normalized) to path.
+func WriteFactsFile(path string, f *PackageFacts) error {
+	f.normalize()
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// factsAnalyzer identifies the fact-computation visit in the Pass it
+// runs under; it is not a registered pass and reports nothing.
+var factsAnalyzer = &Analyzer{Name: "facts", Doc: "internal cross-package fact computation"}
+
+// ComputeFacts derives this package's exportable facts from its
+// syntax and types, merging deps so the output carries the transitive
+// closure. Each flow-sensitive analyzer contributes its summary here;
+// the functions live next to their analyzers.
+func ComputeFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps *PackageFacts) *PackageFacts {
+	if deps == nil {
+		deps = &PackageFacts{}
+	}
+	p := &Pass{Analyzer: factsAnalyzer, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Deps: deps}
+	out := &PackageFacts{}
+	out.Merge(deps)
+	decodeboundsFacts(p, out)
+	lockorderFacts(p, out)
+	atomicguardFacts(p, out)
+	out.normalize()
+	return out
+}

@@ -11,12 +11,19 @@ package analyzers
 //	                         Server's s.mu; the spelling is literal)
 //
 // may only be read or written where the named mutex is structurally held
-// on the path from function entry to the access: a preceding
-// `<lock>.Lock()` or `<lock>.RLock()` in the same linear statement
-// sequence, not yet released by a plain `<lock>.Unlock()` (a deferred
-// unlock holds to function end; a cond.Wait reacquires before returning,
-// so held-state is preserved across it). Lock state never escapes a
-// conditional: a Lock inside one branch proves nothing after the join.
+// on every path from function entry to the access: a preceding
+// `<lock>.Lock()` or `<lock>.RLock()`, not yet released by a plain
+// `<lock>.Unlock()` (a deferred unlock holds to function end; a
+// cond.Wait reacquires before returning, so held-state is preserved
+// across it). At a join the held set is the intersection of the branch
+// outcomes that can actually reach it, with termination awareness: a
+// branch ending in return, panic, os.Exit, continue, or goto
+// contributes nothing, an if without else joins against the entry
+// state, a switch without a default keeps the entry state as a
+// reaching path, and a select always runs exactly one arm. So a Lock
+// taken in every branch proves the lock after the join, an early
+// `Unlock(); return` branch does not kill it, and a conditional or
+// select-arm Unlock does.
 //
 // Three structural exemptions keep the check aligned with the
 // repository's conventions rather than fighting them:
@@ -36,6 +43,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 )
@@ -139,16 +147,33 @@ type lockScan struct {
 	lits        []*ast.FuncLit  // nested literals, scanned as fresh contexts
 }
 
-// scanStmts processes a linear statement sequence, mutating held in
-// place; branches recurse on copies so their lock effects do not leak
-// past the join.
-func (sc *lockScan) scanStmts(stmts []ast.Stmt, held map[string]bool) {
+// flowExit describes how control leaves a statement or sequence:
+// falling through to what follows, breaking past the nearest breakable
+// construct (the held state at the break reaches the code after it), or
+// leaving the linear flow entirely — return, panic, os.Exit,
+// runtime.Goexit, continue, goto — so the state contributes nothing to
+// the join.
+type flowExit int
+
+const (
+	flowFalls flowExit = iota
+	flowBreaks
+	flowStops
+)
+
+// scanStmts processes a statement sequence, mutating held in place, and
+// reports how control leaves it. Statements after a non-falling exit
+// are unreachable on this path and are not scanned.
+func (sc *lockScan) scanStmts(stmts []ast.Stmt, held map[string]bool) flowExit {
 	for _, st := range stmts {
-		sc.scanStmt(st, held)
+		if exit := sc.scanStmt(st, held); exit != flowFalls {
+			return exit
+		}
 	}
+	return flowFalls
 }
 
-func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) {
+func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) flowExit {
 	switch st := st.(type) {
 	case *ast.ExprStmt:
 		sc.checkExpr(st.X, held)
@@ -157,6 +182,9 @@ func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) {
 		}
 		if recv, ok := isCallTo(st.X, "Unlock", "RUnlock"); ok {
 			delete(held, recv)
+		}
+		if sc.isNoReturnCall(st.X) {
+			return flowStops
 		}
 	case *ast.DeferStmt:
 		// A deferred Unlock releases at return: the lock stays held for
@@ -186,6 +214,12 @@ func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) {
 		for _, r := range st.Results {
 			sc.checkExpr(r, held)
 		}
+		return flowStops
+	case *ast.BranchStmt:
+		if st.Tok == token.BREAK {
+			return flowBreaks
+		}
+		return flowStops // continue, goto, fallthrough leave this path
 	case *ast.IncDecStmt:
 		sc.checkExpr(st.X, held)
 	case *ast.SendStmt:
@@ -202,17 +236,40 @@ func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) {
 			sc.checkExpr(st.Call, held)
 		}
 	case *ast.BlockStmt:
-		sc.scanStmts(st.List, held) // a bare block is still linear flow
+		return sc.scanStmts(st.List, held) // a bare block is still linear flow
 	case *ast.LabeledStmt:
-		sc.scanStmt(st.Stmt, held)
+		return sc.scanStmt(st.Stmt, held)
 	case *ast.IfStmt:
 		if st.Init != nil {
 			sc.scanStmt(st.Init, held)
 		}
 		sc.checkExpr(st.Cond, held)
-		sc.scanStmts(st.Body.List, copyHeld(held))
-		if st.Else != nil {
-			sc.scanStmt(st.Else, copyHeld(held))
+		thenHeld := copyHeld(held)
+		thenExit := sc.scanStmts(st.Body.List, thenHeld)
+		if st.Else == nil {
+			// The cond-false path falls through with the entry state; the
+			// then-branch joins it only if it falls off its own end.
+			if thenExit == flowFalls {
+				intersectInto(held, thenHeld)
+			}
+			return flowFalls
+		}
+		elseHeld := copyHeld(held)
+		elseExit := sc.scanStmt(st.Else, elseHeld)
+		switch {
+		case thenExit == flowFalls && elseExit == flowFalls:
+			intersectInto(thenHeld, elseHeld)
+			replaceHeld(held, thenHeld)
+		case thenExit == flowFalls:
+			replaceHeld(held, thenHeld)
+		case elseExit == flowFalls:
+			replaceHeld(held, elseHeld)
+		default:
+			// Neither branch falls through: the join is unreachable.
+			if thenExit == flowBreaks || elseExit == flowBreaks {
+				return flowBreaks
+			}
+			return flowStops
 		}
 	case *ast.ForStmt:
 		if st.Init != nil {
@@ -222,13 +279,19 @@ func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) {
 			sc.checkExpr(st.Cond, held)
 		}
 		body := copyHeld(held)
-		sc.scanStmts(st.Body.List, body)
-		if st.Post != nil {
+		exit := sc.scanStmts(st.Body.List, body)
+		if exit == flowFalls && st.Post != nil {
 			sc.scanStmt(st.Post, body)
 		}
+		// The code after the loop joins the entry state (zero
+		// iterations) with what a body path left behind — where the scan
+		// stopped at a break, body holds exactly the state at the break.
+		intersectInto(held, body)
 	case *ast.RangeStmt:
 		sc.checkExpr(st.X, held)
-		sc.scanStmts(st.Body.List, copyHeld(held))
+		body := copyHeld(held)
+		sc.scanStmts(st.Body.List, body)
+		intersectInto(held, body)
 	case *ast.SwitchStmt:
 		if st.Init != nil {
 			sc.scanStmt(st.Init, held)
@@ -236,34 +299,96 @@ func (sc *lockScan) scanStmt(st ast.Stmt, held map[string]bool) {
 		if st.Tag != nil {
 			sc.checkExpr(st.Tag, held)
 		}
-		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				for _, e := range cc.List {
-					sc.checkExpr(e, held)
-				}
-				sc.scanStmts(cc.Body, copyHeld(held))
-			}
-		}
+		return sc.joinCaseArms(st.Body.List, held)
 	case *ast.TypeSwitchStmt:
 		if st.Init != nil {
 			sc.scanStmt(st.Init, held)
 		}
 		sc.scanStmt(st.Assign, held)
+		return sc.joinCaseArms(st.Body.List, held)
+	case *ast.SelectStmt:
+		// Exactly one clause always runs (default is itself a clause):
+		// the join is the intersection of the arms that reach it, with no
+		// entry-state fall-through.
+		var outs []map[string]bool
 		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				sc.scanStmts(cc.Body, copyHeld(held))
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			arm := copyHeld(held)
+			if cc.Comm != nil {
+				sc.scanStmt(cc.Comm, arm)
+			}
+			if exit := sc.scanStmts(cc.Body, arm); exit != flowStops {
+				outs = append(outs, arm)
 			}
 		}
-	case *ast.SelectStmt:
-		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CommClause); ok {
-				if cc.Comm != nil {
-					sc.scanStmt(cc.Comm, held)
-				}
-				sc.scanStmts(cc.Body, copyHeld(held))
-			}
+		if len(outs) == 0 {
+			return flowStops // every arm leaves, or select{} blocks forever
+		}
+		joinInto(held, outs)
+	}
+	return flowFalls
+}
+
+// joinCaseArms scans each case body of a switch or type switch on a
+// copy of the entry state and joins the after-construct state: the
+// intersection of every arm that can reach it, plus the entry state
+// itself when there is no default arm (no case may match).
+func (sc *lockScan) joinCaseArms(clauses []ast.Stmt, held map[string]bool) flowExit {
+	hasDefault := false
+	var outs []map[string]bool
+	for _, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			sc.checkExpr(e, held)
+		}
+		arm := copyHeld(held)
+		if exit := sc.scanStmts(cc.Body, arm); exit != flowStops {
+			outs = append(outs, arm)
 		}
 	}
+	if !hasDefault {
+		// Some value may match no case: the entry state reaches the join.
+		for _, o := range outs {
+			intersectInto(held, o)
+		}
+		return flowFalls
+	}
+	if len(outs) == 0 {
+		return flowStops
+	}
+	joinInto(held, outs)
+	return flowFalls
+}
+
+// isNoReturnCall reports calls that never return control: panic,
+// os.Exit, runtime.Goexit.
+func (sc *lockScan) isNoReturnCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		b, ok := sc.pass.TypesInfo.Uses[fun].(*types.Builtin)
+		return ok && b.Name() == "panic"
+	case *ast.SelectorExpr:
+		f, ok := sc.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil {
+			return false
+		}
+		p := f.Pkg().Path()
+		return (p == "os" && f.Name() == "Exit") || (p == "runtime" && f.Name() == "Goexit")
+	}
+	return false
 }
 
 // noteConstruction records `x := &T{...}` / `x := T{...}` / `x := new(T)`
@@ -338,6 +463,34 @@ func copyHeld(held map[string]bool) map[string]bool {
 		out[k] = v
 	}
 	return out
+}
+
+// intersectInto removes from dst every lock src does not hold.
+func intersectInto(dst, src map[string]bool) {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+}
+
+// replaceHeld overwrites dst's contents with src's.
+func replaceHeld(dst, src map[string]bool) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// joinInto sets held to the intersection of outs.
+func joinInto(held map[string]bool, outs []map[string]bool) {
+	first := outs[0]
+	for _, o := range outs[1:] {
+		intersectInto(first, o)
+	}
+	replaceHeld(held, first)
 }
 
 func containsDot(s string) bool {

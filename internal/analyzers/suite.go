@@ -1,9 +1,11 @@
 package analyzers
 
-// All returns the full distcolorvet suite in reporting order: the four
-// repository-invariant passes, then the stdlib reimplementations of the
-// stock nilness and shadow vet passes (one -vettool invocation covers
-// stock and custom checks).
+// All returns the full distcolorvet suite in reporting order: the
+// structural repository-invariant passes, the flow-sensitive passes
+// built on the CFG/dataflow engine (leakcheck, lockorder, decodebounds,
+// atomicguard), then the stdlib reimplementations of the stock nilness
+// and shadow vet passes (one -vettool invocation covers stock and
+// custom checks).
 func All() []*Analyzer {
 	return []*Analyzer{
 		Detcheck,
@@ -11,6 +13,10 @@ func All() []*Analyzer {
 		Lockguard,
 		Ctxfirst,
 		Recovercheck,
+		Leakcheck,
+		Lockorder,
+		Decodebounds,
+		Atomicguard,
 		Nilness,
 		Shadow,
 	}

@@ -1,0 +1,62 @@
+// Package atomicguardfix is the positive/negative/suppression fixture
+// for the atomicguard pass: plain access to an address-taken atomic
+// field, copying a typed atomic out of its cell, the guarded-by
+// conflict, the accepted access shapes, and the suppression grammar.
+package atomicguardfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  int64
+	total atomic.Int64
+}
+
+// bump puts counters.hits into the atomic domain: its address reaches
+// sync/atomic.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// badPlainRead reads the same field without the atomic package: a torn
+// read on 32-bit platforms and a data race everywhere.
+func (c *counters) badPlainRead() int64 {
+	return c.hits // want "atomic domain"
+}
+
+func (c *counters) goodAtomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// goodTyped uses the typed atomic through its methods: the only plain
+// contexts allowed are method access, address-of, and indexing.
+func (c *counters) goodTyped() {
+	c.total.Add(1)
+}
+
+// badCopy tears the typed atomic out of its cell.
+func (c *counters) badCopy() atomic.Int64 {
+	return c.total // want "must not be copied"
+}
+
+// conflicted claims mutex discipline over a location with an atomic
+// type: one of the two annotations is a lie.
+type conflicted struct {
+	mu sync.Mutex
+	n  atomic.Int64 // guarded by mu — want "pick one discipline"
+}
+
+func (c *conflicted) read() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n.Load()
+}
+
+// migration exercises the suppression grammar on a deliberate plain
+// read.
+func (c *counters) migration() int64 {
+	//distcolor:ignore atomicguard fixture: audited read during an atomic migration
+	return c.hits
+}

@@ -1,0 +1,87 @@
+// Package decodeboundsfix is the positive/negative/suppression fixture
+// for the decodebounds pass: unchecked wire-sized allocations (direct,
+// through a helper's wire summary, through a Grow, and through an
+// allocation-sized parameter), the blessing comparison, the append
+// accumulation negative, and the suppression grammar.
+package decodeboundsfix
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// badDirect is the readFrame DoS shape: the attacker picks the size.
+func badDirect(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return make([]byte, n) // want "make size derives from the wire read"
+}
+
+// goodChecked compares the decoded size against the bytes actually
+// available before allocating: the comparison blesses the origin.
+func goodChecked(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	if n > uint64(len(buf)) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// readLen returns the decoded length without checking it, so readLen
+// itself becomes a wire source in the package summary.
+func readLen(buf []byte) uint64 {
+	n, _ := binary.Uvarint(buf)
+	return n
+}
+
+// badViaHelper launders the read through readLen; the summary carries
+// the taint back to this allocation.
+func badViaHelper(buf []byte) []int {
+	n := readLen(buf)
+	return make([]int, n) // want "make size derives from the wire read"
+}
+
+// badGrow pre-sizes a buffer from the wire: Grow is a sink too.
+func badGrow(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	var b bytes.Buffer
+	b.Grow(int(n)) // want "Grow size derives from the wire read"
+	return b.Bytes()
+}
+
+// allocN's parameter sizes an allocation unchecked, so the obligation
+// moves to every call site instead of firing here.
+func allocN(n int) []int {
+	return make([]int, n)
+}
+
+func badCallSite(buf []byte) []int {
+	n, _ := binary.Uvarint(buf)
+	return allocN(int(n)) // want "allocation-sized argument 0 of allocN"
+}
+
+func goodCallSite(buf []byte) []int {
+	n, _ := binary.Uvarint(buf)
+	if n > 1<<20 {
+		return nil
+	}
+	return allocN(int(n))
+}
+
+// appendLoop accumulates by what was actually decoded: append grows
+// incrementally and is deliberately not a sink.
+func appendLoop(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	var out []byte
+	for i := uint64(0); i < n; i++ {
+		out = append(out, byte(i))
+	}
+	return out
+}
+
+// trusted exercises the suppression grammar on a deliberate unchecked
+// allocation.
+func trusted(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	//distcolor:ignore decodebounds fixture: size pre-validated by the framing layer
+	return make([]byte, n)
+}

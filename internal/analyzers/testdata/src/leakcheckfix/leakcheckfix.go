@@ -1,0 +1,127 @@
+// Package leakcheckfix is the positive/negative/suppression fixture for
+// the leakcheck pass: the four accepted disciplines (detached
+// annotation, ctx-bounded, WaitGroup-accounted with field and local
+// variants, channel-joined), the path-sensitive cases the CFG makes
+// decidable, and the suppression grammar.
+package leakcheckfix
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// fire is the baseline positive: nothing bounds the goroutine.
+func fire() {
+	go work() // want "goroutine is not joined, ctx-bounded, or annotated"
+}
+
+// detachedGood declares the detachment with a reason: accepted.
+func detachedGood() {
+	//distcolor:detached fixture flusher owns its lifetime, bounded by process exit
+	go work()
+}
+
+// detachedBare has the annotation but no justification.
+func detachedBare() {
+	//distcolor:detached
+	go work() // want "requires a reason"
+}
+
+// ctxClosure is bounded by the context its body watches.
+func ctxClosure(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ctxNamed passes the context into a named same-package function.
+func ctxNamed(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// fanOut is the local-WaitGroup shape: every path Waits.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// leakyPath Waits on the happy path but returns early without joining.
+func leakyPath(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "some path from this spawn returns without wg.Wait"
+		defer wg.Done()
+		work()
+	}()
+	if n > 10 {
+		return
+	}
+	wg.Wait()
+}
+
+// pool is the field-WaitGroup shape: workers join in close.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func (p *pool) close() {
+	p.wg.Wait()
+}
+
+// leaky accounts to a field WaitGroup nothing ever Waits on.
+type leaky struct {
+	wg sync.WaitGroup
+}
+
+func (l *leaky) start() {
+	l.wg.Add(1)
+	go func() { // want "no non-test code in this package calls wg.Wait"
+		defer l.wg.Done()
+		work()
+	}()
+}
+
+// chanJoin is channel-joined: the spawner receives what the goroutine
+// produces on every path.
+func chanJoin() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// closeJoin: the goroutine closes the channel and the spawner drains it.
+func closeJoin() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// waived exercises the suppression grammar on a deliberate leak.
+func waived() {
+	//distcolor:ignore leakcheck fixture: lifetime audited by hand
+	go work()
+}

@@ -39,6 +39,83 @@ func (c *counterSet) BranchLeak(grow bool) {
 	c.n++ // want "c.n is guarded by c.mu, which BranchLeak does not hold"
 }
 
+// CondDefer is the conditional-defer-unlock shape: the early branch
+// releases and returns, so the lock is still held at the join on every
+// path that reaches it. A negative only because the join is
+// termination-aware.
+func (c *counterSet) CondDefer(ok bool) {
+	c.mu.Lock()
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// BothBranchesLock acquires on every branch: the intersection join
+// carries the lock past the if.
+func (c *counterSet) BothBranchesLock(fast bool) {
+	if fast {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+		c.n = 0
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// SwitchLock acquires in every arm of a defaulted switch: held after.
+func (c *counterSet) SwitchLock(mode int) {
+	switch mode {
+	case 0:
+		c.mu.Lock()
+	default:
+		c.mu.Lock()
+		c.n = mode
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// CondRelease unlocks on one branch and falls through: the join must
+// drop the lock even though the entry path still holds it.
+func (c *counterSet) CondRelease(bail bool) {
+	c.mu.Lock()
+	if bail {
+		c.mu.Unlock()
+	}
+	c.n++ // want "c.n is guarded by c.mu, which CondRelease does not hold"
+	if !bail {
+		c.mu.Unlock()
+	}
+}
+
+// SelectRelease releases in one select arm; exactly one arm runs, so
+// the join is the intersection of the arms and the lock is gone.
+func (c *counterSet) SelectRelease(done chan int) {
+	c.mu.Lock()
+	select {
+	case <-done:
+		c.mu.Unlock()
+	default:
+		c.n++
+	}
+	c.n++ // want "c.n is guarded by c.mu, which SelectRelease does not hold"
+}
+
+// RelockLoop re-acquires on every iteration; after the loop the entry
+// state (unlocked) joins the body outcome (unlocked): no lock, but no
+// access either. The access inside the body is covered.
+func (c *counterSet) RelockLoop(rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		c.n += i
+		c.mu.Unlock()
+	}
+}
+
 // bumpLocked is a negative: the Locked suffix is the caller-holds naming
 // convention.
 func (c *counterSet) bumpLocked() {

@@ -1,0 +1,98 @@
+// Package lockorderfix is the positive/negative/suppression fixture for
+// the lockorder pass: a two-lock cycle (both edges report), an
+// interprocedural cycle through a callee's acquire summary, a double
+// acquire (self-edge), consistent orderings and local mutexes as
+// negatives, and the suppression grammar.
+package lockorderfix
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// abOrder and baOrder disagree: a classic deadlock pair. Both edges
+// participate in the cycle, so both acquisition sites report.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want "lock order cycle"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want "lock order cycle"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// cThenD and dHolderCallsC form a cycle interprocedurally: the call
+// site acquires C through lockCviaHelper's summary while holding D.
+func cThenD() {
+	muC.Lock()
+	muD.Lock() // want "lock order cycle"
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func dHolderCallsC() {
+	muD.Lock()
+	lockCviaHelper() // want "lock order cycle"
+	muD.Unlock()
+}
+
+func lockCviaHelper() {
+	muC.Lock()
+	muC.Unlock()
+}
+
+// consistent takes the same two locks in one global order everywhere: a
+// negative.
+var muX, muY sync.Mutex
+
+func consistentOne() {
+	muX.Lock()
+	muY.Lock()
+	muY.Unlock()
+	muX.Unlock()
+}
+
+func consistentTwo() {
+	muX.Lock()
+	defer muX.Unlock()
+	muY.Lock()
+	defer muY.Unlock()
+}
+
+// releasedFirst drops the first lock before taking the second: no edge,
+// no ordering constraint.
+func releasedFirst() {
+	muY.Lock()
+	muY.Unlock()
+	muX.Lock()
+	muX.Unlock()
+}
+
+// localScoped uses a function-local mutex: it has no global identity
+// and never constrains the order graph.
+func localScoped() {
+	var mu sync.Mutex
+	mu.Lock()
+	muX.Lock()
+	muX.Unlock()
+	mu.Unlock()
+}
+
+// reacquire exercises the suppression grammar on a deliberate double
+// acquire (a self-edge in the order graph).
+func reacquire() {
+	muA.Lock()
+	//distcolor:ignore lockorder fixture: deliberate re-acquire exercising the waiver grammar
+	muA.Lock()
+	muA.Unlock()
+	muA.Unlock()
+}

@@ -96,18 +96,25 @@ func Main(as ...*Analyzer) {
 	}
 	exit := 0
 	suppressed := make(map[string]int)
+	enc := json.NewEncoder(os.Stderr)
 	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if *jsonFlag {
+			// NDJSON, one finding per line, suppressed ones included with
+			// their waiver reason so CI tooling sees the full audit trail.
+			enc.Encode(jsonDiagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+				Suppressed: d.Suppressed, Reason: d.SuppressReason,
+			})
+		}
 		if d.Suppressed {
 			suppressed[d.Analyzer]++
 			continue
 		}
 		exit = 2
-		if *jsonFlag {
-			json.NewEncoder(os.Stderr).Encode(map[string]string{
-				"posn": fset.Position(d.Pos).String(), "analyzer": d.Analyzer, "message": d.Message,
-			})
-		} else {
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		if !*jsonFlag {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
 		}
 	}
 	// The suppression audit trail: every waived finding is counted per
@@ -126,6 +133,19 @@ func Main(as ...*Analyzer) {
 		fmt.Fprintf(os.Stderr, "%s: note: suppressed findings: %s\n", progname, strings.Join(parts, " "))
 	}
 	os.Exit(exit)
+}
+
+// jsonDiagnostic is the -json wire shape: NDJSON on stderr, one object
+// per finding. The field set is stable; CI consumes it (see the
+// problem-matcher under .github/problem-matchers/).
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 // printVersion answers the -V probe. The go command requires the first
@@ -180,16 +200,18 @@ func checkPackage(cfgPath string, as []*Analyzer) ([]Diagnostic, *token.FileSet,
 		return nil, nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
 
-	// The go command expects the facts file to exist afterward even
-	// though this suite exchanges no inter-package facts; an empty file
-	// keeps the protocol (and vet result caching) happy.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, nil, err
+	// Dependency-only visits of standard-library packages (source under
+	// GOROOT) skip the typecheck-and-summarize pass entirely: the flow
+	// analyzers model the relevant stdlib behavior natively (sync
+	// mutexes, encoding/binary sources), and computing summaries for
+	// go/types and friends would dominate lint time for zero findings.
+	// The empty vetx file reads back as an empty fact set.
+	if cfg.VetxOnly && isGorootDir(cfg.Dir) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				return nil, nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly {
-		// Dependency-only visit: facts written (none), no diagnostics due.
 		return nil, token.NewFileSet(), nil
 	}
 
@@ -230,8 +252,38 @@ func checkPackage(cfgPath string, as []*Analyzer) ([]Diagnostic, *token.FileSet,
 		return nil, nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := RunAnalyzers(as, fset, files, pkg, info)
+	// Merge the facts every dependency exported through its vetx file.
+	// Files written by other tools (or missing entirely) read as empty
+	// fact sets — the protocol only promises the path, not the format.
+	deps := &PackageFacts{}
+	for _, vetx := range cfg.PackageVetx {
+		deps.Merge(ReadFactsFile(vetx))
+	}
+
+	// Every visit — including VetxOnly dependency visits — computes and
+	// writes this package's facts, because downstream packages key their
+	// flow reasoning on them. Facts carry the dependencies' facts merged
+	// in, so readers see the transitive closure from direct deps alone.
+	if cfg.VetxOutput != "" {
+		facts := ComputeFacts(fset, files, pkg, info, deps)
+		if err := WriteFactsFile(cfg.VetxOutput, facts); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: facts written, no diagnostics due.
+		return nil, fset, nil
+	}
+
+	diags, err := RunAnalyzers(as, fset, files, pkg, info, deps)
 	return diags, fset, err
+}
+
+// isGorootDir reports whether dir lies under the standard library's
+// source root.
+func isGorootDir(dir string) bool {
+	root := runtime.GOROOT()
+	return root != "" && strings.HasPrefix(dir, root+string(os.PathSeparator))
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers read

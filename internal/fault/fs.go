@@ -141,16 +141,14 @@ type fsRule struct {
 	seen int64 // matching occurrences so far, guarded by Inject.mu
 }
 
-// fires counts one matching occurrence and reports whether it fires. Only
-// match calls it, under Inject.mu.
+// fires counts one matching occurrence and reports whether it fires.
+// Only match calls it; the caller must hold Inject.mu.
 func (r *fsRule) fires() bool {
-	//distcolor:ignore lockguard fires is called only from Inject.match, which holds Inject.mu
 	r.seen++
 	first := r.Nth
 	if first <= 0 {
 		first = 1
 	}
-	//distcolor:ignore lockguard fires is called only from Inject.match, which holds Inject.mu
 	if r.seen < first {
 		return false
 	}
@@ -161,7 +159,6 @@ func (r *fsRule) fires() bool {
 	if times == 0 {
 		times = 1
 	}
-	//distcolor:ignore lockguard fires is called only from Inject.match, which holds Inject.mu
 	return r.seen < first+times
 }
 

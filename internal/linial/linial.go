@@ -247,7 +247,14 @@ func (mc *machine) applyStep(in []sim.Word, st Step) int64 {
 		}
 	}
 	// Unreachable when q > dΔ and the input coloring is proper.
-	//distcolor:ignore noallochot the Sprintf boxing is on the unreachable invariant-violation panic path
+	panicNoEvalPoint(q, d, cnt)
+	return 0
+}
+
+// panicNoEvalPoint reports the invariant violation out of line: the
+// Sprintf boxing lives in this cold unannotated helper, not on the
+// noalloc hot path.
+func panicNoEvalPoint(q, d int64, cnt int) {
 	panic(fmt.Sprintf("linial: no evaluation point in F_%d for degree %d with %d neighbors", q, d, cnt))
 }
 

@@ -297,6 +297,10 @@ func (c *Client) SubmitStream(ctx context.Context, req *distcolor.Request) (JobS
 		length:      distcolor.RequestStreamLen(req, chunk),
 		mk: func() (io.Reader, error) {
 			pr, pw := io.Pipe()
+			// The writer is bounded by the pipe, not a join: every Write
+			// blocks until the transport reads or the request aborts and
+			// closes pr, which errors the write and ends the goroutine.
+			//distcolor:detached pipe-bounded: write errors out when roundTrip closes pr
 			go func() { pw.CloseWithError(distcolor.WriteRequestStream(pw, req, chunk)) }()
 			return pr, nil
 		},
