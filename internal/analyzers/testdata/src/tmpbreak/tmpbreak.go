@@ -1,0 +1,21 @@
+package tmpbreak
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	// n is guarded by mu
+	n int
+}
+
+func (s *S) LoopUnlockBreak(items []int) int {
+	s.mu.Lock()
+	for _, it := range items {
+		if it > 10 {
+			s.mu.Unlock()
+			break
+		}
+		s.n += it
+	}
+	return s.n
+}

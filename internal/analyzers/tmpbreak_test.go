@@ -1,0 +1,16 @@
+package analyzers
+
+import "testing"
+
+func TestTmpBreak(t *testing.T) {
+	_, diags, err := checkFixture("tmpbreak", []*Analyzer{Lockguard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Logf("diag: %s", d.Message)
+	}
+	if len(diags) == 0 {
+		t.Log("NO FINDING: unlock+break path missed")
+	}
+}
